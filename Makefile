@@ -1,0 +1,45 @@
+GO ?= go
+
+.PHONY: all build vet test race bench figures examples loc
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' ./...
+
+# Regenerate every paper figure with moderate budgets.
+figures:
+	$(GO) run ./cmd/mvbench -fig 1
+	$(GO) run ./cmd/mvbench -fig 4
+	$(GO) run ./cmd/mvbench -fig 5
+	$(GO) run ./cmd/mvbench -fig 6
+	$(GO) run ./cmd/mvbench -fig 7
+	$(GO) run ./cmd/factor
+	$(GO) run ./cmd/dbbench
+	$(GO) run ./cmd/kvbench
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/bank
+	$(GO) run ./examples/kvcache
+	$(GO) run ./examples/longreader
+
+torture:
+	$(GO) run ./cmd/mvtorture -duration 10s -threads 8
+	$(GO) run ./cmd/mvtorture -duration 10s -config tiny-log
+	$(GO) run ./cmd/mvtorture -duration 10s -config dynamic-log
+
+loc:
+	@find . -name '*.go' | xargs wc -l | tail -1

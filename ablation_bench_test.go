@@ -1,0 +1,147 @@
+package main_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mvrlu/internal/bench"
+	"mvrlu/internal/core"
+	"mvrlu/internal/ds"
+)
+
+// Ablations for the design parameters DESIGN.md calls out. Each sweep
+// holds the workload fixed (linked list, 1K items, read-intensive,
+// 4 goroutines) and varies one knob of the engine.
+
+func runAblationCell(b *testing.B, opts core.Options, update float64) {
+	b.Helper()
+	var last bench.Result
+	for i := 0; i < b.N; i++ {
+		set := ds.NewMVRLUList(opts)
+		last = bench.Run(set, bench.Workload{
+			Threads:     benchThreads,
+			UpdateRatio: update,
+			Initial:     1000,
+			Duration:    cellDuration,
+		})
+		set.Close()
+	}
+	b.ReportMetric(last.OpsPerUsec(), "ops/µs")
+	b.ReportMetric(last.AbortRatio, "abort-ratio")
+}
+
+// BenchmarkAblationLogSize sweeps the per-thread log capacity: too small
+// and writers stall on reclamation; past a point extra slots only defer
+// write-backs (the V in Table 1's 1+1/V amplification).
+func BenchmarkAblationLogSize(b *testing.B) {
+	for _, slots := range []int{256, 1024, 4096, 16384} {
+		b.Run(fmt.Sprintf("slots%d", slots), func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.LogSlots = slots
+			runAblationCell(b, opts, 0.20)
+		})
+	}
+}
+
+// BenchmarkAblationWatermarks compares the watermark placements around
+// the paper's 75/50/50 configuration.
+func BenchmarkAblationWatermarks(b *testing.B) {
+	cfgs := []struct {
+		name      string
+		high, low float64
+		deref     float64
+	}{
+		{"paper-75-50-50", 0.75, 0.50, 0.50},
+		{"late-95-80", 0.95, 0.80, 0.50},
+		{"eager-50-25", 0.50, 0.25, 0.50},
+		{"no-deref-wm", 0.75, 0.50, 0},
+		{"deref-only", 0.75, 0, 0.50},
+	}
+	for _, cfg := range cfgs {
+		b.Run(cfg.name, func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.HighCapacity = cfg.high
+			opts.LowCapacity = cfg.low
+			opts.DerefRatio = cfg.deref
+			runAblationCell(b, opts, 0.20)
+		})
+	}
+}
+
+// BenchmarkAblationGPInterval sweeps the grace-period detector's
+// broadcast period: the decoupled detector should be largely insensitive
+// (threads refresh the watermark on demand when pressed).
+func BenchmarkAblationGPInterval(b *testing.B) {
+	for _, iv := range []time.Duration{50 * time.Microsecond, 200 * time.Microsecond, 2 * time.Millisecond} {
+		b.Run(iv.String(), func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.GPInterval = iv
+			runAblationCell(b, opts, 0.20)
+		})
+	}
+}
+
+// BenchmarkAblationOrdoWindow injects increasing ORDO uncertainty
+// windows: ambiguity aborts grow with the window (§3.9's cost had the
+// hardware clocks been skewed).
+func BenchmarkAblationOrdoWindow(b *testing.B) {
+	for _, w := range []uint64{0, 1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("window%dns", w), func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.OrdoWindow = w
+			runAblationCell(b, opts, 0.20)
+		})
+	}
+}
+
+// BenchmarkAblationDynamicLog compares the static log (paper) against the
+// dynamic-log extension under a deliberately undersized log.
+func BenchmarkAblationDynamicLog(b *testing.B) {
+	for _, dyn := range []bool{false, true} {
+		name := "static"
+		if dyn {
+			name = "dynamic"
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.LogSlots = 128
+			opts.DynamicLog = dyn
+			runAblationCell(b, opts, 0.80)
+		})
+	}
+}
+
+// BenchmarkAblationClock compares the scalable clock against the global
+// counter inside full MV-RLU (the engine-level view of Figure 8's +ordo
+// rung).
+func BenchmarkAblationClock(b *testing.B) {
+	for _, mode := range []core.ClockMode{core.ClockOrdo, core.ClockGlobal} {
+		name := "ordo"
+		if mode == core.ClockGlobal {
+			name = "global-counter"
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.ClockMode = mode
+			runAblationCell(b, opts, 0.20)
+		})
+	}
+}
+
+// BenchmarkAblationGCMode compares concurrent autonomous GC against the
+// single-collector design at write-intensive load (the "+concurrent-gc"
+// step of Figure 8, isolated).
+func BenchmarkAblationGCMode(b *testing.B) {
+	for _, mode := range []core.GCMode{core.GCConcurrent, core.GCSingleCollector} {
+		name := "concurrent"
+		if mode == core.GCSingleCollector {
+			name = "single-collector"
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.GCMode = mode
+			runAblationCell(b, opts, 0.80)
+		})
+	}
+}

@@ -1,0 +1,77 @@
+// dbbench regenerates Figure 9: database concurrency control on the
+// DBx1000-style YCSB workload — MV-RLU vs HEKATON (MVCC) vs SILO (OCC)
+// vs TICTOC (timestamp OCC), Zipf theta 0.7, 2/20/80% update rates.
+//
+// Usage:
+//
+//	go run ./cmd/dbbench -threads 1,2,4,8 -records 100000 -duration 200ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"mvrlu/internal/bench"
+	"mvrlu/internal/db"
+)
+
+func main() {
+	var (
+		threads  = flag.String("threads", "1,2,4,8", "comma-separated goroutine counts")
+		records  = flag.Int("records", 100000, "table size in rows")
+		txnSize  = flag.Int("txn", 16, "accesses per transaction")
+		theta    = flag.Float64("theta", 0.7, "Zipf skew")
+		duration = flag.Duration("duration", 200*time.Millisecond, "measurement duration per cell")
+		all      = flag.Bool("all", false, "include the extra DBx1000 schemes (nowait, timestamp) beyond the paper's quartet")
+	)
+	flag.Parse()
+
+	var th []int
+	for _, p := range strings.Split(*threads, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "bad thread count %q\n", p)
+			os.Exit(1)
+		}
+		th = append(th, n)
+	}
+
+	engines := db.EngineNames()
+	if *all {
+		engines = db.AllEngineNames()
+	}
+	for _, u := range []float64{0.02, 0.20, 0.80} {
+		tab := bench.NewTable(
+			fmt.Sprintf("Figure 9: YCSB, %d rows, Zipf %.1f, %.0f%% update (txn/µs)",
+				*records, *theta, u*100),
+			"threads", engines...)
+		abortTab := bench.NewTable(
+			fmt.Sprintf("Figure 9 (aux): abort ratio at %.0f%% update", u*100),
+			"threads", engines...)
+		for _, t := range th {
+			for _, name := range engines {
+				e, err := db.NewEngine(name, *records)
+				if err != nil {
+					panic(err)
+				}
+				res := db.RunYCSB(e, db.YCSBConfig{
+					Records:     *records,
+					Threads:     t,
+					TxnSize:     *txnSize,
+					UpdateRatio: u,
+					Theta:       *theta,
+					Duration:    *duration,
+				})
+				e.Close()
+				tab.Add(fmt.Sprint(t), name, res.TxnsPerUsec())
+				abortTab.Add(fmt.Sprint(t), name, res.AbortRatio)
+			}
+		}
+		tab.Render(os.Stdout)
+		abortTab.Render(os.Stdout)
+	}
+}

@@ -1,0 +1,104 @@
+// factor regenerates Figure 8, the paper's factor analysis: starting
+// from RLU, features are enabled cumulatively until the full MV-RLU
+// design is reached, measured on a 10K-item linked list at read-mostly /
+// read-intensive / write-intensive update ratios.
+//
+// The rungs:
+//
+//	rlu            original RLU (global clock)
+//	+ordo          RLU with the scalable hardware clock
+//	+multi-version MV-RLU versions, single GC collector thread
+//	+concurrent-gc every thread reclaims its own log (GC on log-full only)
+//	+capacity-wm   low-capacity watermark triggers early collection
+//	+deref-wm      dereference watermark (= full MV-RLU)
+//
+// Usage:
+//
+//	go run ./cmd/factor -threads 8 -duration 200ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mvrlu/internal/bench"
+	"mvrlu/internal/core"
+	"mvrlu/internal/ds"
+)
+
+// rung is one cumulative configuration of Figure 8.
+type rung struct {
+	name  string
+	build func() ds.Set
+}
+
+func rungs() []rung {
+	mv := func(opts core.Options) func() ds.Set {
+		return func() ds.Set { return ds.NewMVRLUList(opts) }
+	}
+	singleGC := core.DefaultOptions()
+	singleGC.GCMode = core.GCSingleCollector
+	singleGC.HighCapacity = 1.0
+	singleGC.LowCapacity = 0
+	singleGC.DerefRatio = 0
+
+	concGC := core.DefaultOptions()
+	concGC.HighCapacity = 1.0
+	concGC.LowCapacity = 0
+	concGC.DerefRatio = 0
+
+	capWM := core.DefaultOptions()
+	capWM.DerefRatio = 0
+
+	full := core.DefaultOptions()
+
+	return []rung{
+		{"rlu", func() ds.Set { s, _ := ds.New("rlu-list", ds.Config{}); return s }},
+		{"+ordo", func() ds.Set { s, _ := ds.New("rlu-ordo-list", ds.Config{}); return s }},
+		{"+multi-version", mv(singleGC)},
+		{"+concurrent-gc", mv(concGC)},
+		{"+capacity-wm", mv(capWM)},
+		{"+deref-wm (MV-RLU)", mv(full)},
+	}
+}
+
+func main() {
+	var (
+		threads  = flag.Int("threads", 8, "goroutine count")
+		duration = flag.Duration("duration", 200*time.Millisecond, "measurement duration per cell")
+		items    = flag.Int("items", 1000, "linked-list size")
+	)
+	flag.Parse()
+
+	mixes := []struct {
+		label string
+		ratio float64
+	}{
+		{"read-mostly", 0.02},
+		{"read-intensive", 0.20},
+		{"write-intensive", 0.80},
+	}
+	names := make([]string, 0)
+	for _, r := range rungs() {
+		names = append(names, r.name)
+	}
+	tab := bench.NewTable(
+		fmt.Sprintf("Figure 8: factor analysis, linked list %d items, %d threads (ops/µs)", *items, *threads),
+		"workload", names...)
+	for _, mix := range mixes {
+		for _, r := range rungs() {
+			set := r.build()
+			res := bench.Run(set, bench.Workload{
+				Threads:     *threads,
+				UpdateRatio: mix.ratio,
+				Initial:     *items,
+				Duration:    *duration,
+			})
+			set.Close()
+			tab.Add(mix.label, r.name, res.OpsPerUsec())
+		}
+	}
+	tab.Render(os.Stdout)
+}

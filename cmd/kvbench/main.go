@@ -1,0 +1,68 @@
+// kvbench regenerates Figure 10: the KyotoCabinet-style cache database
+// with its stock global readers-writer lock ("vanilla") versus the RLU
+// and MV-RLU ports, at 2% and 20% update rates.
+//
+// Usage:
+//
+//	go run ./cmd/kvbench -threads 1,2,4,8 -records 20000 -value 512
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"mvrlu/internal/bench"
+	"mvrlu/internal/kvstore"
+)
+
+func main() {
+	var (
+		threads  = flag.String("threads", "1,2,4,8", "comma-separated goroutine counts")
+		records  = flag.Int("records", 20000, "key-value pairs loaded")
+		value    = flag.Int("value", 512, "value size in bytes")
+		slots    = flag.Int("slots", kvstore.DefaultSlots, "slot count")
+		buckets  = flag.Int("buckets", kvstore.DefaultBucketsPerSlot, "buckets per slot")
+		duration = flag.Duration("duration", 200*time.Millisecond, "measurement duration per cell")
+	)
+	flag.Parse()
+
+	var th []int
+	for _, p := range strings.Split(*threads, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "bad thread count %q\n", p)
+			os.Exit(1)
+		}
+		th = append(th, n)
+	}
+
+	builds := kvstore.Names()
+	for _, u := range []float64{0.02, 0.20} {
+		tab := bench.NewTable(
+			fmt.Sprintf("Figure 10: cache DB, %d records × %dB, %.0f%% update (ops/µs)",
+				*records, *value, u*100),
+			"threads", builds...)
+		for _, t := range th {
+			for _, name := range builds {
+				s, err := kvstore.New(name, *slots, *buckets)
+				if err != nil {
+					panic(err)
+				}
+				res := kvstore.Run(s, kvstore.Config{
+					Records:     *records,
+					ValueSize:   *value,
+					Threads:     t,
+					UpdateRatio: u,
+					Duration:    *duration,
+				})
+				s.Close()
+				tab.Add(fmt.Sprint(t), name, res.OpsPerUsec())
+			}
+		}
+		tab.Render(os.Stdout)
+	}
+}

@@ -1,0 +1,202 @@
+// mvtorture is an rcutorture-style stress driver for the MV-RLU engine:
+// randomized mixes of snapshot audits, multi-object transfers, frees with
+// replacement, and deliberately pinned readers, with conservation and
+// identity invariants checked continuously and chain invariants verified
+// at the end.
+//
+// Usage:
+//
+//	go run ./cmd/mvtorture -duration 10s -threads 8 -objects 64
+//	go run ./cmd/mvtorture -config tiny-log -duration 30s
+//
+// Exit status is non-zero on any invariant violation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mvrlu/mvrlu"
+)
+
+type record struct {
+	Balance int
+	ID      int
+	Acct    *mvrlu.Object[record]
+}
+
+func options(config string) (mvrlu.Options, error) {
+	o := mvrlu.DefaultOptions()
+	switch config {
+	case "default":
+	case "tiny-log":
+		o.LogSlots = 64
+		o.GPInterval = 50 * time.Microsecond
+	case "single-collector":
+		o.GCMode = mvrlu.GCSingleCollector
+	case "global-clock":
+		o.ClockMode = mvrlu.ClockGlobal
+	case "skew":
+		o.OrdoWindow = uint64(20 * time.Microsecond)
+	case "dynamic-log":
+		o.LogSlots = 64
+		o.DynamicLog = true
+	default:
+		return o, fmt.Errorf("unknown config %q (default, tiny-log, single-collector, global-clock, skew, dynamic-log)", config)
+	}
+	return o, nil
+}
+
+func main() {
+	var (
+		duration = flag.Duration("duration", 5*time.Second, "stress duration")
+		threads  = flag.Int("threads", 8, "worker goroutines")
+		objects  = flag.Int("objects", 32, "account objects")
+		config   = flag.String("config", "default", "engine configuration")
+		seed     = flag.Int64("seed", 1, "base RNG seed")
+	)
+	flag.Parse()
+
+	opts, err := options(*config)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	dom := mvrlu.NewDomain[record](opts)
+	defer dom.Close()
+
+	const unit = 1000
+	registry := make([]*mvrlu.Object[record], *objects)
+	for i := range registry {
+		acct := mvrlu.NewObject(record{Balance: unit, ID: i})
+		registry[i] = mvrlu.NewObject(record{Acct: acct})
+	}
+	total := *objects * unit
+
+	var (
+		stop       atomic.Bool
+		violations atomic.Int64
+		audits     atomic.Int64
+		transfers  atomic.Int64
+		frees      atomic.Int64
+		wg         sync.WaitGroup
+	)
+	for g := 0; g < *threads; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			h := dom.Register()
+			rng := rand.New(rand.NewSource(*seed + int64(id)*7919))
+			for !stop.Load() {
+				switch rng.Intn(10) {
+				case 0, 1, 2, 3:
+					h.ReadLock()
+					sum := 0
+					for _, holder := range registry {
+						sum += h.Deref(h.Deref(holder).Acct).Balance
+					}
+					h.ReadUnlock()
+					if sum != total {
+						violations.Add(1)
+					}
+					audits.Add(1)
+				case 4, 5, 6, 7:
+					i, j := rng.Intn(*objects), rng.Intn(*objects)
+					if i == j {
+						continue
+					}
+					amt := rng.Intn(100) + 1
+					h.Execute(func(h *mvrlu.Thread[record]) bool {
+						ci, ok := h.TryLock(h.Deref(registry[i]).Acct)
+						if !ok {
+							return false
+						}
+						cj, ok := h.TryLock(h.Deref(registry[j]).Acct)
+						if !ok {
+							return false
+						}
+						ci.Balance -= amt
+						cj.Balance += amt
+						return true
+					})
+					transfers.Add(1)
+				case 8:
+					i := rng.Intn(*objects)
+					h.Execute(func(h *mvrlu.Thread[record]) bool {
+						holder := registry[i]
+						old := h.Deref(holder).Acct
+						co, ok := h.TryLock(old)
+						if !ok {
+							return false
+						}
+						ch, ok := h.TryLock(holder)
+						if !ok {
+							return false
+						}
+						ch.Acct = mvrlu.NewObject(record{Balance: co.Balance, ID: co.ID})
+						h.Free(old)
+						return true
+					})
+					frees.Add(1)
+				default:
+					h.ReadLock()
+					acct := h.Deref(registry[rng.Intn(*objects)]).Acct
+					first := h.Deref(acct).Balance
+					for k := 0; k < 64; k++ {
+						if h.Deref(acct).Balance != first {
+							violations.Add(1)
+						}
+					}
+					h.ReadUnlock()
+				}
+			}
+		}(g)
+	}
+
+	start := time.Now()
+	time.Sleep(*duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Final ground truth and structural invariants.
+	h := dom.Register()
+	h.ReadLock()
+	sum := 0
+	for i, holder := range registry {
+		acct := h.Deref(holder).Acct
+		r := h.Deref(acct)
+		sum += r.Balance
+		if r.ID != i {
+			violations.Add(1)
+			fmt.Fprintf(os.Stderr, "identity corrupted: slot %d holds ID %d\n", i, r.ID)
+		}
+	}
+	h.ReadUnlock()
+	if sum != total {
+		violations.Add(1)
+		fmt.Fprintf(os.Stderr, "conservation broken: total %d, want %d\n", sum, total)
+	}
+	for _, holder := range registry {
+		if err := dom.CheckObject(holder); err != nil {
+			violations.Add(1)
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}
+
+	st := dom.Stats()
+	fmt.Printf("mvtorture config=%s threads=%d objects=%d elapsed=%v\n", *config, *threads, *objects, elapsed)
+	fmt.Printf("  audits=%d transfers=%d frees=%d\n", audits.Load(), transfers.Load(), frees.Load())
+	fmt.Printf("  commits=%d aborts=%d reclaimed=%d writebacks=%d overflow=%d\n",
+		st.Commits, st.Aborts, st.Reclaimed, st.Writebacks, st.OverflowAllocs)
+	if v := violations.Load(); v != 0 {
+		fmt.Fprintf(os.Stderr, "FAIL: %d invariant violations\n", v)
+		os.Exit(1)
+	}
+	fmt.Println("  PASS: all invariants held")
+}

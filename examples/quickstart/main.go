@@ -1,0 +1,168 @@
+// Quickstart: a sorted linked list shared by concurrent readers and
+// writers, protected by MV-RLU.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+//
+// It demonstrates the whole programming model from the paper's §2.1:
+// critical sections (ReadLock/ReadUnlock), snapshot reads (Deref),
+// fine-grained locking (TryLock), abort-and-retry (Execute), and
+// deferred reclamation (Free).
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"mvrlu/mvrlu"
+)
+
+// node is a list node. Links are ordinary Go pointers to master objects;
+// Deref resolves the right version on each hop.
+type node struct {
+	Key  int
+	Next *mvrlu.Object[node]
+}
+
+// list is a sorted integer set with a head sentinel.
+type list struct {
+	dom  *mvrlu.Domain[node]
+	head *mvrlu.Object[node]
+}
+
+func newList() *list {
+	return &list{
+		dom:  mvrlu.NewDefaultDomain[node](),
+		head: mvrlu.NewObject(node{Key: -1 << 62}),
+	}
+}
+
+// insert adds key if absent, retrying on conflicts.
+func (l *list) insert(h *mvrlu.Thread[node], key int) (added bool) {
+	h.Execute(func(h *mvrlu.Thread[node]) bool {
+		prev, cur := l.head, h.Deref(l.head).Next
+		for cur != nil {
+			d := h.Deref(cur)
+			if d.Key >= key {
+				break
+			}
+			prev, cur = cur, d.Next
+		}
+		if cur != nil && h.Deref(cur).Key == key {
+			added = false
+			return true
+		}
+		c, ok := h.TryLock(prev) // lock only the node we rewrite
+		if !ok {
+			return false // conflict: abort and retry
+		}
+		c.Next = mvrlu.NewObject(node{Key: key, Next: cur})
+		added = true
+		return true
+	})
+	return added
+}
+
+// remove deletes key if present.
+func (l *list) remove(h *mvrlu.Thread[node], key int) (removed bool) {
+	h.Execute(func(h *mvrlu.Thread[node]) bool {
+		prev, cur := l.head, h.Deref(l.head).Next
+		for cur != nil && h.Deref(cur).Key < key {
+			prev, cur = cur, h.Deref(cur).Next
+		}
+		if cur == nil || h.Deref(cur).Key != key {
+			removed = false
+			return true
+		}
+		cp, ok := h.TryLock(prev)
+		if !ok {
+			return false
+		}
+		cv, ok := h.TryLock(cur)
+		if !ok {
+			return false
+		}
+		cp.Next = cv.Next
+		h.Free(cur) // reclaimed after a grace period
+		removed = true
+		return true
+	})
+	return removed
+}
+
+// snapshot walks the list inside one critical section: a consistent view
+// even while writers commit concurrently.
+func (l *list) snapshot(h *mvrlu.Thread[node]) []int {
+	var out []int
+	h.ReadLock()
+	for cur := h.Deref(l.head).Next; cur != nil; {
+		d := h.Deref(cur)
+		out = append(out, d.Key)
+		cur = d.Next
+	}
+	h.ReadUnlock()
+	return out
+}
+
+func main() {
+	l := newList()
+	defer l.dom.Close()
+
+	// Eight goroutines insert disjoint ranges concurrently.
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			h := l.dom.Register() // one handle per goroutine
+			for i := 0; i < 25; i++ {
+				l.insert(h, base+i)
+			}
+		}(g * 100)
+	}
+	wg.Wait()
+
+	h := l.dom.Register()
+	snap := l.snapshot(h)
+	fmt.Printf("inserted %d keys; first=%d last=%d\n", len(snap), snap[0], snap[len(snap)-1])
+
+	// Remove the even keys while readers keep traversing.
+	var readers sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			h := l.dom.Register()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					s := l.snapshot(h)
+					// Every snapshot is sorted — no torn states.
+					for i := 1; i < len(s); i++ {
+						if s[i] <= s[i-1] {
+							panic("snapshot not sorted")
+						}
+					}
+				}
+			}
+		}()
+	}
+	removed := 0
+	for _, k := range snap {
+		if k%2 == 0 && l.remove(h, k) {
+			removed++
+		}
+	}
+	close(stop)
+	readers.Wait()
+
+	final := l.snapshot(h)
+	fmt.Printf("removed %d even keys; %d remain\n", removed, len(final))
+	st := l.dom.Stats()
+	fmt.Printf("engine: %d commits, %d aborts, %d versions reclaimed, %d writebacks\n",
+		st.Commits, st.Aborts, st.Reclaimed, st.Writebacks)
+}

@@ -1,0 +1,3 @@
+module mvrlu
+
+go 1.24

@@ -1,0 +1,205 @@
+// Integration tests: cross-module scenarios that the per-package suites
+// cannot cover — the public facade driving the benchmark harness, figure
+// cells end to end, and engine statistics flowing through the stack.
+package main_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mvrlu/internal/bench"
+	"mvrlu/internal/core"
+	"mvrlu/internal/db"
+	"mvrlu/internal/ds"
+	"mvrlu/internal/kvstore"
+	"mvrlu/mvrlu"
+)
+
+// TestEveryFigureCellSmoke runs a miniature version of every figure's
+// cell through the same code paths the cmd tools use, asserting sane
+// output — a regression net for the regenerators.
+func TestEveryFigureCellSmoke(t *testing.T) {
+	short := 20 * time.Millisecond
+
+	// Figures 1/4/5/6/7 share ds+bench.
+	for _, name := range ds.Names() {
+		set, err := ds.New(name, ds.Config{Buckets: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := bench.Run(set, bench.Workload{
+			Threads:     2,
+			UpdateRatio: 0.2,
+			Initial:     100,
+			Dist:        bench.DistPareto8020,
+			Duration:    short,
+		})
+		set.Close()
+		if res.Ops == 0 {
+			t.Fatalf("%s: no ops", name)
+		}
+	}
+
+	// Figure 8's rungs.
+	singleGC := core.DefaultOptions()
+	singleGC.GCMode = core.GCSingleCollector
+	for _, opts := range []core.Options{core.DefaultOptions(), singleGC} {
+		set := ds.NewMVRLUList(opts)
+		res := bench.Run(set, bench.Workload{Threads: 2, UpdateRatio: 0.5, Initial: 50, Duration: short})
+		set.Close()
+		if res.Ops == 0 {
+			t.Fatal("factor rung: no ops")
+		}
+	}
+
+	// Figure 9.
+	for _, name := range db.AllEngineNames() {
+		e, err := db.NewEngine(name, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := db.RunYCSB(e, db.YCSBConfig{
+			Records: 128, Threads: 2, TxnSize: 4,
+			UpdateRatio: 0.2, Theta: 0.7, Duration: short,
+		})
+		e.Close()
+		if res.Txns == 0 {
+			t.Fatalf("%s: no txns", name)
+		}
+	}
+
+	// Figure 10.
+	for _, name := range kvstore.Names() {
+		s, err := kvstore.New(name, 2, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := kvstore.Run(s, kvstore.Config{
+			Records: 64, ValueSize: 16, Threads: 2,
+			UpdateRatio: 0.2, Duration: short,
+		})
+		s.Close()
+		if res.Ops == 0 {
+			t.Fatalf("%s: no ops", name)
+		}
+	}
+}
+
+// TestFacadeWithHarness drives a user-defined structure built purely on
+// the public facade through a concurrent workload, and checks engine
+// statistics surface coherently.
+func TestFacadeWithHarness(t *testing.T) {
+	type entry struct {
+		Key  int
+		Next *mvrlu.Object[entry]
+	}
+	dom := mvrlu.NewDefaultDomain[entry]()
+	defer dom.Close()
+	head := mvrlu.NewObject(entry{Key: -1 << 62})
+
+	insert := func(h *mvrlu.Thread[entry], key int) {
+		h.Execute(func(h *mvrlu.Thread[entry]) bool {
+			prev, cur := head, h.Deref(head).Next
+			for cur != nil && h.Deref(cur).Key < key {
+				prev, cur = cur, h.Deref(cur).Next
+			}
+			if cur != nil && h.Deref(cur).Key == key {
+				return true
+			}
+			c, ok := h.TryLock(prev)
+			if !ok {
+				return false
+			}
+			c.Next = mvrlu.NewObject(entry{Key: key, Next: cur})
+			return true
+		})
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			h := dom.Register()
+			for i := 0; i < 100; i++ {
+				insert(h, base*1000+i)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	h := dom.Register()
+	h.ReadLock()
+	count := 0
+	for cur := h.Deref(head).Next; cur != nil; cur = h.Deref(cur).Next {
+		count++
+	}
+	h.ReadUnlock()
+	if count != 400 {
+		t.Fatalf("list has %d entries, want 400", count)
+	}
+	st := dom.Stats()
+	if st.Commits < 400 {
+		t.Fatalf("commits %d < inserts", st.Commits)
+	}
+	if st.Derefs == 0 {
+		t.Fatal("no derefs counted")
+	}
+}
+
+// TestReportPipeline checks the Table text and CSV renderers compose with
+// real measured cells.
+func TestReportPipeline(t *testing.T) {
+	set, err := ds.New("mvrlu-hash", ds.Config{Buckets: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+	res := bench.Run(set, bench.Workload{Threads: 2, UpdateRatio: 0.1, Initial: 100, Duration: 20 * time.Millisecond})
+
+	tab := bench.NewTable("t", "threads", "mvrlu-hash")
+	tab.Add("2", "mvrlu-hash", res.OpsPerUsec())
+	var txt, csv strings.Builder
+	tab.Render(&txt)
+	tab.RenderCSV(&csv)
+	if !strings.Contains(txt.String(), "mvrlu-hash") {
+		t.Fatal("text render broken")
+	}
+	if !strings.HasPrefix(csv.String(), "# t\nthreads,mvrlu-hash\n2,") {
+		t.Fatalf("csv render broken:\n%s", csv.String())
+	}
+}
+
+// TestMixedDomainsIndependent: two MV-RLU domains must not interfere
+// (watermarks, logs, and stats are per-domain).
+func TestMixedDomainsIndependent(t *testing.T) {
+	type v struct{ N int }
+	d1 := mvrlu.NewDefaultDomain[v]()
+	opts := mvrlu.DefaultOptions()
+	opts.LogSlots = 256 // small log so reclamation must run during the loop
+	d2 := mvrlu.NewDomain[v](opts)
+	defer d1.Close()
+	defer d2.Close()
+	o1, o2 := mvrlu.NewObject(v{}), mvrlu.NewObject(v{})
+	h1, h2 := d1.Register(), d2.Register()
+
+	// Pin a reader in d1; writers in d2 must reclaim freely.
+	h1.ReadLock()
+	_ = h1.Deref(o1)
+	for i := 0; i < 2000; i++ {
+		h2.ReadLock()
+		if c, ok := h2.TryLock(o2); ok {
+			c.N = i
+		}
+		h2.ReadUnlock()
+	}
+	h1.ReadUnlock()
+	if s2 := d2.Stats(); s2.Reclaimed == 0 {
+		t.Fatal("d2 reclamation blocked by a reader in d1")
+	}
+	if s1 := d1.Stats(); s1.Commits != 0 {
+		t.Fatal("d1 counted d2's commits")
+	}
+}

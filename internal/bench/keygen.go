@@ -1,0 +1,100 @@
+// Package bench is the workload generator and measurement harness behind
+// every figure of the paper's evaluation (§6): key distributions
+// (uniform, Zipfian, 80-20 Pareto), read/update mixes, fixed-duration
+// throughput runs over ds.Set implementations, and abort-ratio
+// accounting.
+package bench
+
+import (
+	"math"
+	"math/rand"
+)
+
+// KeyGen draws keys from [0, Range).
+type KeyGen interface {
+	Next(rng *rand.Rand) int
+}
+
+// Uniform draws keys uniformly.
+type Uniform struct {
+	Range int
+}
+
+// Next implements KeyGen.
+func (u Uniform) Next(rng *rand.Rand) int { return rng.Intn(u.Range) }
+
+// Pareto8020 is the 80-20 access pattern of Figure 1: 80% of accesses hit
+// the hottest 20% of the key space.
+type Pareto8020 struct {
+	Range int
+}
+
+// Next implements KeyGen.
+func (p Pareto8020) Next(rng *rand.Rand) int {
+	hot := p.Range / 5
+	if hot == 0 {
+		hot = 1
+	}
+	if rng.Float64() < 0.8 {
+		return rng.Intn(hot)
+	}
+	if p.Range == hot {
+		return rng.Intn(p.Range)
+	}
+	return hot + rng.Intn(p.Range-hot)
+}
+
+// Zipf is the YCSB-style Zipfian generator used by Figures 7 and 9:
+// theta ∈ (0,1) controls skew (higher is more skewed; YCSB default 0.99,
+// the paper sweeps 0.2–1.0 and uses 0.7 for DBx1000).
+type Zipf struct {
+	n     int
+	theta float64
+
+	alpha, zetan, eta float64
+}
+
+// NewZipf precomputes the zeta constants for n keys at skew theta.
+func NewZipf(n int, theta float64) *Zipf {
+	if theta <= 0 || theta >= 1 {
+		// theta==0 degenerates to uniform; theta>=1 needs the other
+		// Zipf branch. Clamp into the supported YCSB range.
+		if theta <= 0 {
+			theta = 0.01
+		} else {
+			theta = 0.99
+		}
+	}
+	z := &Zipf{n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	zeta2 := zeta(2, theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - zeta2/z.zetan)
+	return z
+}
+
+func zeta(n int, theta float64) float64 {
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next implements KeyGen (Gray et al.'s quick Zipfian algorithm, as in
+// YCSB).
+func (z *Zipf) Next(rng *rand.Rand) int {
+	u := rng.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	idx := int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if idx >= z.n {
+		idx = z.n - 1
+	}
+	return idx
+}

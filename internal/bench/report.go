@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows of a figure/table reproduction and renders the
+// same layout the paper reports: one row per x-axis point (threads,
+// theta, size...), one column per mechanism, values in ops/µs (or abort
+// ratio).
+type Table struct {
+	Title   string
+	XLabel  string
+	Columns []string
+	rows    []row
+}
+
+type row struct {
+	x     string
+	cells map[string]float64
+}
+
+// NewTable creates a report table with the given series columns.
+func NewTable(title, xlabel string, columns ...string) *Table {
+	return &Table{Title: title, XLabel: xlabel, Columns: columns}
+}
+
+// Add records one cell; rows are keyed by the x value in insertion order.
+func (t *Table) Add(x string, column string, value float64) {
+	for i := range t.rows {
+		if t.rows[i].x == x {
+			t.rows[i].cells[column] = value
+			return
+		}
+	}
+	t.rows = append(t.rows, row{x: x, cells: map[string]float64{column: value}})
+}
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "### %s\n", t.Title)
+	header := make([]string, 0, len(t.Columns)+1)
+	header = append(header, pad(t.XLabel, 10))
+	for _, c := range t.Columns {
+		header = append(header, pad(c, 14))
+	}
+	fmt.Fprintln(w, strings.Join(header, " "))
+	for _, r := range t.rows {
+		cells := make([]string, 0, len(t.Columns)+1)
+		cells = append(cells, pad(r.x, 10))
+		for _, c := range t.Columns {
+			if v, ok := r.cells[c]; ok {
+				cells = append(cells, pad(fmt.Sprintf("%.3f", v), 14))
+			} else {
+				cells = append(cells, pad("-", 14))
+			}
+		}
+		fmt.Fprintln(w, strings.Join(cells, " "))
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, n int) string {
+	if len(s) >= n {
+		return s
+	}
+	return s + strings.Repeat(" ", n-len(s))
+}
+
+// RenderCSV writes the table as CSV (title as a comment line), for
+// plotting pipelines.
+func (t *Table) RenderCSV(w io.Writer) {
+	fmt.Fprintf(w, "# %s\n", t.Title)
+	fmt.Fprintf(w, "%s,%s\n", t.XLabel, strings.Join(t.Columns, ","))
+	for _, r := range t.rows {
+		cells := make([]string, 0, len(t.Columns)+1)
+		cells = append(cells, r.x)
+		for _, c := range t.Columns {
+			if v, ok := r.cells[c]; ok {
+				cells = append(cells, fmt.Sprintf("%.4f", v))
+			} else {
+				cells = append(cells, "")
+			}
+		}
+		fmt.Fprintln(w, strings.Join(cells, ","))
+	}
+}

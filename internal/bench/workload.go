@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mvrlu/internal/ds"
+)
+
+// Distribution names a key distribution.
+type Distribution int
+
+// Supported key distributions.
+const (
+	DistUniform Distribution = iota
+	DistPareto8020
+	DistZipf
+)
+
+// Workload describes one benchmark cell: the paper's microbenchmarks are
+// all instances of this (update ratio 2/20/80%, distribution, data-set
+// size, thread count).
+type Workload struct {
+	// Threads is the number of worker goroutines ("threads" in the
+	// paper's figures).
+	Threads int
+	// UpdateRatio is the fraction of operations that mutate (evenly
+	// split between insert and remove), e.g. 0.02 / 0.20 / 0.80 for
+	// the paper's read-mostly / read-intensive / write-intensive mixes.
+	UpdateRatio float64
+	// Initial is the number of elements loaded before measuring.
+	Initial int
+	// Range is the key space; 0 defaults to 2×Initial so the set size
+	// stays stable under a balanced insert/remove mix.
+	Range int
+	// Dist selects the key distribution; Theta applies to DistZipf.
+	Dist  Distribution
+	Theta float64
+	// Duration is the measured run length.
+	Duration time.Duration
+}
+
+func (w Workload) keyRange() int {
+	if w.Range > 0 {
+		return w.Range
+	}
+	return 2 * w.Initial
+}
+
+func (w Workload) gen() KeyGen {
+	r := w.keyRange()
+	switch w.Dist {
+	case DistPareto8020:
+		return Pareto8020{Range: r}
+	case DistZipf:
+		return NewZipf(r, w.Theta)
+	default:
+		return Uniform{Range: r}
+	}
+}
+
+// Result is one measured cell.
+type Result struct {
+	Set        string
+	Workload   Workload
+	Ops        uint64
+	Elapsed    time.Duration
+	Commits    uint64
+	Aborts     uint64
+	AbortRatio float64
+	// P50 and P99 are sampled per-operation latencies (every
+	// latencyEvery-th operation is timed).
+	P50, P99 time.Duration
+}
+
+// latencyEvery is the per-operation latency sampling stride; sampling
+// every operation would distort short ops with two clock reads.
+const latencyEvery = 64
+
+// latencyCap bounds per-worker samples.
+const latencyCap = 4096
+
+// OpsPerUsec returns throughput in operations per microsecond, the unit
+// of every throughput figure in the paper.
+func (r Result) OpsPerUsec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / float64(r.Elapsed.Microseconds())
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%s threads=%d update=%.0f%% ops/µs=%.3f abort=%.4f",
+		r.Set, r.Workload.Threads, r.Workload.UpdateRatio*100, r.OpsPerUsec(), r.AbortRatio)
+}
+
+// Prefill loads Initial distinct keys, spread deterministically over the
+// key range, so every mechanism starts from an identical set.
+func Prefill(set ds.Set, w Workload) {
+	s := set.Session()
+	r := w.keyRange()
+	rng := rand.New(rand.NewSource(12345))
+	inserted := 0
+	for inserted < w.Initial {
+		if s.Insert(rng.Intn(r)) {
+			inserted++
+		}
+	}
+}
+
+// Run measures one workload cell on set: prefill, then Threads goroutines
+// issuing the op mix until the deadline. Abort statistics are taken as a
+// before/after delta so repeated runs on one set stay correct.
+func Run(set ds.Set, w Workload) Result {
+	Prefill(set, w)
+
+	var beforeC, beforeA uint64
+	if ac, ok := set.(ds.AbortCounter); ok {
+		beforeC, beforeA = ac.AbortStats()
+	}
+
+	var (
+		stop     atomic.Bool
+		totalOps atomic.Uint64
+		wg       sync.WaitGroup
+		start    = make(chan struct{})
+		sampleMu sync.Mutex
+		samples  []time.Duration
+	)
+	for t := 0; t < w.Threads; t++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			s := set.Session()
+			rng := rand.New(rand.NewSource(seed))
+			gen := w.gen()
+			ops := uint64(0)
+			local := make([]time.Duration, 0, latencyCap)
+			<-start
+			for !stop.Load() {
+				k := gen.Next(rng)
+				p := rng.Float64()
+				timed := ops%latencyEvery == 0 && len(local) < latencyCap
+				var t0 time.Time
+				if timed {
+					t0 = time.Now()
+				}
+				switch {
+				case p < w.UpdateRatio/2:
+					s.Insert(k)
+				case p < w.UpdateRatio:
+					s.Remove(k)
+				default:
+					s.Lookup(k)
+				}
+				if timed {
+					local = append(local, time.Since(t0))
+				}
+				ops++
+			}
+			totalOps.Add(ops)
+			sampleMu.Lock()
+			samples = append(samples, local...)
+			sampleMu.Unlock()
+		}(int64(t)*7919 + 17)
+	}
+	begin := time.Now()
+	close(start)
+	time.Sleep(w.Duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(begin)
+
+	res := Result{Set: set.Name(), Workload: w, Ops: totalOps.Load(), Elapsed: elapsed}
+	if len(samples) > 0 {
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		res.P50 = samples[len(samples)/2]
+		res.P99 = samples[len(samples)*99/100]
+	}
+	if ac, ok := set.(ds.AbortCounter); ok {
+		c, a := ac.AbortStats()
+		res.Commits, res.Aborts = c-beforeC, a-beforeA
+		if res.Commits+res.Aborts > 0 {
+			res.AbortRatio = float64(res.Aborts) / float64(res.Commits+res.Aborts)
+		}
+	}
+	return res
+}

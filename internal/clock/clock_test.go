@@ -1,0 +1,90 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHardwareMonotonic(t *testing.T) {
+	h := &Hardware{}
+	prev := uint64(0)
+	for i := 0; i < 10000; i++ {
+		now := h.Now()
+		if now < prev {
+			t.Fatalf("clock went backwards: %d after %d", now, prev)
+		}
+		prev = now
+	}
+	if prev == 0 || prev == Infinity {
+		t.Fatal("implausible timestamp")
+	}
+}
+
+func TestHardwareNeverReturnsReservedValues(t *testing.T) {
+	h := &Hardware{}
+	for i := 0; i < 1000; i++ {
+		now := h.Now()
+		if now == 0 {
+			t.Fatal("clock returned 0 (reserved for 'quiescent')")
+		}
+		if now == Infinity {
+			t.Fatal("clock returned Infinity (reserved for 'uncommitted')")
+		}
+	}
+}
+
+func TestHardwareBoundary(t *testing.T) {
+	h := &Hardware{}
+	if h.Boundary() != 0 {
+		t.Fatalf("default boundary %d, want 0 (single monotonic source)", h.Boundary())
+	}
+	h.Window = 123
+	if h.Boundary() != 123 {
+		t.Fatal("window not honoured")
+	}
+}
+
+func TestGlobalStrictlyIncreasing(t *testing.T) {
+	g := &Global{}
+	prev := uint64(0)
+	for i := 0; i < 1000; i++ {
+		now := g.Now()
+		if now <= prev {
+			t.Fatalf("global clock not strictly increasing: %d after %d", now, prev)
+		}
+		prev = now
+	}
+	if g.Boundary() != 0 {
+		t.Fatal("global clock must be totally ordered")
+	}
+}
+
+func TestGlobalUniqueUnderConcurrency(t *testing.T) {
+	g := &Global{}
+	const goroutines, draws = 8, 2000
+	seen := make([]map[uint64]bool, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		seen[i] = make(map[uint64]bool, draws)
+		wg.Add(1)
+		go func(m map[uint64]bool) {
+			defer wg.Done()
+			for j := 0; j < draws; j++ {
+				m[g.Now()] = true
+			}
+		}(seen[i])
+	}
+	wg.Wait()
+	all := make(map[uint64]bool, goroutines*draws)
+	for _, m := range seen {
+		for ts := range m {
+			if all[ts] {
+				t.Fatalf("duplicate timestamp %d", ts)
+			}
+			all[ts] = true
+		}
+	}
+	if len(all) != goroutines*draws {
+		t.Fatalf("drew %d unique timestamps, want %d", len(all), goroutines*draws)
+	}
+}

@@ -1,0 +1,536 @@
+package core
+
+import (
+	"testing"
+)
+
+type payload struct {
+	A, B int
+	Next *Object[payload]
+}
+
+func newTestDomain(t *testing.T, opts Options) *Domain[payload] {
+	t.Helper()
+	d := NewDomain[payload](opts)
+	t.Cleanup(d.Close)
+	return d
+}
+
+func TestReadMasterWithoutVersions(t *testing.T) {
+	d := newTestDomain(t, DefaultOptions())
+	o := NewObject(payload{A: 7})
+	h := d.Register()
+	h.ReadLock()
+	if got := h.Deref(o).A; got != 7 {
+		t.Fatalf("Deref master = %d, want 7", got)
+	}
+	h.ReadUnlock()
+}
+
+func TestDerefNil(t *testing.T) {
+	d := newTestDomain(t, DefaultOptions())
+	h := d.Register()
+	h.ReadLock()
+	if h.Deref(nil) != nil {
+		t.Fatal("Deref(nil) should be nil")
+	}
+	h.ReadUnlock()
+}
+
+func TestWriteCommitVisible(t *testing.T) {
+	d := newTestDomain(t, DefaultOptions())
+	o := NewObject(payload{A: 1})
+	h := d.Register()
+
+	h.ReadLock()
+	c, ok := h.TryLock(o)
+	if !ok {
+		t.Fatal("TryLock failed on uncontended object")
+	}
+	c.A = 2
+	// Uncommitted: a concurrent snapshot must not see the write.
+	h2 := d.Register()
+	h2.ReadLock()
+	if got := h2.Deref(o).A; got != 1 {
+		t.Fatalf("uncommitted write visible: got %d, want 1", got)
+	}
+	h2.ReadUnlock()
+	h.ReadUnlock() // commit
+
+	h2.ReadLock()
+	if got := h2.Deref(o).A; got != 2 {
+		t.Fatalf("committed write not visible: got %d, want 2", got)
+	}
+	h2.ReadUnlock()
+}
+
+func TestWriterSeesOwnWrites(t *testing.T) {
+	d := newTestDomain(t, DefaultOptions())
+	o := NewObject(payload{A: 1})
+	h := d.Register()
+	h.ReadLock()
+	c, _ := h.TryLock(o)
+	c.A = 99
+	// Re-locking in the same critical section returns the same copy.
+	c2, ok := h.TryLock(o)
+	if !ok {
+		t.Fatal("re-lock by owner failed")
+	}
+	if c2 != c || c2.A != 99 {
+		t.Fatal("re-lock did not return the same pending copy")
+	}
+	h.ReadUnlock()
+}
+
+func TestAbortDiscardsWrites(t *testing.T) {
+	d := newTestDomain(t, DefaultOptions())
+	o := NewObject(payload{A: 1})
+	h := d.Register()
+	h.ReadLock()
+	c, _ := h.TryLock(o)
+	c.A = 42
+	h.Abort()
+
+	h.ReadLock()
+	if got := h.Deref(o).A; got != 1 {
+		t.Fatalf("aborted write visible: got %d, want 1", got)
+	}
+	// Object must be unlocked again.
+	if _, ok := h.TryLock(o); !ok {
+		t.Fatal("object still locked after abort")
+	}
+	h.Abort()
+}
+
+func TestTryLockConflict(t *testing.T) {
+	d := newTestDomain(t, DefaultOptions())
+	o := NewObject(payload{})
+	h1, h2 := d.Register(), d.Register()
+	h1.ReadLock()
+	h2.ReadLock()
+	if _, ok := h1.TryLock(o); !ok {
+		t.Fatal("first TryLock failed")
+	}
+	if _, ok := h2.TryLock(o); ok {
+		t.Fatal("second TryLock should fail while locked")
+	}
+	h2.Abort()
+	h1.ReadUnlock()
+}
+
+func TestTryLockConstConflicts(t *testing.T) {
+	d := newTestDomain(t, DefaultOptions())
+	o := NewObject(payload{})
+	h1, h2 := d.Register(), d.Register()
+	h1.ReadLock()
+	if !h1.TryLockConst(o) {
+		t.Fatal("TryLockConst failed on uncontended object")
+	}
+	h2.ReadLock()
+	if _, ok := h2.TryLock(o); ok {
+		t.Fatal("TryLock should conflict with a const lock")
+	}
+	h2.Abort()
+	h1.ReadUnlock()
+	// Const lock committed: no version chain should exist.
+	if o.chainLen() != 0 {
+		t.Fatalf("const lock published a version: chain len %d", o.chainLen())
+	}
+}
+
+func TestConstLockUpgrade(t *testing.T) {
+	d := newTestDomain(t, DefaultOptions())
+	o := NewObject(payload{A: 5})
+	h := d.Register()
+	h.ReadLock()
+	if !h.TryLockConst(o) {
+		t.Fatal("const lock failed")
+	}
+	c, ok := h.TryLock(o) // upgrade
+	if !ok {
+		t.Fatal("upgrade failed")
+	}
+	c.A = 6
+	h.ReadUnlock()
+	h.ReadLock()
+	if got := h.Deref(o).A; got != 6 {
+		t.Fatalf("upgraded write lost: got %d, want 6", got)
+	}
+	h.ReadUnlock()
+}
+
+// TestFig3SnapshotOrdering reproduces Figure 3's semantics: a reader that
+// entered before a removal still sees the removed node; a reader that
+// entered after does not.
+func TestFig3SnapshotOrdering(t *testing.T) {
+	d := newTestDomain(t, DefaultOptions())
+	// list: head -> a -> b -> c
+	c := NewObject(payload{A: 3})
+	b := NewObject(payload{A: 2, Next: c})
+	a := NewObject(payload{A: 1, Next: b})
+
+	t1 := d.Register() // early reader
+	t1.ReadLock()
+
+	// Writer removes b.
+	w := d.Register()
+	w.ReadLock()
+	ca, ok := w.TryLock(a)
+	if !ok {
+		t.Fatal("writer TryLock failed")
+	}
+	ca.Next = c
+	if !w.Free(b) {
+		// b must be locked before freeing.
+		cb, ok := w.TryLock(b)
+		if !ok {
+			t.Fatal("lock b failed")
+		}
+		_ = cb
+		if !w.Free(b) {
+			t.Fatal("Free failed after lock")
+		}
+	}
+	w.ReadUnlock()
+
+	t2 := d.Register() // late reader
+	t2.ReadLock()
+
+	// t1 (old snapshot) still traverses b.
+	if got := t1.Deref(t1.Deref(a).Next).A; got != 2 {
+		t.Fatalf("early reader skipped b: got %d, want 2", got)
+	}
+	// t2 (new snapshot) skips b.
+	if got := t2.Deref(t2.Deref(a).Next).A; got != 3 {
+		t.Fatalf("late reader saw b: got %d, want 3", got)
+	}
+	t1.ReadUnlock()
+	t2.ReadUnlock()
+}
+
+// TestFig2MVRLUProceeds: creating a third version does not block, unlike
+// RLU's dual-version scheme (Figure 2).
+func TestFig2MVRLUProceeds(t *testing.T) {
+	d := newTestDomain(t, DefaultOptions())
+	o := NewObject(payload{A: 0})
+
+	// A long-running reader pins the oldest snapshot so no version can
+	// be reclaimed while the writers below stack up versions.
+	pin := d.Register()
+	pin.ReadLock()
+	defer pin.ReadUnlock()
+
+	w := d.Register()
+	for i := 1; i <= 3; i++ {
+		w.ReadLock()
+		c, ok := w.TryLock(o)
+		if !ok {
+			t.Fatalf("TryLock #%d failed; MV-RLU must not block on extra versions", i)
+		}
+		c.A = i
+		w.ReadUnlock()
+	}
+	if got := o.chainLen(); got < 3 {
+		t.Fatalf("expected ≥3 live versions under a pinned reader, got %d", got)
+	}
+	w.ReadLock()
+	if got := w.Deref(o).A; got != 3 {
+		t.Fatalf("latest version = %d, want 3", got)
+	}
+	w.ReadUnlock()
+}
+
+func TestAtomicMultiPointerUpdate(t *testing.T) {
+	d := newTestDomain(t, DefaultOptions())
+	x := NewObject(payload{A: 1})
+	y := NewObject(payload{A: -1})
+	h := d.Register()
+
+	h.ReadLock()
+	cx, _ := h.TryLock(x)
+	cy, _ := h.TryLock(y)
+	cx.A = 2
+	cy.A = -2
+
+	// A snapshot taken mid-write-set must see both old values.
+	r := d.Register()
+	r.ReadLock()
+	if r.Deref(x).A+r.Deref(y).A != 0 {
+		t.Fatal("partial write set visible")
+	}
+	r.ReadUnlock()
+
+	h.ReadUnlock()
+
+	r.ReadLock()
+	if r.Deref(x).A != 2 || r.Deref(y).A != -2 {
+		t.Fatal("write set not fully visible after commit")
+	}
+	r.ReadUnlock()
+}
+
+func TestFreeBlocksFutureLocks(t *testing.T) {
+	d := newTestDomain(t, DefaultOptions())
+	o := NewObject(payload{A: 1})
+	h := d.Register()
+	h.ReadLock()
+	if _, ok := h.TryLock(o); !ok {
+		t.Fatal("lock failed")
+	}
+	if !h.Free(o) {
+		t.Fatal("Free failed")
+	}
+	h.ReadUnlock()
+
+	if !o.Freed() {
+		t.Fatal("freed flag not set after commit")
+	}
+	h.ReadLock()
+	if _, ok := h.TryLock(o); ok {
+		t.Fatal("TryLock succeeded on freed object")
+	}
+	h.Abort()
+}
+
+func TestFreeRequiresLock(t *testing.T) {
+	d := newTestDomain(t, DefaultOptions())
+	o := NewObject(payload{})
+	h := d.Register()
+	h.ReadLock()
+	if h.Free(o) {
+		t.Fatal("Free must fail without holding the lock")
+	}
+	h.ReadUnlock()
+}
+
+func TestAbortAfterFreeRollsBack(t *testing.T) {
+	d := newTestDomain(t, DefaultOptions())
+	o := NewObject(payload{})
+	h := d.Register()
+	h.ReadLock()
+	h.TryLock(o)
+	h.Free(o)
+	h.Abort()
+	if o.Freed() {
+		t.Fatal("aborted free took effect")
+	}
+	h.ReadLock()
+	if _, ok := h.TryLock(o); !ok {
+		t.Fatal("object unusable after aborted free")
+	}
+	h.Abort()
+}
+
+func TestExecuteRetries(t *testing.T) {
+	d := newTestDomain(t, DefaultOptions())
+	o := NewObject(payload{})
+	h1, h2 := d.Register(), d.Register()
+
+	h1.ReadLock()
+	h1.TryLock(o) // hold the lock
+
+	done := make(chan struct{})
+	attempted := make(chan struct{})
+	go func() {
+		defer close(done)
+		attempts := 0
+		h2.Execute(func(h *Thread[payload]) bool {
+			attempts++
+			c, ok := h.TryLock(o)
+			if attempts == 1 {
+				close(attempted)
+				if ok {
+					t.Error("TryLock succeeded while lock was held")
+				}
+			}
+			if !ok {
+				return false // abort & retry
+			}
+			c.A = 10
+			return true
+		})
+		if attempts < 2 {
+			t.Error("Execute did not retry")
+		}
+	}()
+
+	<-attempted
+	h1.ReadUnlock()
+	<-done
+	h2.ReadLock()
+	if got := h2.Deref(o).A; got != 10 {
+		t.Fatalf("Execute result = %d, want 10", got)
+	}
+	h2.ReadUnlock()
+}
+
+func TestPanicsOutsideCriticalSection(t *testing.T) {
+	d := newTestDomain(t, DefaultOptions())
+	h := d.Register()
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s outside CS did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("ReadUnlock", func() { h.ReadUnlock() })
+	mustPanic("Abort", func() { h.Abort() })
+	mustPanic("TryLock", func() { h.TryLock(NewObject(payload{})) })
+	h.ReadLock()
+	mustPanic("nested ReadLock", func() { h.ReadLock() })
+	h.ReadUnlock()
+}
+
+func TestWritebackAndReclaim(t *testing.T) {
+	opts := DefaultOptions()
+	opts.LogSlots = 64
+	d := newTestDomain(t, opts)
+	o := NewObject(payload{})
+	h := d.Register()
+
+	for i := 1; i <= 200; i++ {
+		h.ReadLock()
+		c, ok := h.TryLock(o)
+		if !ok {
+			t.Fatalf("TryLock failed at iteration %d (log should recycle)", i)
+		}
+		c.A = i
+		h.ReadUnlock()
+	}
+	// The log (64 slots) survived 200 writes: reclamation works.
+	h.ReadLock()
+	if got := h.Deref(o).A; got != 200 {
+		t.Fatalf("final value %d, want 200", got)
+	}
+	h.ReadUnlock()
+	s := d.Stats()
+	if s.Reclaimed == 0 || s.Writebacks == 0 {
+		t.Fatalf("expected reclamation activity, got %+v", s)
+	}
+}
+
+func TestWritebackPreservesValue(t *testing.T) {
+	opts := DefaultOptions()
+	opts.LogSlots = 16
+	d := newTestDomain(t, opts)
+	o := NewObject(payload{A: 1})
+	h := d.Register()
+	h.ReadLock()
+	c, _ := h.TryLock(o)
+	c.A = 77
+	h.ReadUnlock()
+
+	// Force enough churn on other objects to cycle the log and write o
+	// back to its master.
+	spare := NewObject(payload{})
+	for i := 0; i < 100; i++ {
+		h.ReadLock()
+		cc, ok := h.TryLock(spare)
+		if ok {
+			cc.A = i
+		}
+		h.ReadUnlock()
+	}
+	h.ReadLock()
+	if got := h.Deref(o).A; got != 77 {
+		t.Fatalf("value lost across writeback: got %d, want 77", got)
+	}
+	h.ReadUnlock()
+}
+
+func TestLogExhaustionFailsTryLockNotDeadlock(t *testing.T) {
+	opts := DefaultOptions()
+	opts.LogSlots = 8
+	opts.HighCapacity = 1.0
+	d := newTestDomain(t, opts)
+	h := d.Register()
+
+	// One critical section that writes more objects than the log holds
+	// must panic (write set exceeds capacity) rather than hang —
+	// there is nothing to reclaim inside one's own critical section.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized write set should panic")
+		}
+		// Leave the handle in a sane state for Cleanup.
+		if h.InCS() {
+			h.Abort()
+		}
+	}()
+	h.ReadLock()
+	for i := 0; i < 100; i++ {
+		o := NewObject(payload{})
+		if _, ok := h.TryLock(o); !ok {
+			t.Fatal("TryLock failed before capacity panic")
+		}
+	}
+}
+
+func TestSingleCollectorMode(t *testing.T) {
+	opts := DefaultOptions()
+	opts.GCMode = GCSingleCollector
+	opts.LogSlots = 64
+	d := newTestDomain(t, opts)
+	o := NewObject(payload{})
+	h := d.Register()
+	for i := 1; i <= 300; i++ {
+		h.ReadLock()
+		c, ok := h.TryLock(o)
+		if !ok {
+			// The collector may lag; abort and retry.
+			h.Abort()
+			i--
+			continue
+		}
+		c.A = i
+		h.ReadUnlock()
+	}
+	h.ReadLock()
+	if got := h.Deref(o).A; got != 300 {
+		t.Fatalf("final value %d, want 300", got)
+	}
+	h.ReadUnlock()
+}
+
+func TestGlobalClockMode(t *testing.T) {
+	opts := DefaultOptions()
+	opts.ClockMode = ClockGlobal
+	d := newTestDomain(t, opts)
+	o := NewObject(payload{})
+	h := d.Register()
+	for i := 1; i <= 50; i++ {
+		h.ReadLock()
+		c, ok := h.TryLock(o)
+		if !ok {
+			t.Fatalf("TryLock failed under global clock at %d", i)
+		}
+		c.A = i
+		h.ReadUnlock()
+	}
+	h.ReadLock()
+	if got := h.Deref(o).A; got != 50 {
+		t.Fatalf("got %d, want 50", got)
+	}
+	h.ReadUnlock()
+}
+
+func TestStatsAccounting(t *testing.T) {
+	d := newTestDomain(t, DefaultOptions())
+	o := NewObject(payload{})
+	h := d.Register()
+	h.ReadLock()
+	h.TryLock(o)
+	h.ReadUnlock()
+	h.ReadLock()
+	h.TryLock(o)
+	h.Abort()
+	s := d.Stats()
+	if s.Commits != 1 || s.Aborts != 1 {
+		t.Fatalf("commits=%d aborts=%d, want 1/1", s.Commits, s.Aborts)
+	}
+	if got := s.AbortRatio(); got != 0.5 {
+		t.Fatalf("abort ratio %f, want 0.5", got)
+	}
+}

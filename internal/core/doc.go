@@ -1,0 +1,67 @@
+// Package core implements MV-RLU (multi-version read-log-update), the
+// synchronization mechanism of Kim et al., "MV-RLU: Scaling Read-Log-Update
+// with Multi-Versioning" (ASPLOS 2019).
+//
+// # Programming model
+//
+// MV-RLU follows the RLU programming model, which resembles readers-writer
+// locking (paper §2.1). A Domain[T] protects a set of objects of payload
+// type T. Each participating goroutine registers once to obtain a Thread
+// handle and then brackets every operation in a critical section:
+//
+//	h := dom.Register()
+//	h.ReadLock()
+//	cur := h.Deref(node)            // read a consistent snapshot
+//	if c, ok := h.TryLock(node); ok {
+//	        c.Value = 42            // mutate the private copy
+//	        h.ReadUnlock()          // commit: copy becomes visible atomically
+//	} else {
+//	        h.Abort()               // conflict: retry from ReadLock
+//	}
+//
+// There is no unlock: a failed TryLock aborts the whole critical section
+// and the caller re-enters it (Thread.Execute automates the retry loop).
+// All objects locked in one critical section commit atomically, which
+// gives atomic multi-pointer updates — the property that makes doubly
+// linked lists and trees easy under RLU-style programming.
+//
+// Unlike the C implementation, pointers between objects are ordinary Go
+// pointers to masters (*Object[T]); there is no assign_ptr/cmp_ptr because
+// a copy's pointer fields already hold master pointers and Deref performs
+// version selection on every hop.
+//
+// # Multi-versioning
+//
+// Every Object[T] is a master plus a chain of committed copy objects
+// ordered newest→oldest (§3.2). A reader entering a critical section takes
+// a local timestamp and, on each Deref, walks the chain to the newest
+// version whose commit timestamp does not exceed it — a consistent
+// snapshot (snapshot isolation, §2.4). Writers copy the newest version
+// into their per-thread circular log, so a write-write conflict on a
+// doubly-versioned object does not force the synchronous quiescence wait
+// that limits RLU (paper Figure 2); the third, fourth, ... versions simply
+// coexist until garbage collection.
+//
+// # Garbage collection
+//
+// Reclamation is decoupled from the critical path (§3.7): a background
+// grace-period detector broadcasts a reclamation watermark (the minimum
+// local timestamp over threads currently inside a critical section), and
+// every thread reclaims its own log at critical-section boundaries —
+// concurrent autonomous GC. Capacity watermarks (low/high log occupancy)
+// and a dereference watermark (ratio of copy-object to master-object
+// dereferences) decide when collection triggers, so no workload-specific
+// tuning is needed. The newest copy of an object is written back to its
+// master after one grace period and its slot reused after another,
+// exactly Lemmas 1–3 of §4.2 restated over watermarks.
+//
+// # Differences from the C implementation
+//
+// Copy objects live in fixed-capacity per-thread arrays of version slots;
+// "reclaiming" a version advances the circular log's tail and lets the
+// slot be reused, while the memory itself is owned by the Go runtime.
+// Masters and copies are distinct Go types, so the master-vs-copy address
+// check that §5 optimizes is free here. Timestamps come from
+// internal/clock (monotonic clock + ORDO-style uncertainty window, or a
+// global counter for the factor analysis).
+package core

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"mvrlu/internal/clock"
+)
+
+// Domain is an MV-RLU synchronization domain: a clock, a set of registered
+// threads, a grace-period detector, and the reclamation watermark they
+// share. All objects guarded by the same Domain commit and reclaim
+// against the same timeline.
+type Domain[T any] struct {
+	opts Options
+	clk  clock.Clock
+	// boundary is the ORDO uncertainty window of clk (§3.9): added to
+	// commit timestamps, subtracted from reclamation watermarks, and
+	// the minimum unambiguous distance for try_lock ordering checks.
+	boundary uint64
+
+	// threads is a copy-on-write snapshot of registered threads, read
+	// by the watermark scan without locks.
+	threads atomic.Pointer[[]*Thread[T]]
+	mu      sync.Mutex
+	// nextID assigns thread ids; never reused, so a stale pending
+	// version can never be mistaken for the current holder's.
+	nextID int
+
+	// watermark is the broadcast reclamation timestamp: every thread
+	// currently inside a critical section entered at or after it, so
+	// events older than it have no live observers.
+	watermark atomic.Uint64
+
+	// sentinel occupies Object.pending during GC write-back.
+	sentinel *version[T]
+
+	gp     *gpDetector[T]
+	closed atomic.Bool
+}
+
+// NewDomain creates a domain with the given options and starts its
+// grace-period detector. Call Close when done to stop the detector.
+func NewDomain[T any](opts Options) *Domain[T] {
+	opts.sanitize()
+	d := &Domain[T]{opts: opts}
+	switch opts.ClockMode {
+	case ClockGlobal:
+		d.clk = &clock.Global{}
+	default:
+		d.clk = &clock.Hardware{Window: opts.OrdoWindow}
+	}
+	d.boundary = d.clk.Boundary()
+	d.sentinel = &version[T]{owner: -1}
+	empty := make([]*Thread[T], 0)
+	d.threads.Store(&empty)
+	d.gp = newGPDetector(d)
+	d.gp.start()
+	return d
+}
+
+// NewDefaultDomain creates a domain with DefaultOptions.
+func NewDefaultDomain[T any]() *Domain[T] { return NewDomain[T](DefaultOptions()) }
+
+// Close stops the grace-period detector. Threads must have left their
+// critical sections; further use of the domain is undefined.
+func (d *Domain[T]) Close() {
+	if d.closed.CompareAndSwap(false, true) {
+		d.gp.stop()
+	}
+}
+
+// Options returns the domain's (sanitized) configuration.
+func (d *Domain[T]) Options() Options { return d.opts }
+
+// Alloc creates a master object guarded by this domain. Present for
+// symmetry with the paper's API; it is NewObject.
+func (d *Domain[T]) Alloc(data T) *Object[T] { return NewObject(data) }
+
+// Register adds the calling goroutine as an MV-RLU thread and returns its
+// handle. A handle must only be used by one goroutine at a time.
+func (d *Domain[T]) Register() *Thread[T] {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	old := *d.threads.Load()
+	t := newThread(d, d.nextID)
+	d.nextID++
+	next := make([]*Thread[T], len(old)+1)
+	copy(next, old)
+	next[len(old)] = t
+	d.threads.Store(&next)
+	return t
+}
+
+// refreshWatermark recomputes and publishes the reclamation watermark: the
+// minimum local timestamp over threads currently in a critical section
+// (or "now" when all are quiescent), minus the ORDO boundary (Theorem 2:
+// shrink the grace-period timestamp so clock skew cannot reclaim objects
+// still visible to a thread whose clock runs behind). The watermark is
+// monotone.
+func (d *Domain[T]) refreshWatermark() uint64 {
+	// The clock must be read BEFORE scanning the threads: ReadLock's
+	// pin-then-stamp protocol (see Thread.ReadLock) relies on a scan
+	// that misses a pin having drawn its own timestamp earlier than the
+	// reader's.
+	minTS := d.clk.Now()
+	for _, t := range *d.threads.Load() {
+		ts := t.localTS.Load()
+		if ts != 0 && ts < minTS {
+			minTS = ts
+		}
+	}
+	if minTS > d.boundary {
+		minTS -= d.boundary
+	} else {
+		minTS = 0
+	}
+	for {
+		cur := d.watermark.Load()
+		if minTS <= cur {
+			return cur
+		}
+		if d.watermark.CompareAndSwap(cur, minTS) {
+			return minTS
+		}
+	}
+}
+
+// Watermark returns the last broadcast reclamation watermark.
+func (d *Domain[T]) Watermark() uint64 { return d.watermark.Load() }
+
+// Now exposes the domain clock (examples and tests).
+func (d *Domain[T]) Now() uint64 { return d.clk.Now() }

@@ -1,0 +1,325 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDynamicLogOversizedWriteSet: with DynamicLog a single critical
+// section larger than the log must succeed via overflow versions instead
+// of panicking.
+func TestDynamicLogOversizedWriteSet(t *testing.T) {
+	opts := DefaultOptions()
+	opts.LogSlots = 8
+	opts.DynamicLog = true
+	d := NewDomain[payload](opts)
+	defer d.Close()
+	h := d.Register()
+
+	const objects = 64
+	objs := make([]*Object[payload], objects)
+	for i := range objs {
+		objs[i] = NewObject(payload{})
+	}
+	h.ReadLock()
+	for i, o := range objs {
+		c, ok := h.TryLock(o)
+		if !ok {
+			t.Fatalf("TryLock %d failed despite DynamicLog", i)
+		}
+		c.A = i + 1
+	}
+	h.ReadUnlock()
+
+	h.ReadLock()
+	for i, o := range objs {
+		if got := h.Deref(o).A; got != i+1 {
+			t.Fatalf("object %d = %d, want %d", i, got, i+1)
+		}
+	}
+	h.ReadUnlock()
+	if s := d.Stats(); s.OverflowAllocs == 0 {
+		t.Fatal("expected overflow allocations")
+	}
+}
+
+// TestDynamicLogAbortRollsBackOverflow: aborting a write set that spilled
+// into overflow versions must fully unlock and discard.
+func TestDynamicLogAbortRollsBackOverflow(t *testing.T) {
+	opts := DefaultOptions()
+	opts.LogSlots = 8
+	opts.DynamicLog = true
+	d := NewDomain[payload](opts)
+	defer d.Close()
+	h := d.Register()
+
+	const objects = 32
+	objs := make([]*Object[payload], objects)
+	for i := range objs {
+		objs[i] = NewObject(payload{A: 7})
+	}
+	h.ReadLock()
+	for _, o := range objs {
+		c, ok := h.TryLock(o)
+		if !ok {
+			t.Fatal("lock failed")
+		}
+		c.A = 0
+	}
+	h.Abort()
+
+	h.ReadLock()
+	for i, o := range objs {
+		if got := h.Deref(o).A; got != 7 {
+			t.Fatalf("object %d: aborted write visible (%d)", i, got)
+		}
+		if _, ok := h.TryLock(o); !ok {
+			t.Fatalf("object %d still locked after abort", i)
+		}
+	}
+	h.Abort()
+}
+
+// TestDynamicLogConcurrentStress runs the bank-transfer invariant with a
+// tiny log so overflow is constantly exercised concurrently.
+func TestDynamicLogConcurrentStress(t *testing.T) {
+	opts := DefaultOptions()
+	opts.LogSlots = 16
+	opts.DynamicLog = true
+	d := NewDomain[payload](opts)
+	defer d.Close()
+
+	const accounts = 6
+	objs := make([]*Object[payload], accounts)
+	for i := range objs {
+		objs[i] = NewObject(payload{A: 100})
+	}
+	var stop atomic.Bool
+	var bad atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			h := d.Register()
+			i := seed
+			for !stop.Load() {
+				from, to := i%accounts, (i+1+seed)%accounts
+				i++
+				if from == to {
+					continue
+				}
+				h.Execute(func(h *Thread[payload]) bool {
+					cf, ok := h.TryLock(objs[from])
+					if !ok {
+						return false
+					}
+					ct, ok := h.TryLock(objs[to])
+					if !ok {
+						return false
+					}
+					cf.A--
+					ct.A++
+					return true
+				})
+				h.ReadLock()
+				sum := 0
+				for _, o := range objs {
+					sum += h.Deref(o).A
+				}
+				h.ReadUnlock()
+				if sum != accounts*100 {
+					bad.Add(1)
+				}
+			}
+		}(g)
+	}
+	time.Sleep(100 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	if bad.Load() != 0 {
+		t.Fatalf("%d inconsistent snapshots under overflow pressure", bad.Load())
+	}
+}
+
+// TestOrdoWindowAmbiguityAborts: with an injected skew window, a TryLock
+// within the window of the newest commit must fail with an ordering
+// abort (§3.9) and succeed after the window passes.
+func TestOrdoWindowAmbiguityAborts(t *testing.T) {
+	opts := DefaultOptions()
+	opts.OrdoWindow = uint64(200 * time.Microsecond) // generous on any host
+	d := NewDomain[payload](opts)
+	defer d.Close()
+	h := d.Register()
+	o := NewObject(payload{})
+
+	h.ReadLock()
+	if c, ok := h.TryLock(o); !ok {
+		t.Fatal("initial lock failed")
+	} else {
+		c.A = 1
+	}
+	h.ReadUnlock()
+
+	// Immediately relock: local-ts is within the window of the commit.
+	h.ReadLock()
+	_, ok := h.TryLock(o)
+	if ok {
+		t.Fatal("TryLock inside the ORDO window should fail as ambiguous")
+	}
+	h.Abort()
+
+	// After the window elapses the lock must succeed.
+	time.Sleep(300 * time.Microsecond)
+	h.ReadLock()
+	if _, ok := h.TryLock(o); !ok {
+		t.Fatal("TryLock after the window should succeed")
+	}
+	h.ReadUnlock()
+	if s := d.Stats(); s.OrderFails == 0 {
+		t.Fatal("ambiguity abort not counted")
+	}
+}
+
+// TestOrdoWindowSnapshotStillConsistent: the skew window delays
+// visibility (snapshot isolation allows staleness) but must never tear
+// multi-object commits.
+func TestOrdoWindowSnapshotStillConsistent(t *testing.T) {
+	opts := DefaultOptions()
+	opts.OrdoWindow = uint64(50 * time.Microsecond)
+	d := NewDomain[payload](opts)
+	defer d.Close()
+
+	x, y := NewObject(payload{A: 10}), NewObject(payload{A: -10})
+	var stop atomic.Bool
+	var bad atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h := d.Register()
+		for !stop.Load() {
+			h.Execute(func(h *Thread[payload]) bool {
+				cx, ok := h.TryLock(x)
+				if !ok {
+					return false
+				}
+				cy, ok := h.TryLock(y)
+				if !ok {
+					return false
+				}
+				cx.A++
+				cy.A--
+				return true
+			})
+		}
+	}()
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := d.Register()
+			for !stop.Load() {
+				h.ReadLock()
+				sum := h.Deref(x).A + h.Deref(y).A
+				h.ReadUnlock()
+				if sum != 0 {
+					bad.Add(1)
+				}
+			}
+		}()
+	}
+	time.Sleep(80 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	if bad.Load() != 0 {
+		t.Fatalf("%d torn snapshots under skew window", bad.Load())
+	}
+}
+
+// TestWriteSkewAllowedUnderSI demonstrates §2.4: two transactions with
+// overlapping reads and disjoint writes can both commit (write skew),
+// because MV-RLU provides snapshot isolation, not serializability.
+func TestWriteSkewAllowedUnderSI(t *testing.T) {
+	d := newTestDomain(t, DefaultOptions())
+	x, y := NewObject(payload{A: 1}), NewObject(payload{A: 1})
+	h1, h2 := d.Register(), d.Register()
+
+	// Both sections read x+y = 2 (> 1) and each zeroes a different
+	// object. Under serializability one would have to abort.
+	h1.ReadLock()
+	h2.ReadLock()
+	s1 := h1.Deref(x).A + h1.Deref(y).A
+	s2 := h2.Deref(x).A + h2.Deref(y).A
+	if s1 != 2 || s2 != 2 {
+		t.Fatal("setup broken")
+	}
+	c1, ok1 := h1.TryLock(x)
+	c2, ok2 := h2.TryLock(y)
+	if !ok1 || !ok2 {
+		t.Fatal("disjoint locks must not conflict")
+	}
+	c1.A = 0
+	c2.A = 0
+	h1.ReadUnlock()
+	h2.ReadUnlock()
+
+	h1.ReadLock()
+	total := h1.Deref(x).A + h1.Deref(y).A
+	h1.ReadUnlock()
+	if total != 0 {
+		t.Fatalf("expected write skew to commit both (total 0), got %d", total)
+	}
+}
+
+// TestTryLockConstPreventsWriteSkew is §2.4/§7's remedy: locking the
+// read-only object with TryLockConst turns the skew into a write-write
+// conflict, so one of the two sections aborts.
+func TestTryLockConstPreventsWriteSkew(t *testing.T) {
+	d := newTestDomain(t, DefaultOptions())
+	x, y := NewObject(payload{A: 1}), NewObject(payload{A: 1})
+	h1, h2 := d.Register(), d.Register()
+
+	h1.ReadLock()
+	h2.ReadLock()
+	// Each section const-locks what it reads and write-locks what it
+	// changes: h1 reads y, writes x; h2 reads x, writes y.
+	ok1 := h1.TryLockConst(y)
+	if ok1 {
+		if c, ok := h1.TryLock(x); ok {
+			c.A = 0
+		} else {
+			ok1 = false
+		}
+	}
+	ok2 := h2.TryLockConst(x)
+	if ok2 {
+		if c, ok := h2.TryLock(y); ok {
+			c.A = 0
+		} else {
+			ok2 = false
+		}
+	}
+	if ok1 && ok2 {
+		t.Fatal("both skewed sections acquired all locks; const locks did not conflict")
+	}
+	if ok1 {
+		h1.ReadUnlock()
+	} else {
+		h1.Abort()
+	}
+	if ok2 {
+		h2.ReadUnlock()
+	} else {
+		h2.Abort()
+	}
+
+	h1.ReadLock()
+	total := h1.Deref(x).A + h1.Deref(y).A
+	h1.ReadUnlock()
+	if total < 1 {
+		t.Fatalf("invariant x+y>=1 broken (%d): write skew committed", total)
+	}
+}

@@ -1,0 +1,230 @@
+package core
+
+import "runtime"
+
+// allocSlot claims the next slot at the log head (§3.2: per-thread
+// circular log, sequential and prefetcher friendly). When occupancy
+// reaches the high capacity watermark the writer must wait for
+// reclamation (§3.7); unlike the paper's implementation — which blocks,
+// and notes the liveness hazard — allocSlot gives up after a bounded
+// number of attempts and returns nil, making TryLock fail so the caller
+// aborts. Aborting releases this thread's local timestamp, which is what
+// lets the watermark (and therefore reclamation) advance when this thread
+// itself is the oldest reader.
+func (t *Thread[T]) allocSlot() *version[T] {
+	capU := uint64(len(t.log))
+	for attempt := 0; ; attempt++ {
+		if t.headC-t.tail.Load() < t.highSlots {
+			if t.needsGCMu {
+				t.gcMu.Lock()
+			}
+			v := &t.log[t.headC%capU]
+			v.reset()
+			t.headC++
+			t.head.Store(t.headC)
+			if t.needsGCMu {
+				t.gcMu.Unlock()
+			}
+			return v
+		}
+		if !t.d.opts.DynamicLog && t.ws != nil && t.headC-t.wsStart >= t.highSlots {
+			panic("mvrlu: write set exceeds log capacity; increase Options.LogSlots")
+		}
+		t.stats.capacityBlocks++
+		t.d.gp.request()
+		if t.d.opts.GCMode == GCConcurrent {
+			t.d.refreshWatermark()
+			t.collect()
+		}
+		if attempt >= 128 {
+			if t.d.opts.DynamicLog {
+				// Dynamic-log extension (§5's future work): fall
+				// back to a heap-allocated version instead of
+				// failing the TryLock. Overflow versions never
+				// occupy a slot, so they cannot block the tail;
+				// the runtime GC reclaims them once unreferenced.
+				t.stats.overflowAllocs++
+				v := &version[T]{owner: t.id, overflow: true}
+				v.commitTS.Store(infinity)
+				return v
+			}
+			return nil
+		}
+		runtime.Gosched()
+	}
+}
+
+// popSlot rewinds the head over a just-allocated slot whose TryLock
+// failed to install. Overflow versions are not in the log; dropping the
+// reference is enough.
+func (t *Thread[T]) popSlot(v *version[T]) {
+	if v.overflow {
+		return
+	}
+	if t.needsGCMu {
+		t.gcMu.Lock()
+	}
+	t.headC--
+	t.head.Store(t.headC)
+	if t.needsGCMu {
+		t.gcMu.Unlock()
+	}
+}
+
+// maybeGC runs at critical-section boundaries (ReadLock, ReadUnlock,
+// Abort — §3.7) and triggers collection of this thread's own log when a
+// watermark fires: capacity (log occupancy ≥ low watermark) or
+// dereference (too many dereferences walking version chains instead of
+// reading masters). This is the autonomous part of the design: the two
+// triggers adapt the GC frequency to the workload with no manual tuning.
+func (t *Thread[T]) maybeGC() {
+	if t.d.opts.GCMode != GCConcurrent {
+		return
+	}
+	size := t.headC - t.tail.Load()
+	if size == 0 {
+		if t.derefCopy+t.derefMaster > 0 {
+			t.resetDerefCounters()
+		}
+		return
+	}
+	trigger := t.lowSlots > 0 && size >= t.lowSlots
+	if !trigger && t.d.opts.DerefRatio > 0 {
+		total := t.derefCopy + t.derefMaster
+		if total >= 512 && float64(t.derefCopy) > t.d.opts.DerefRatio*float64(total) {
+			trigger = true
+			t.stats.derefTriggers++
+		}
+	}
+	if !trigger {
+		return
+	}
+	t.d.gp.request()
+	t.d.refreshWatermark()
+	t.collect()
+	t.resetDerefCounters()
+}
+
+// collect is one garbage-collection pass over this thread's own log
+// (§3.7). Phase 1 advances the tail over the prefix the watermark proves
+// invisible (the circular log reclaims strictly in order, §5). Phase 2
+// scans the remainder and writes back every chain head older than the
+// watermark to its master, pruning the chains (Lemma 2) — so the *next*
+// pass can reclaim them all (Lemma 3). Writing back only the
+// tail-blocking version would drain the log one slot per pass and starve
+// writers under workloads with many cold, singly-written objects.
+func (t *Thread[T]) collect() {
+	t.gcMu.Lock()
+	defer t.gcMu.Unlock()
+	w := t.d.watermark.Load()
+	capU := uint64(len(t.log))
+	head := t.head.Load()
+	tail := t.tail.Load()
+	n := uint64(0)
+	for tail+n < head {
+		v := &t.log[(tail+n)%capU]
+		if !t.reclaimable(v, w) {
+			break
+		}
+		n++
+	}
+	if n > 0 {
+		t.tail.Store(tail + n)
+		t.stats.reclaimed += n
+	}
+	// Bound the write-back scan so a boundary-time GC pass costs O(1)
+	// amortized rather than O(log occupancy); the budget is large enough
+	// that reclamation outruns allocation (one slot is allocated per
+	// TryLock, up to wbBudget are made reclaimable per pass). Skip the
+	// scan entirely while the watermark has not advanced: only commits
+	// older than the watermark are eligible, and those were already
+	// attempted at this watermark — rescanning would make a pinned
+	// watermark (e.g. a descheduled reader) cost O(budget) per boundary.
+	if w > t.lastWbW {
+		t.lastWbW = w
+		const wbBudget = 256
+		limit := head
+		if tail+n+wbBudget < limit {
+			limit = tail + n + wbBudget
+		}
+		for i := tail + n; i < limit; i++ {
+			v := &t.log[i%capU]
+			cts := v.commitTS.Load()
+			if cts == infinity {
+				break // uncommitted: current write set reached
+			}
+			if cts < w && !v.constLock && !v.freeing &&
+				v.supersededTS.Load() == 0 && v.prunedTS.Load() == 0 &&
+				v.obj.copy.Load() == v {
+				t.writeback(v)
+			}
+		}
+	}
+	t.stats.gcRuns++
+}
+
+// resetDerefCounters folds the dereference-watermark counters into the
+// lifetime totals and restarts the sampling window. Owner-only: the
+// counters are plain fields of the owner's hot path, so the single
+// collector must never touch them (collect itself is safe to share —
+// everything it reads is atomic or gcMu-guarded).
+func (t *Thread[T]) resetDerefCounters() {
+	t.stats.derefs += t.derefMaster + t.derefCopy
+	t.derefMaster, t.derefCopy = 0, 0
+}
+
+// reclaimable decides whether a version slot can be reused under
+// watermark w, encoding Lemmas 1–3 of §4.2:
+//
+//   - superseded before w: every reader that could select it (or traverse
+//     through it) began before its successor committed, hence before w,
+//     and has exited (Lemma 1);
+//   - pruned before w: every reader that could have loaded the chain
+//     containing it began before the prune, hence before w (Lemma 3);
+//   - const-locked: never published, dead at commit;
+//   - final version of a freed object committed before w: the free's
+//     unlink committed with it, so no reader that began after w can reach
+//     the object at all.
+//
+// A still-newest version older than w is written back to its master and
+// pruned now (Lemma 2) and reclaimed by a later pass.
+func (t *Thread[T]) reclaimable(v *version[T], w uint64) bool {
+	cts := v.commitTS.Load()
+	if cts == infinity {
+		return false // uncommitted: current write set reached
+	}
+	if v.constLock {
+		return true
+	}
+	if v.freeing && cts < w {
+		return true
+	}
+	if s := v.supersededTS.Load(); s != 0 && s < w {
+		return true
+	}
+	if p := v.prunedTS.Load(); p != 0 && p < w {
+		return true
+	}
+	return false
+}
+
+// writeback copies a chain head (one grace period old, Lemma 2) into its
+// master and prunes the chain. The pending word doubles as the paper's
+// reclamation barrier: holding the sentinel excludes both concurrent
+// write-backs of the same master and writer commits that would push a new
+// head mid-write-back.
+func (t *Thread[T]) writeback(v *version[T]) {
+	o := v.obj
+	if !o.pending.CompareAndSwap(nil, t.d.sentinel) {
+		return // locked by a writer or another write-back; retry later
+	}
+	if o.copy.Load() == v {
+		o.master = v.data
+		o.copy.Store(nil)
+		// Stamp the prune after unlinking: any reader that can
+		// still reach v loaded the chain before this timestamp.
+		v.prunedTS.Store(t.d.clk.Now() + t.d.boundary)
+		t.stats.writebacks++
+	}
+	o.pending.Store(nil)
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// gpDetector is the background grace-period detector (§3.7): it broadcasts
+// the reclamation watermark periodically or on demand, decoupling
+// quiescence detection from thread operation — the property that removes
+// RLU's rlu_synchronize from the critical path. In GCSingleCollector mode
+// it also performs all log reclamation itself (the "+multi-version"
+// factor-analysis configuration, whose single collector bottlenecks
+// write-intensive workloads).
+type gpDetector[T any] struct {
+	d    *Domain[T]
+	kick chan struct{}
+	quit chan struct{}
+	wg   sync.WaitGroup
+}
+
+func newGPDetector[T any](d *Domain[T]) *gpDetector[T] {
+	return &gpDetector[T]{
+		d:    d,
+		kick: make(chan struct{}, 1),
+		quit: make(chan struct{}),
+	}
+}
+
+func (g *gpDetector[T]) start() {
+	g.wg.Add(1)
+	go g.run()
+}
+
+func (g *gpDetector[T]) stop() {
+	close(g.quit)
+	g.wg.Wait()
+}
+
+// request asks for an immediate watermark broadcast (on-demand detection).
+// Non-blocking; coalesces with an in-flight request.
+func (g *gpDetector[T]) request() {
+	select {
+	case g.kick <- struct{}{}:
+	default:
+	}
+}
+
+func (g *gpDetector[T]) run() {
+	defer g.wg.Done()
+	ticker := time.NewTicker(g.d.opts.GPInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-g.quit:
+			return
+		case <-g.kick:
+		case <-ticker.C:
+		}
+		g.d.refreshWatermark()
+		if g.d.opts.GCMode == GCSingleCollector {
+			for _, t := range *g.d.threads.Load() {
+				t.collect()
+			}
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+import "fmt"
+
+// This file holds verification and lifecycle support: invariant checking
+// used by the test harnesses, and thread deregistration.
+
+// CheckObject validates the structural invariants of the reader-visible
+// prefix of one object's version chain. It must only be called while the
+// caller can rule out concurrent commits to o (tests call it at
+// quiescence). It verifies, down to the first version older than the
+// reclamation watermark:
+//
+//   - the prefix is acyclic and of sane length,
+//   - commit timestamps strictly decrease from head onwards (§3.2's
+//     newest-to-oldest invariant),
+//   - no chain entry in the prefix is still marked uncommitted, and
+//   - the pending slot, if set, belongs to a registered thread or is the
+//     domain's write-back sentinel.
+//
+// The walk stops at the watermark frontier deliberately: every active
+// and future reader selects a version at or above the first one whose
+// commit timestamp is below the watermark, so `older` pointers beyond it
+// may legally reference reclaimed (reused) slots — the same argument
+// that makes slot reuse safe (§4.2) makes them unverifiable.
+func (d *Domain[T]) CheckObject(o *Object[T]) error {
+	if o == nil {
+		return fmt.Errorf("mvrlu: CheckObject(nil)")
+	}
+	w := d.refreshWatermark()
+	const maxChain = 1 << 20
+	prev := infinity
+	n := 0
+	for v := o.copy.Load(); v != nil; v = v.older {
+		n++
+		if n > maxChain {
+			return fmt.Errorf("mvrlu: chain exceeds %d entries (cycle?)", maxChain)
+		}
+		ts := v.commitTS.Load()
+		if ts == infinity {
+			return fmt.Errorf("mvrlu: uncommitted version in chain at depth %d", n)
+		}
+		if ts >= prev {
+			return fmt.Errorf("mvrlu: chain not newest-to-oldest at depth %d (%d after %d)", n, ts, prev)
+		}
+		prev = ts
+		if ts < w {
+			break // below the watermark: unreachable by any reader
+		}
+	}
+	if p := o.pending.Load(); p != nil && p != d.sentinel {
+		if p.owner < 0 {
+			return fmt.Errorf("mvrlu: pending owner %d invalid", p.owner)
+		}
+	}
+	return nil
+}
+
+// Unregister removes the thread from the domain's watermark scan. The
+// thread must be outside any critical section; the handle is unusable
+// afterwards. Versions still in the departed thread's log stay valid —
+// Go's garbage collector owns the memory — but are no longer written
+// back or reclaimed, so chains they head shrink only when superseded by
+// live writers.
+func (t *Thread[T]) Unregister() {
+	if t.inCS {
+		panic("mvrlu: Unregister inside critical section")
+	}
+	d := t.d
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	old := *d.threads.Load()
+	next := make([]*Thread[T], 0, len(old))
+	for _, th := range old {
+		if th != t {
+			next = append(next, th)
+		}
+	}
+	d.threads.Store(&next)
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestUnregisterStopsPinningWatermark(t *testing.T) {
+	d := newTestDomain(t, DefaultOptions())
+	o := NewObject(payload{})
+
+	// A registered-but-idle thread does not pin; only active sections
+	// do. Verify that unregistering a handle whose goroutine is gone
+	// lets reclamation continue for others.
+	h1 := d.Register()
+	h2 := d.Register()
+	h1.Unregister()
+
+	for i := 0; i < 50; i++ {
+		h2.ReadLock()
+		if c, ok := h2.TryLock(o); ok {
+			c.A = i
+		}
+		h2.ReadUnlock()
+	}
+	h2.ReadLock()
+	if got := h2.Deref(o).A; got != 49 {
+		t.Fatalf("value %d, want 49", got)
+	}
+	h2.ReadUnlock()
+}
+
+func TestUnregisterInsideCSPanics(t *testing.T) {
+	d := newTestDomain(t, DefaultOptions())
+	h := d.Register()
+	h.ReadLock()
+	defer h.ReadUnlock()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unregister inside a critical section must panic")
+		}
+	}()
+	h.Unregister()
+}
+
+func TestIDsNeverReused(t *testing.T) {
+	d := newTestDomain(t, DefaultOptions())
+	h1 := d.Register()
+	id1 := h1.ID()
+	h1.Unregister()
+	h2 := d.Register()
+	if h2.ID() == id1 {
+		t.Fatalf("thread id %d reused after unregister", id1)
+	}
+}
+
+func TestCheckObjectHealthy(t *testing.T) {
+	d := newTestDomain(t, DefaultOptions())
+	o := NewObject(payload{})
+	h := d.Register()
+	pin := d.Register()
+	pin.ReadLock()
+	for i := 0; i < 5; i++ {
+		h.ReadLock()
+		if c, ok := h.TryLock(o); ok {
+			c.A = i
+		}
+		h.ReadUnlock()
+	}
+	if err := d.CheckObject(o); err != nil {
+		t.Fatalf("healthy chain rejected: %v", err)
+	}
+	pin.ReadUnlock()
+	if err := d.CheckObject(nil); err == nil {
+		t.Fatal("nil object accepted")
+	}
+}
+
+func TestCheckObjectAfterChurn(t *testing.T) {
+	opts := DefaultOptions()
+	opts.LogSlots = 64
+	d := newTestDomain(t, opts)
+	objs := make([]*Object[payload], 8)
+	for i := range objs {
+		objs[i] = NewObject(payload{A: i})
+	}
+	h := d.Register()
+	for round := 0; round < 200; round++ {
+		h.ReadLock()
+		if c, ok := h.TryLock(objs[round%len(objs)]); ok {
+			c.B = round
+		}
+		h.ReadUnlock()
+	}
+	// Let write-backs settle.
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) && h.LogOccupancy() > 0 {
+		h.ReadLock()
+		h.ReadUnlock()
+		time.Sleep(50 * time.Microsecond)
+	}
+	for i, o := range objs {
+		if err := d.CheckObject(o); err != nil {
+			t.Fatalf("object %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import "time"
+
+// GCMode selects who reclaims per-thread logs. The modes form the middle
+// rungs of the paper's factor analysis (§6.3).
+type GCMode int
+
+const (
+	// GCConcurrent is full MV-RLU: every thread reclaims its own log at
+	// critical-section boundaries, guided by the broadcast watermark.
+	GCConcurrent GCMode = iota
+	// GCSingleCollector delegates all log reclamation to the
+	// grace-period detector goroutine ("+multi-version" rung: one GC
+	// thread reclaims invisible versions and becomes the bottleneck
+	// under write-intensive load).
+	GCSingleCollector
+)
+
+// ClockMode selects the timestamp source (§3.9).
+type ClockMode int
+
+const (
+	// ClockOrdo uses the scalable hardware-style clock with an ORDO
+	// uncertainty window.
+	ClockOrdo ClockMode = iota
+	// ClockGlobal uses one shared atomic counter — the global logical
+	// clock whose cache-line contention the paper's "+ORDO" factor rung
+	// removes.
+	ClockGlobal
+)
+
+// Options configure a Domain. The zero value is not valid; use
+// DefaultOptions as a base.
+type Options struct {
+	// LogSlots is the per-thread circular log capacity in versions.
+	// The paper configures 512 KB logs; slots are the Go analogue.
+	LogSlots int
+
+	// HighCapacity is the fraction of log occupancy at which a writer
+	// blocks until reclamation frees space (paper: 75%).
+	HighCapacity float64
+
+	// LowCapacity is the fraction of log occupancy that triggers
+	// garbage collection at the next critical-section boundary
+	// (paper: 50%). Zero disables the capacity watermark trigger
+	// ("+concurrent GC" rung: collect only when the log is full).
+	LowCapacity float64
+
+	// DerefRatio is the copy-object dereference ratio that triggers
+	// garbage collection (paper: 50%): when more than this fraction of
+	// dereferences since the last collection had to walk into version
+	// chains instead of reading masters, collecting (which writes
+	// newest copies back to masters and prunes chains) pays off.
+	// Zero disables the dereference watermark.
+	DerefRatio float64
+
+	// GCMode selects concurrent autonomous GC or a single collector.
+	GCMode GCMode
+
+	// ClockMode selects the timestamp source.
+	ClockMode ClockMode
+
+	// GPInterval is the period of the background grace-period
+	// detector's watermark broadcast.
+	GPInterval time.Duration
+
+	// DynamicLog enables the extension the paper leaves as future work
+	// (§5: "our current implementation statically allocates the log and
+	// is prone to blocking"): when a thread's circular log is exhausted
+	// and reclamation is pinned by its own critical section, versions
+	// are allocated individually from the heap instead of failing the
+	// TryLock. Overflow versions are reclaimed by the runtime GC rather
+	// than slot reuse, so they never block the log tail.
+	DynamicLog bool
+
+	// OrdoWindow injects an artificial ORDO uncertainty window (in
+	// clock ticks) into the scalable clock, exercising the §3.9
+	// ambiguity machinery: commit timestamps are advanced by the
+	// window, reclamation watermarks retarded by it, and TryLock fails
+	// when the newest commit is within the window of the local
+	// timestamp. The default 0 models this substrate's single
+	// monotonic clock (no inter-core skew). Ignored under ClockGlobal.
+	OrdoWindow uint64
+}
+
+// DefaultOptions mirror the paper's configuration (§6.1): watermarks at
+// 75%/50%/50% and concurrent autonomous GC over the ORDO clock.
+func DefaultOptions() Options {
+	return Options{
+		LogSlots:     4096,
+		HighCapacity: 0.75,
+		LowCapacity:  0.50,
+		DerefRatio:   0.50,
+		GCMode:       GCConcurrent,
+		ClockMode:    ClockOrdo,
+		GPInterval:   200 * time.Microsecond,
+	}
+}
+
+func (o *Options) sanitize() {
+	if o.LogSlots <= 0 {
+		o.LogSlots = 4096
+	}
+	if o.HighCapacity <= 0 || o.HighCapacity > 1 {
+		o.HighCapacity = 0.75
+	}
+	if o.LowCapacity < 0 || o.LowCapacity > o.HighCapacity {
+		o.LowCapacity = 0
+	}
+	if o.DerefRatio < 0 || o.DerefRatio >= 1 {
+		o.DerefRatio = 0
+	}
+	if o.GPInterval <= 0 {
+		o.GPInterval = 200 * time.Microsecond
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSanitizeDefaults(t *testing.T) {
+	var o Options // zero value: everything out of range
+	o.sanitize()
+	if o.LogSlots <= 0 {
+		t.Fatal("LogSlots not defaulted")
+	}
+	if o.HighCapacity <= 0 || o.HighCapacity > 1 {
+		t.Fatalf("HighCapacity %f", o.HighCapacity)
+	}
+	if o.GPInterval <= 0 {
+		t.Fatal("GPInterval not defaulted")
+	}
+}
+
+func TestSanitizeClampsLowAboveHigh(t *testing.T) {
+	o := DefaultOptions()
+	o.HighCapacity = 0.5
+	o.LowCapacity = 0.9 // low above high is meaningless
+	o.sanitize()
+	if o.LowCapacity != 0 {
+		t.Fatalf("LowCapacity %f, want disabled", o.LowCapacity)
+	}
+}
+
+func TestSanitizeRejectsBadDerefRatio(t *testing.T) {
+	o := DefaultOptions()
+	o.DerefRatio = 1.5
+	o.sanitize()
+	if o.DerefRatio != 0 {
+		t.Fatalf("DerefRatio %f, want disabled", o.DerefRatio)
+	}
+	o = DefaultOptions()
+	o.DerefRatio = -1
+	o.sanitize()
+	if o.DerefRatio != 0 {
+		t.Fatal("negative DerefRatio accepted")
+	}
+}
+
+func TestDomainWithDegenerateOptionsWorks(t *testing.T) {
+	o := Options{LogSlots: -5, HighCapacity: 7, LowCapacity: -1, DerefRatio: 9, GPInterval: -time.Second}
+	d := NewDomain[payload](o)
+	defer d.Close()
+	h := d.Register()
+	obj := NewObject(payload{A: 1})
+	h.ReadLock()
+	c, ok := h.TryLock(obj)
+	if !ok {
+		t.Fatal("lock failed under sanitized degenerate options")
+	}
+	c.A = 2
+	h.ReadUnlock()
+	h.ReadLock()
+	if h.Deref(obj).A != 2 {
+		t.Fatal("write lost")
+	}
+	h.ReadUnlock()
+}
+
+func TestHighCapacityOneIsUsable(t *testing.T) {
+	o := DefaultOptions()
+	o.LogSlots = 16
+	o.HighCapacity = 1.0
+	o.LowCapacity = 0
+	o.DerefRatio = 0
+	d := NewDomain[payload](o)
+	defer d.Close()
+	h := d.Register()
+	obj := NewObject(payload{})
+	// Must be able to fill the entire log and recycle it.
+	for i := 0; i < 100; i++ {
+		h.ReadLock()
+		if c, ok := h.TryLock(obj); ok {
+			c.A = i
+		} else {
+			h.Abort()
+			continue
+		}
+		h.ReadUnlock()
+	}
+	h.ReadLock()
+	if got := h.Deref(obj).A; got != 99 {
+		t.Fatalf("final %d, want 99", got)
+	}
+	h.ReadUnlock()
+}
+
+func TestReadOnlySectionsCountNothing(t *testing.T) {
+	d := newTestDomain(t, DefaultOptions())
+	h := d.Register()
+	for i := 0; i < 10; i++ {
+		h.ReadLock()
+		h.ReadUnlock()
+	}
+	s := d.Stats()
+	if s.Commits != 0 || s.Aborts != 0 {
+		t.Fatalf("read-only sections counted: %+v", s)
+	}
+}
+
+func TestStatsReadAmplificationEdge(t *testing.T) {
+	var s Stats
+	if got := s.ReadAmplification(); got != 1 {
+		t.Fatalf("zero-deref amplification %f, want 1", got)
+	}
+	s = Stats{Derefs: 10, ChainSteps: 5}
+	if got := s.ReadAmplification(); got != 1.5 {
+		t.Fatalf("amplification %f, want 1.5", got)
+	}
+}

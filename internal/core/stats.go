@@ -1,0 +1,92 @@
+package core
+
+// threadStats are owner-written plain counters. They are aggregated by
+// Domain.Stats, which is only meaningful while no thread is inside a
+// critical section (e.g. after a benchmark run joins its workers).
+type threadStats struct {
+	commits        uint64
+	aborts         uint64
+	lockFails      uint64 // TryLock lost to a concurrent lock holder
+	orderFails     uint64 // write-latest-version-only / ORDO ambiguity
+	logFails       uint64 // log exhausted while this thread pinned GC
+	capacityBlocks uint64 // allocSlot waits at the high watermark
+	derefTriggers  uint64 // GCs triggered by the dereference watermark
+	gcRuns         uint64
+	reclaimed      uint64
+	writebacks     uint64
+	derefs         uint64
+	chainSteps     uint64 // versions inspected across all derefs
+	overflowAllocs uint64 // heap-allocated versions (DynamicLog)
+}
+
+// Stats is a point-in-time aggregate of a domain's counters. Collect it
+// only while all threads are quiescent (outside critical sections).
+type Stats struct {
+	Commits        uint64 // committed critical sections with writes
+	Aborts         uint64 // aborted critical sections
+	LockFails      uint64 // TryLock failures against a held lock
+	OrderFails     uint64 // write-latest-version-only or ORDO ambiguity failures
+	LogFails       uint64 // TryLock failures due to log exhaustion
+	CapacityBlocks uint64 // high-watermark waits in allocSlot
+	DerefTriggers  uint64 // collections triggered by the dereference watermark
+	GCRuns         uint64 // log collection passes
+	Reclaimed      uint64 // version slots reclaimed
+	Writebacks     uint64 // chain heads written back to masters
+	Derefs         uint64 // Deref calls
+	ChainSteps     uint64 // version-chain entries inspected by Deref
+	OverflowAllocs uint64 // heap-allocated overflow versions (DynamicLog)
+}
+
+// AbortRatio returns aborts / (aborts + commits), the quantity Figure 5
+// plots. Read-only sections count as neither.
+func (s Stats) AbortRatio() float64 {
+	total := s.Aborts + s.Commits
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Aborts) / float64(total)
+}
+
+// ReadAmplification returns the average number of memory objects
+// inspected per dereference (Table 1's read-amplification column:
+// 1 + 1/V in MV-RLU terms — each dereference reads the chain head plus,
+// occasionally, older versions).
+func (s Stats) ReadAmplification() float64 {
+	if s.Derefs == 0 {
+		return 1
+	}
+	return float64(s.ChainSteps+s.Derefs) / float64(s.Derefs)
+}
+
+// Stats aggregates all registered threads' counters. Owner-written
+// fields require the threads to be outside critical sections; the
+// GC-pass fields (gcRuns, reclaimed, writebacks) are read under each
+// thread's gcMu because in GCSingleCollector mode the detector keeps
+// collecting even while users are quiescent.
+func (d *Domain[T]) Stats() Stats {
+	var s Stats
+	for _, t := range *d.threads.Load() {
+		s.Commits += t.stats.commits
+		s.Aborts += t.stats.aborts
+		s.LockFails += t.stats.lockFails
+		s.OrderFails += t.stats.orderFails
+		s.LogFails += t.stats.logFails
+		s.CapacityBlocks += t.stats.capacityBlocks
+		s.DerefTriggers += t.stats.derefTriggers
+		s.Derefs += t.stats.derefs + t.derefMaster + t.derefCopy
+		s.ChainSteps += t.stats.chainSteps
+		s.OverflowAllocs += t.stats.overflowAllocs
+		t.gcMu.Lock()
+		s.GCRuns += t.stats.gcRuns
+		s.Reclaimed += t.stats.reclaimed
+		s.Writebacks += t.stats.writebacks
+		t.gcMu.Unlock()
+	}
+	return s
+}
+
+// LogOccupancy returns the number of live slots in the thread's log
+// (testing and diagnostics).
+func (t *Thread[T]) LogOccupancy() int {
+	return int(t.head.Load() - t.tail.Load())
+}

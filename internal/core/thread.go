@@ -1,0 +1,366 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Thread is a per-goroutine MV-RLU handle: a local timestamp, a circular
+// log of copy objects, and the current write set. Handles are not safe
+// for concurrent use by multiple goroutines (each goroutine registers its
+// own), but a handle may migrate between goroutines as long as uses do
+// not overlap.
+type Thread[T any] struct {
+	d  *Domain[T]
+	id int
+
+	// localTS is the critical-section entry timestamp, 0 when
+	// quiescent. Published for the grace-period detector's watermark
+	// scan; ts caches it for the owner's fast path.
+	localTS atomic.Uint64
+	ts      uint64
+	inCS    bool
+
+	// log is the circular array of version slots. head and tail are
+	// monotonically increasing counters (slot = counter mod capacity);
+	// the owner allocates at head, reclamation advances tail.
+	log   []version[T]
+	headC uint64 // owner's cached head
+	head  atomic.Uint64
+	tail  atomic.Uint64
+	gcMu  sync.Mutex // serializes reclamation (owner vs single collector)
+	// needsGCMu: in GCSingleCollector mode the collector goroutine
+	// scans this log, so the owner's slot initialization and rollback
+	// also take gcMu.
+	needsGCMu bool
+
+	highSlots uint64
+	lowSlots  uint64
+
+	// wset is the current critical section's write set; ws its header.
+	wset    []*version[T]
+	ws      *wsHeader
+	wsStart uint64 // head counter at write-set begin
+
+	// Dereference-watermark accounting (owner-only).
+	derefMaster uint64
+	derefCopy   uint64
+	// lastWbW is the watermark at which the write-back scan last ran.
+	lastWbW uint64
+
+	stats threadStats
+}
+
+func newThread[T any](d *Domain[T], id int) *Thread[T] {
+	t := &Thread[T]{
+		d:         d,
+		id:        id,
+		log:       make([]version[T], d.opts.LogSlots),
+		needsGCMu: d.opts.GCMode == GCSingleCollector,
+	}
+	t.highSlots = uint64(d.opts.HighCapacity * float64(d.opts.LogSlots))
+	if t.highSlots == 0 || t.highSlots > uint64(d.opts.LogSlots) {
+		t.highSlots = uint64(d.opts.LogSlots)
+	}
+	t.lowSlots = uint64(d.opts.LowCapacity * float64(d.opts.LogSlots))
+	for i := range t.log {
+		t.log[i].commitTS.Store(infinity)
+		t.log[i].owner = id
+	}
+	return t
+}
+
+// ReadLock enters an MV-RLU critical section (§2.1): it records the local
+// timestamp that fixes this section's snapshot.
+func (t *Thread[T]) ReadLock() {
+	if t.inCS {
+		panic("mvrlu: nested ReadLock")
+	}
+	t.maybeGC()
+	// Publish a conservative pin BEFORE reading the clock. Without it
+	// there is a window in which the grace-period detector sees this
+	// thread as quiescent and advances the watermark past the timestamp
+	// about to be taken — violating the "every active reader's local-ts
+	// ≥ watermark" invariant that makes slot reuse safe. With the pin,
+	// a detector scan either misses it (then its watermark derives from
+	// a clock read that precedes ours) or sees it and cannot advance.
+	t.localTS.Store(1)
+	ts := t.d.clk.Now()
+	t.ts = ts
+	t.localTS.Store(ts)
+	t.inCS = true
+}
+
+// ReadUnlock leaves the critical section, committing the write set if one
+// exists (§3.5).
+func (t *Thread[T]) ReadUnlock() {
+	if !t.inCS {
+		panic("mvrlu: ReadUnlock outside critical section")
+	}
+	if len(t.wset) > 0 {
+		t.commit()
+	}
+	t.inCS = false
+	t.localTS.Store(0)
+	t.maybeGC()
+}
+
+// Abort discards the critical section: it unlocks every object in the
+// write set and rewinds the log tail over the write set's slots (§3.6).
+// Call it after a failed TryLock, then re-enter with ReadLock.
+func (t *Thread[T]) Abort() {
+	if !t.inCS {
+		panic("mvrlu: Abort outside critical section")
+	}
+	t.rollback()
+	t.inCS = false
+	t.localTS.Store(0)
+	t.stats.aborts++
+	t.maybeGC()
+}
+
+// Execute runs fn inside a critical section, retrying on abort. fn should
+// return false when a TryLock failed (Execute aborts and re-enters) and
+// true to commit. It is the idiomatic retry loop of the RLU model.
+func (t *Thread[T]) Execute(fn func(*Thread[T]) bool) {
+	for {
+		t.ReadLock()
+		if fn(t) {
+			t.ReadUnlock()
+			return
+		}
+		t.Abort()
+		// Yield before retrying: an immediate retry on few cores can
+		// starve the conflicting lock holder.
+		runtime.Gosched()
+	}
+}
+
+// Deref returns the payload version of o that belongs to this critical
+// section's snapshot (§3.3): the newest committed version with commit-ts
+// ≤ local-ts, or the master when no such version exists. The returned
+// pointer is valid for reading until ReadUnlock/Abort; treat it as
+// read-only (use TryLock to write). Deref(nil) returns nil so pointer
+// chains terminate naturally.
+func (t *Thread[T]) Deref(o *Object[T]) *T {
+	if o == nil {
+		return nil
+	}
+	v := o.copy.Load()
+	if v == nil {
+		// Fast path (§5): the master is the only version. Keeping
+		// this to one pointer load and one local counter is what the
+		// paper's master/copy address-space split buys; here the
+		// types differ, so the check is the nil chain head.
+		t.derefMaster++
+		return &o.master
+	}
+	ts := t.ts
+	for v != nil {
+		t.stats.chainSteps++
+		if v.resolveTS() <= ts {
+			t.derefCopy++
+			return &v.data
+		}
+		v = v.older
+	}
+	t.derefMaster++
+	return &o.master
+}
+
+// TryLock locks o for writing and returns a private copy of its newest
+// payload (§3.4). On failure the caller must Abort the critical section
+// and retry. Locking the same object twice in one critical section
+// returns the same copy.
+func (t *Thread[T]) TryLock(o *Object[T]) (*T, bool) {
+	v, ok := t.tryLock(o, false)
+	if !ok {
+		return nil, false
+	}
+	return &v.data, true
+}
+
+// TryLockConst locks o without intending to modify it (§2.1). It
+// generates the write-write conflicts that let callers rule out write
+// skew (e.g. hand-over-hand locking a predecessor), but the copy is never
+// published, so it is cheaper than TryLock at commit and GC time.
+func (t *Thread[T]) TryLockConst(o *Object[T]) bool {
+	_, ok := t.tryLock(o, true)
+	return ok
+}
+
+func (t *Thread[T]) tryLock(o *Object[T], constLock bool) (*version[T], bool) {
+	if !t.inCS {
+		panic("mvrlu: TryLock outside critical section")
+	}
+	if o == nil || o.freed.Load() {
+		return nil, false
+	}
+	if p := o.pending.Load(); p != nil {
+		// Already locked. By us in this critical section: reuse the
+		// copy (upgrading a const lock to a real one is allowed —
+		// the copy exists either way).
+		if p.owner == t.id && p.ws == t.ws && t.ws != nil {
+			if !constLock {
+				p.constLock = false
+			}
+			return p, true
+		}
+		t.stats.lockFails++
+		return nil, false
+	}
+
+	v := t.allocSlot()
+	if v == nil {
+		// Log exhausted and reclamation is pinned by our own
+		// critical section; fail so the caller aborts, which lets
+		// the watermark advance (see allocSlot).
+		t.stats.logFails++
+		return nil, false
+	}
+	if t.ws == nil {
+		t.ws = &wsHeader{}
+		t.ws.commitTS.Store(infinity)
+		t.wsStart = t.headC
+		if !v.overflow {
+			t.wsStart-- // the slot just allocated belongs to this set
+		}
+	}
+	v.obj = o
+	v.ws = t.ws
+	v.constLock = constLock
+
+	// Acquire the object lock first (§3.4): only with p-pending held is
+	// the chain head stable, so the newest version must be read after
+	// this CAS — reading it before would let a concurrent commit slip
+	// a newer version in and this copy would silently drop it from the
+	// chain (a lost update).
+	if !o.pending.CompareAndSwap(nil, v) {
+		t.popSlot(v)
+		t.stats.lockFails++
+		return nil, false
+	}
+
+	// Write-latest-version-only rule plus the ORDO ambiguity check
+	// (§3.4, §3.9): local-ts must exceed the newest commit-ts by more
+	// than the uncertainty window.
+	head := o.copy.Load()
+	var src *T
+	if head != nil {
+		hts := head.resolveTS()
+		if t.ts < hts+t.d.boundary {
+			o.pending.Store(nil)
+			t.popSlot(v)
+			t.stats.orderFails++
+			return nil, false
+		}
+		src = &head.data
+		v.older = head
+		v.olderTS = hts
+	} else {
+		src = &o.master
+	}
+	v.data = *src
+
+	t.wset = append(t.wset, v)
+	return v, true
+}
+
+// Free frees the object locked by this critical section (§3.8): after the
+// commit the object is marked freed and stays locked forever, so no later
+// writer can resurrect it. The caller must have unlinked it from the data
+// structure in the same critical section (that is what makes it invisible
+// to new readers); old snapshots keep reading its versions until the
+// grace period expires. Returns false if o is not locked by this thread
+// in this critical section.
+func (t *Thread[T]) Free(o *Object[T]) bool {
+	if !t.inCS || o == nil {
+		return false
+	}
+	p := o.pending.Load()
+	if p == nil || p.owner != t.id || p.ws != t.ws || t.ws == nil {
+		return false
+	}
+	p.freeing = true
+	return true
+}
+
+// commit publishes the write set (§3.5): push pending copies to their
+// chains, publish the write-set commit timestamp (linearization point),
+// duplicate it into the copy headers, mark superseded predecessors for
+// reclamation, and unlock the masters (freed masters stay locked).
+func (t *Thread[T]) commit() {
+	for _, v := range t.wset {
+		if v.constLock {
+			continue
+		}
+		// v.older was fixed at TryLock; holding pending guarantees
+		// the chain head has not moved since.
+		v.obj.copy.Store(v)
+	}
+	cts := t.d.clk.Now() + t.d.boundary
+	t.ws.commitTS.Store(cts)
+	for _, v := range t.wset {
+		v.commitTS.Store(cts)
+		if v.constLock {
+			// Never published: reusable as soon as the slot
+			// reaches the tail.
+			v.supersededTS.Store(1)
+			v.obj.pending.Store(nil)
+			continue
+		}
+		if v.older != nil {
+			v.older.supersededTS.Store(cts)
+		}
+		if v.freeing {
+			v.obj.freed.Store(true)
+			// Leave pending set: the object stays locked.
+			continue
+		}
+		v.obj.pending.Store(nil)
+	}
+	t.stats.commits++
+	t.endWriteSet()
+}
+
+// rollback implements abort (§3.6): unlock write-set objects and rewind
+// the log head over their slots.
+func (t *Thread[T]) rollback() {
+	for i := len(t.wset) - 1; i >= 0; i-- {
+		v := t.wset[i]
+		if v.obj.pending.Load() == v {
+			v.obj.pending.Store(nil)
+		}
+	}
+	if len(t.wset) > 0 {
+		if t.needsGCMu {
+			t.gcMu.Lock()
+		}
+		t.headC = t.wsStart
+		t.head.Store(t.headC)
+		if t.needsGCMu {
+			t.gcMu.Unlock()
+		}
+	}
+	t.endWriteSet()
+}
+
+func (t *Thread[T]) endWriteSet() {
+	t.ws = nil
+	t.wset = t.wset[:0]
+}
+
+// ID returns the thread's registration index within its domain.
+func (t *Thread[T]) ID() int { return t.id }
+
+// Domain returns the owning domain.
+func (t *Thread[T]) Domain() *Domain[T] { return t.d }
+
+// InCS reports whether the handle is inside a critical section.
+func (t *Thread[T]) InCS() bool { return t.inCS }
+
+func (t *Thread[T]) String() string {
+	return fmt.Sprintf("mvrlu.Thread(%d)", t.id)
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// tortureConfig is one randomized configuration of the torture harness.
+type tortureConfig struct {
+	name     string
+	opts     func() Options
+	threads  int
+	objects  int
+	duration time.Duration
+}
+
+// TestTorture is an rcutorture-style harness: random mixes of snapshot
+// scans, multi-object transfers, frees with re-insertion, and pinned
+// long readers, across engine configurations (tiny logs, single
+// collector, global clock, skew windows, dynamic logs). Invariants:
+//
+//  1. conservation — the sum over all live accounts is constant in every
+//     snapshot;
+//  2. identity — object identity fields are never corrupted by slot
+//     reuse;
+//  3. progress — every worker completes operations (no deadlock or
+//     livelock).
+func TestTorture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("torture harness skipped in -short mode")
+	}
+	base := func() Options { return DefaultOptions() }
+	tiny := func() Options {
+		o := DefaultOptions()
+		o.LogSlots = 48
+		o.GPInterval = 50 * time.Microsecond
+		return o
+	}
+	single := func() Options {
+		o := DefaultOptions()
+		o.GCMode = GCSingleCollector
+		o.LogSlots = 256
+		return o
+	}
+	global := func() Options {
+		o := DefaultOptions()
+		o.ClockMode = ClockGlobal
+		return o
+	}
+	skew := func() Options {
+		o := DefaultOptions()
+		o.OrdoWindow = uint64(20 * time.Microsecond)
+		return o
+	}
+	dyn := func() Options {
+		o := DefaultOptions()
+		o.LogSlots = 32
+		o.DynamicLog = true
+		return o
+	}
+	configs := []tortureConfig{
+		{"default", base, 6, 24, 250 * time.Millisecond},
+		{"tiny-log", tiny, 4, 12, 250 * time.Millisecond},
+		{"single-collector", single, 4, 16, 250 * time.Millisecond},
+		{"global-clock", global, 4, 16, 200 * time.Millisecond},
+		{"skew-window", skew, 4, 16, 200 * time.Millisecond},
+		{"dynamic-log", dyn, 4, 12, 250 * time.Millisecond},
+	}
+	for _, cfg := range configs {
+		t.Run(cfg.name, func(t *testing.T) {
+			torture(t, cfg)
+		})
+	}
+}
+
+func torture(t *testing.T, cfg tortureConfig) {
+	const unit = 1000
+	d := NewDomain[payload](cfg.opts())
+	defer d.Close()
+
+	// The object graph is a registry of slots; each slot holds an
+	// account object that may be freed and replaced (exercising Free +
+	// slot reuse). Slot replacement swaps the registry pointer inside
+	// the same critical section that frees the old object; the registry
+	// itself is an MV-RLU object, so swaps are atomic with the free.
+	registry := make([]*Object[payload], cfg.objects)
+	for i := range registry {
+		acct := NewObject(payload{A: unit, B: i})
+		holder := NewObject(payload{Next: acct})
+		registry[i] = holder
+	}
+
+	total := cfg.objects * unit
+	var (
+		stop       atomic.Bool
+		violations atomic.Int64
+		opsDone    [16]atomic.Uint64
+		wg         sync.WaitGroup
+	)
+
+	for g := 0; g < cfg.threads; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			h := d.Register()
+			rng := rand.New(rand.NewSource(int64(id)*2654435761 + 1))
+			for !stop.Load() {
+				switch rng.Intn(10) {
+				case 0, 1, 2, 3: // snapshot audit
+					h.ReadLock()
+					sum := 0
+					ok := true
+					for _, holder := range registry {
+						acct := h.Deref(holder).Next
+						if acct == nil {
+							ok = false
+							break
+						}
+						sum += h.Deref(acct).A
+					}
+					h.ReadUnlock()
+					if ok && sum != total {
+						violations.Add(1)
+					}
+				case 4, 5, 6, 7: // transfer between two random accounts
+					i, j := rng.Intn(cfg.objects), rng.Intn(cfg.objects)
+					if i == j {
+						continue
+					}
+					amt := rng.Intn(50) + 1
+					h.Execute(func(h *Thread[payload]) bool {
+						ai := h.Deref(registry[i]).Next
+						aj := h.Deref(registry[j]).Next
+						ci, ok := h.TryLock(ai)
+						if !ok {
+							return false
+						}
+						cj, ok := h.TryLock(aj)
+						if !ok {
+							return false
+						}
+						ci.A -= amt
+						cj.A += amt
+						return true
+					})
+				case 8: // free + replace an account, preserving balance
+					i := rng.Intn(cfg.objects)
+					h.Execute(func(h *Thread[payload]) bool {
+						holder := registry[i]
+						old := h.Deref(holder).Next
+						co, ok := h.TryLock(old)
+						if !ok {
+							return false
+						}
+						ch, ok := h.TryLock(holder)
+						if !ok {
+							return false
+						}
+						ch.Next = NewObject(payload{A: co.A, B: co.B})
+						h.Free(old)
+						return true
+					})
+				default: // pinned reader: long section with re-reads
+					h.ReadLock()
+					idx := rng.Intn(cfg.objects)
+					acct := h.Deref(registry[idx]).Next
+					first := h.Deref(acct).A
+					for k := 0; k < 32; k++ {
+						if h.Deref(acct).A != first {
+							violations.Add(1) // snapshot must be stable
+						}
+					}
+					h.ReadUnlock()
+				}
+				opsDone[id%len(opsDone)].Add(1)
+			}
+		}(g)
+	}
+	time.Sleep(cfg.duration)
+	stop.Store(true)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("torture workers hung")
+	}
+
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d invariant violations", v)
+	}
+	for g := 0; g < cfg.threads; g++ {
+		if opsDone[g%len(opsDone)].Load() == 0 {
+			t.Fatalf("worker %d made no progress", g)
+		}
+	}
+	// Ground truth after quiescence.
+	h := d.Register()
+	h.ReadLock()
+	sum := 0
+	for i, holder := range registry {
+		acct := h.Deref(holder).Next
+		p := h.Deref(acct)
+		sum += p.A
+		if p.B != i {
+			t.Fatalf("identity of account %d corrupted: %d", i, p.B)
+		}
+	}
+	h.ReadUnlock()
+	if sum != total {
+		t.Fatalf("final balance %d, want %d", sum, total)
+	}
+}

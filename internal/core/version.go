@@ -1,0 +1,92 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"mvrlu/internal/clock"
+)
+
+// infinity marks an uncommitted version (§3.2: commit-ts is ∞ until the
+// write set commits).
+const infinity = clock.Infinity
+
+// wsHeader is a write-set header (§3.2). All copy objects created in one
+// critical section share a header; publishing its commit timestamp is the
+// linearization point of the commit (§3.5), which makes the whole write
+// set visible atomically even before the per-version timestamps are
+// duplicated into the copy headers.
+type wsHeader struct {
+	commitTS atomic.Uint64
+}
+
+// version is a copy object. Versions live in per-thread circular logs and
+// their slots are reused once reclamation proves no reader can reach them.
+type version[T any] struct {
+	// commitTS is the version's commit timestamp, infinity until the
+	// owning write set commits. It duplicates ws.commitTS to save a
+	// pointer chase during chain traversal (§3.2).
+	commitTS atomic.Uint64
+	// ws is the write-set header, consulted when commitTS is still
+	// infinity mid-commit.
+	ws *wsHeader
+	// obj is the master this version belongs to.
+	obj *Object[T]
+	// older links to the previous committed version (newest→oldest
+	// chain, §3.2). Written while holding the object lock, before the
+	// version is published; immutable afterwards.
+	older *version[T]
+	// olderTS caches older's commit timestamp (§3.2).
+	olderTS uint64
+	// supersededTS is the commit timestamp of the next newer version,
+	// set by that version's committer; 0 while this version is the
+	// newest. A version whose supersededTS is below the reclamation
+	// watermark is invisible (Lemma 1) and its slot reusable.
+	supersededTS atomic.Uint64
+	// prunedTS is set after the version, as chain head, was written
+	// back to its master and unlinked (Lemma 2); once it falls below
+	// the watermark no reader holds the chain that contained it
+	// (Lemma 3) and the slot is reusable.
+	prunedTS atomic.Uint64
+	// owner is the registering index of the thread whose log holds the
+	// version, or -1 for the domain's write-back sentinel.
+	owner int
+	// overflow marks a heap-allocated version (Options.DynamicLog):
+	// it lives outside the circular log and is reclaimed by the
+	// runtime GC instead of slot reuse.
+	overflow bool
+	// constLock marks a try_lock_const copy (§2.1): it conflicts like a
+	// write but is never pushed to the chain and its slot is reusable
+	// immediately after commit.
+	constLock bool
+	// freeing marks the final version of an object being freed (§3.8);
+	// at commit the master is marked freed and stays locked forever.
+	freeing bool
+	// data is the private copy of the payload.
+	data T
+}
+
+// resolveTS returns the version's effective commit timestamp, falling back
+// to the write-set header while the duplicate is still infinity (§3.2).
+func (v *version[T]) resolveTS() uint64 {
+	ts := v.commitTS.Load()
+	if ts == infinity && v.ws != nil {
+		ts = v.ws.commitTS.Load()
+	}
+	return ts
+}
+
+// reset prepares a slot for reuse. Safe only once reclamation has proved
+// no reader can reach the version.
+func (v *version[T]) reset() {
+	v.commitTS.Store(infinity)
+	v.ws = nil
+	v.obj = nil
+	v.older = nil
+	v.olderTS = 0
+	v.supersededTS.Store(0)
+	v.prunedTS.Store(0)
+	v.constLock = false
+	v.freeing = false
+	var zero T
+	v.data = zero
+}

@@ -1,0 +1,49 @@
+// Package db is a DBx1000-style in-memory transaction-processing
+// substrate (Yu et al., VLDB 2014): one table of fixed-width rows, a
+// YCSB workload driver, and pluggable concurrency-control schemes. It
+// reproduces Figure 9 of the MV-RLU paper, which compares MV-RLU as a
+// database concurrency control against HEKATON (MVCC), SILO (OCC), and
+// TICTOC (timestamp OCC) on YCSB with Zipf-0.7 access skew.
+package db
+
+// FieldsPerRow matches DBx1000's YCSB schema of ten 8-byte fields.
+const FieldsPerRow = 10
+
+// Row is a fixed-width table row.
+type Row struct {
+	Fields [FieldsPerRow]uint64
+}
+
+// Tx is one transaction's handle. The usage protocol is
+// Begin → (Read|Update)* → Commit, with Abort on any failed step.
+// Handles belong to one goroutine.
+type Tx interface {
+	// Begin starts a transaction.
+	Begin()
+	// Read copies row key into out; false means the transaction must
+	// abort (conflict), not that the row is missing — keys are always
+	// valid in this benchmark.
+	Read(key int, out *Row) bool
+	// Update applies fn to a private copy of row key, to be published
+	// at commit; false means the transaction must abort.
+	Update(key int, fn func(*Row)) bool
+	// Commit publishes the transaction; false means validation failed
+	// and the transaction rolled back.
+	Commit() bool
+	// Abort rolls back an in-flight transaction.
+	Abort()
+}
+
+// Engine is a table plus a concurrency-control scheme.
+type Engine interface {
+	// Name identifies the scheme ("mvrlu", "hekaton", "silo", "tictoc").
+	Name() string
+	// Records returns the table size.
+	Records() int
+	// Session registers the calling goroutine.
+	Session() Tx
+	// Stats returns cumulative (commits, aborts); quiescent use only.
+	Stats() (commits, aborts uint64)
+	// Close stops background machinery.
+	Close()
+}

@@ -1,0 +1,92 @@
+package db
+
+import (
+	"sync/atomic"
+
+	"mvrlu/internal/core"
+)
+
+// MVRLUEngine uses MV-RLU as the database concurrency control, exactly as
+// §6.4 describes the DBx1000 port: records are MV-RLU objects, every
+// transaction is a read_lock/read_unlock critical section, and updates
+// create record versions via try_lock that commit atomically at
+// read_unlock. Isolation is snapshot isolation.
+type MVRLUEngine struct {
+	d    *core.Domain[Row]
+	rows []*core.Object[Row]
+	// readOnly counts committed read-only transactions (the domain
+	// only counts write commits).
+	readOnly atomic.Uint64
+}
+
+// NewMVRLUEngine builds a table of records rows.
+func NewMVRLUEngine(records int, opts core.Options) *MVRLUEngine {
+	e := &MVRLUEngine{
+		d:    core.NewDomain[Row](opts),
+		rows: make([]*core.Object[Row], records),
+	}
+	for i := range e.rows {
+		var r Row
+		for f := range r.Fields {
+			r.Fields[f] = uint64(i)
+		}
+		e.rows[i] = core.NewObject(r)
+	}
+	return e
+}
+
+// Name implements Engine.
+func (e *MVRLUEngine) Name() string { return "mvrlu" }
+
+// Records implements Engine.
+func (e *MVRLUEngine) Records() int { return len(e.rows) }
+
+// Close implements Engine.
+func (e *MVRLUEngine) Close() { e.d.Close() }
+
+// Stats implements Engine.
+func (e *MVRLUEngine) Stats() (uint64, uint64) {
+	s := e.d.Stats()
+	return s.Commits + e.readOnly.Load(), s.Aborts
+}
+
+// Session implements Engine.
+func (e *MVRLUEngine) Session() Tx {
+	return &mvrluTx{e: e, h: e.d.Register()}
+}
+
+type mvrluTx struct {
+	e     *MVRLUEngine
+	h     *core.Thread[Row]
+	wrote bool
+}
+
+func (t *mvrluTx) Begin() {
+	t.h.ReadLock()
+	t.wrote = false
+}
+
+func (t *mvrluTx) Read(key int, out *Row) bool {
+	*out = *t.h.Deref(t.e.rows[key])
+	return true
+}
+
+func (t *mvrluTx) Update(key int, fn func(*Row)) bool {
+	c, ok := t.h.TryLock(t.e.rows[key])
+	if !ok {
+		return false
+	}
+	fn(c)
+	t.wrote = true
+	return true
+}
+
+func (t *mvrluTx) Commit() bool {
+	if !t.wrote {
+		t.e.readOnly.Add(1)
+	}
+	t.h.ReadUnlock()
+	return true
+}
+
+func (t *mvrluTx) Abort() { t.h.Abort() }

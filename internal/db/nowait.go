@@ -1,0 +1,198 @@
+package db
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// NoWaitEngine is NO_WAIT two-phase locking, the classic pessimistic
+// scheme from the DBx1000 study the paper builds on (Yu et al., VLDB
+// 2014): readers take shared locks, writers exclusive locks, and any
+// conflict aborts immediately (no waiting — hence no deadlocks).
+// It is not part of the paper's Figure 9 quartet but rounds out the
+// substrate with the lock-based end of the design space.
+type NoWaitEngine struct {
+	rows    []nwRecord
+	commits atomic.Uint64
+	aborts  atomic.Uint64
+}
+
+// nwRecord packs a reader count and writer bit into one lock word.
+type nwRecord struct {
+	// lock is writerBit<<63 | readerCount.
+	lock atomic.Uint64
+	data Row
+	_    [40]byte
+}
+
+const nwWriter = uint64(1) << 63
+
+// NewNoWaitEngine builds a table of records rows.
+func NewNoWaitEngine(records int) *NoWaitEngine {
+	e := &NoWaitEngine{rows: make([]nwRecord, records)}
+	for i := range e.rows {
+		for f := range e.rows[i].data.Fields {
+			e.rows[i].data.Fields[f] = uint64(i)
+		}
+	}
+	return e
+}
+
+// Name implements Engine.
+func (e *NoWaitEngine) Name() string { return "nowait" }
+
+// Records implements Engine.
+func (e *NoWaitEngine) Records() int { return len(e.rows) }
+
+// Close implements Engine.
+func (e *NoWaitEngine) Close() {}
+
+// Stats implements Engine.
+func (e *NoWaitEngine) Stats() (uint64, uint64) {
+	return e.commits.Load(), e.aborts.Load()
+}
+
+// Session implements Engine.
+func (e *NoWaitEngine) Session() Tx { return &nwTx{e: e} }
+
+type nwLockKind uint8
+
+const (
+	nwShared nwLockKind = iota
+	nwExclusive
+)
+
+type nwHeld struct {
+	key  int
+	kind nwLockKind
+}
+
+type nwWrite struct {
+	key  int
+	data Row
+}
+
+type nwTx struct {
+	e      *NoWaitEngine
+	held   []nwHeld
+	writes []nwWrite
+}
+
+func (t *nwTx) Begin() {
+	t.held = t.held[:0]
+	t.writes = t.writes[:0]
+}
+
+func (t *nwTx) holding(key int) (int, bool) {
+	for i := range t.held {
+		if t.held[i].key == key {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// lockShared acquires a read lock or aborts (NO_WAIT).
+func (t *nwTx) lockShared(key int) bool {
+	if _, ok := t.holding(key); ok {
+		return true // shared or exclusive: both allow reading
+	}
+	rec := &t.e.rows[key]
+	for {
+		cur := rec.lock.Load()
+		if cur&nwWriter != 0 {
+			return false
+		}
+		if rec.lock.CompareAndSwap(cur, cur+1) {
+			t.held = append(t.held, nwHeld{key, nwShared})
+			return true
+		}
+	}
+}
+
+// lockExclusive acquires (or upgrades to) a write lock or aborts.
+func (t *nwTx) lockExclusive(key int) bool {
+	rec := &t.e.rows[key]
+	if i, ok := t.holding(key); ok {
+		if t.held[i].kind == nwExclusive {
+			return true
+		}
+		// Upgrade: we hold one shared reference; succeed only if we
+		// are the sole reader.
+		if rec.lock.CompareAndSwap(1, nwWriter) {
+			t.held[i].kind = nwExclusive
+			return true
+		}
+		return false
+	}
+	if rec.lock.CompareAndSwap(0, nwWriter) {
+		t.held = append(t.held, nwHeld{key, nwExclusive})
+		return true
+	}
+	return false
+}
+
+func (t *nwTx) Read(key int, out *Row) bool {
+	if !t.lockShared(key) {
+		return false
+	}
+	if w := t.findWrite(key); w != nil {
+		*out = w.data
+		return true
+	}
+	*out = t.e.rows[key].data // safe: shared lock held
+	return true
+}
+
+func (t *nwTx) findWrite(key int) *nwWrite {
+	for i := range t.writes {
+		if t.writes[i].key == key {
+			return &t.writes[i]
+		}
+	}
+	return nil
+}
+
+func (t *nwTx) Update(key int, fn func(*Row)) bool {
+	if !t.lockExclusive(key) {
+		return false
+	}
+	if w := t.findWrite(key); w != nil {
+		fn(&w.data)
+		return true
+	}
+	w := nwWrite{key: key, data: t.e.rows[key].data}
+	fn(&w.data)
+	t.writes = append(t.writes, w)
+	return true
+}
+
+func (t *nwTx) Commit() bool {
+	for i := range t.writes {
+		t.e.rows[t.writes[i].key].data = t.writes[i].data
+	}
+	t.release()
+	t.e.commits.Add(1)
+	return true
+}
+
+func (t *nwTx) Abort() {
+	t.release()
+	t.e.aborts.Add(1)
+}
+
+func (t *nwTx) release() {
+	// Release in key order for determinism (not required for
+	// correctness — NO_WAIT cannot deadlock).
+	sort.Slice(t.held, func(i, j int) bool { return t.held[i].key < t.held[j].key })
+	for _, h := range t.held {
+		rec := &t.e.rows[h.key]
+		if h.kind == nwExclusive {
+			rec.lock.Store(0)
+		} else {
+			rec.lock.Add(^uint64(0)) // readers--
+		}
+	}
+	t.held = t.held[:0]
+	t.writes = t.writes[:0]
+}

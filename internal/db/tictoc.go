@@ -1,0 +1,221 @@
+package db
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// TicTocEngine is TicToc-style timestamp OCC (Yu et al., SIGMOD 2016):
+// records carry a write timestamp (wts) and a read-validity timestamp
+// (rts); transactions compute their commit timestamp from the footprint
+// instead of a global counter, and commit-time validation can extend a
+// record's rts instead of aborting — "time traveling". Like Silo it
+// aborts under heavy write contention, but with fewer false conflicts
+// (Figure 9's TICTOC curve tracks SILO closely, slightly ahead).
+type TicTocEngine struct {
+	rows    []ttRecord
+	commits atomic.Uint64
+	aborts  atomic.Uint64
+}
+
+type ttRecord struct {
+	// word is lockbit | wts<<1.
+	word atomic.Uint64
+	rts  atomic.Uint64
+	data atomic.Pointer[Row]
+	_    [32]byte
+}
+
+// NewTicTocEngine builds a table of records rows.
+func NewTicTocEngine(records int) *TicTocEngine {
+	e := &TicTocEngine{rows: make([]ttRecord, records)}
+	for i := range e.rows {
+		var r Row
+		for f := range r.Fields {
+			r.Fields[f] = uint64(i)
+		}
+		e.rows[i].data.Store(&r)
+	}
+	return e
+}
+
+// Name implements Engine.
+func (e *TicTocEngine) Name() string { return "tictoc" }
+
+// Records implements Engine.
+func (e *TicTocEngine) Records() int { return len(e.rows) }
+
+// Close implements Engine.
+func (e *TicTocEngine) Close() {}
+
+// Stats implements Engine.
+func (e *TicTocEngine) Stats() (uint64, uint64) {
+	return e.commits.Load(), e.aborts.Load()
+}
+
+// Session implements Engine.
+func (e *TicTocEngine) Session() Tx { return &ttTx{e: e} }
+
+type ttRead struct {
+	key int
+	wts uint64
+	rts uint64
+}
+
+type ttWrite struct {
+	key  int
+	data Row
+	rts  uint64 // rts observed at read time
+}
+
+type ttTx struct {
+	e      *TicTocEngine
+	reads  []ttRead
+	writes []ttWrite
+}
+
+func (t *ttTx) Begin() {
+	t.reads = t.reads[:0]
+	t.writes = t.writes[:0]
+}
+
+// readRecord returns a consistent (wts, rts, data) triple.
+func (t *ttTx) readRecord(key int) (wts, rts uint64, d *Row, ok bool) {
+	rec := &t.e.rows[key]
+	for spin := 0; spin < 64; spin++ {
+		w1 := rec.word.Load()
+		if w1&1 == 1 {
+			continue
+		}
+		d = rec.data.Load()
+		r := rec.rts.Load()
+		if rec.word.Load() == w1 {
+			return w1 >> 1, r, d, true
+		}
+	}
+	return 0, 0, nil, false
+}
+
+func (t *ttTx) findWrite(key int) *ttWrite {
+	for i := range t.writes {
+		if t.writes[i].key == key {
+			return &t.writes[i]
+		}
+	}
+	return nil
+}
+
+func (t *ttTx) Read(key int, out *Row) bool {
+	if w := t.findWrite(key); w != nil {
+		*out = w.data
+		return true
+	}
+	wts, rts, d, ok := t.readRecord(key)
+	if !ok {
+		return false
+	}
+	*out = *d
+	t.reads = append(t.reads, ttRead{key: key, wts: wts, rts: rts})
+	return true
+}
+
+func (t *ttTx) Update(key int, fn func(*Row)) bool {
+	if w := t.findWrite(key); w != nil {
+		fn(&w.data)
+		return true
+	}
+	wts, rts, d, ok := t.readRecord(key)
+	if !ok {
+		return false
+	}
+	t.reads = append(t.reads, ttRead{key: key, wts: wts, rts: rts})
+	w := ttWrite{key: key, data: *d, rts: rts}
+	fn(&w.data)
+	t.writes = append(t.writes, w)
+	return true
+}
+
+func (t *ttTx) Commit() bool {
+	if len(t.writes) == 0 && len(t.reads) == 0 {
+		t.e.commits.Add(1)
+		return true
+	}
+	// Lock the write set in key order.
+	sort.Slice(t.writes, func(i, j int) bool { return t.writes[i].key < t.writes[j].key })
+	locked := 0
+	for i := range t.writes {
+		rec := &t.e.rows[t.writes[i].key]
+		cur := rec.word.Load()
+		if cur&1 == 1 || !rec.word.CompareAndSwap(cur, cur|1) {
+			t.unlock(locked, 0)
+			t.e.aborts.Add(1)
+			return false
+		}
+		locked++
+	}
+	// Compute the commit timestamp from the footprint.
+	commitTS := uint64(0)
+	for i := range t.writes {
+		rec := &t.e.rows[t.writes[i].key]
+		if r := rec.rts.Load() + 1; r > commitTS {
+			commitTS = r
+		}
+	}
+	for _, r := range t.reads {
+		if r.wts > commitTS {
+			commitTS = r.wts
+		}
+	}
+	// Validate the read set at commitTS, extending rts where possible.
+	for _, r := range t.reads {
+		if r.rts >= commitTS {
+			continue // already valid at commitTS
+		}
+		rec := &t.e.rows[r.key]
+		cur := rec.word.Load()
+		if cur>>1 != r.wts {
+			t.unlock(locked, 0)
+			t.e.aborts.Add(1)
+			return false // overwritten since we read
+		}
+		if cur&1 == 1 && t.findWrite(r.key) == nil {
+			t.unlock(locked, 0)
+			t.e.aborts.Add(1)
+			return false // locked by another committer
+		}
+		// Extend the read validity to commitTS.
+		for {
+			rts := rec.rts.Load()
+			if rts >= commitTS || rec.rts.CompareAndSwap(rts, commitTS) {
+				break
+			}
+		}
+	}
+	// Install writes at commitTS.
+	for i := range t.writes {
+		rec := &t.e.rows[t.writes[i].key]
+		d := t.writes[i].data
+		rec.data.Store(&d)
+		rec.rts.Store(commitTS)
+	}
+	t.unlock(locked, commitTS)
+	t.e.commits.Add(1)
+	return true
+}
+
+func (t *ttTx) unlock(n int, commitTS uint64) {
+	for i := 0; i < n; i++ {
+		rec := &t.e.rows[t.writes[i].key]
+		if commitTS == 0 {
+			rec.word.Store(rec.word.Load() &^ 1)
+		} else {
+			rec.word.Store(commitTS << 1)
+		}
+	}
+}
+
+func (t *ttTx) Abort() {
+	t.e.aborts.Add(1)
+	t.reads = t.reads[:0]
+	t.writes = t.writes[:0]
+}

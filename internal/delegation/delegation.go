@@ -1,0 +1,123 @@
+// Package delegation implements ffwd-style delegation (Roghanchi,
+// Eriksson, Basu — SOSP 2017), the delegation/combining row of the
+// paper's Table 1: a dedicated server goroutine owns the data structure
+// and executes every operation sequentially; clients publish requests
+// into padded per-client slots and spin for the response. Synchronization
+// costs collapse to one cache-line transfer per direction — and the
+// single-threaded server is the scalability ceiling the paper calls out
+// ("their performance is bounded by single core performance").
+package delegation
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// slot states.
+const (
+	slotEmpty uint32 = iota
+	slotRequest
+	slotResponse
+)
+
+// slot is one client's mailbox, padded to its own cache line pair.
+type slot[Req, Resp any] struct {
+	state atomic.Uint32
+	req   Req
+	resp  Resp
+	_     [64]byte
+}
+
+// Server owns a sequential structure and serves delegated requests.
+type Server[Req, Resp any] struct {
+	apply func(Req) Resp
+	slots []*slot[Req, Resp]
+	mu    sync.Mutex // client registration
+	stop  atomic.Bool
+	wg    sync.WaitGroup
+}
+
+// NewServer starts a server executing apply sequentially. apply runs on
+// the server goroutine only, so it may touch unsynchronized state.
+func NewServer[Req, Resp any](apply func(Req) Resp) *Server[Req, Resp] {
+	s := &Server[Req, Resp]{apply: apply}
+	s.wg.Add(1)
+	go s.run()
+	return s
+}
+
+// Close stops the server goroutine. Outstanding clients must be done.
+func (s *Server[Req, Resp]) Close() {
+	if s.stop.CompareAndSwap(false, true) {
+		s.wg.Wait()
+	}
+}
+
+// Client registers a caller and returns its mailbox handle.
+func (s *Server[Req, Resp]) Client() *Client[Req, Resp] {
+	sl := &slot[Req, Resp]{}
+	s.mu.Lock()
+	// Copy-on-write so the server loop reads the slice without locks.
+	old := s.slots
+	next := make([]*slot[Req, Resp], len(old)+1)
+	copy(next, old)
+	next[len(old)] = sl
+	s.slots = next
+	s.mu.Unlock()
+	return &Client[Req, Resp]{s: s, slot: sl}
+}
+
+// snapshotSlots reads the current slot list (server side).
+func (s *Server[Req, Resp]) snapshotSlots() []*slot[Req, Resp] {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.slots
+}
+
+func (s *Server[Req, Resp]) run() {
+	defer s.wg.Done()
+	var slots []*slot[Req, Resp]
+	idle := 0
+	for !s.stop.Load() {
+		if idle%64 == 0 {
+			slots = s.snapshotSlots()
+		}
+		served := false
+		for _, sl := range slots {
+			if sl.state.Load() == slotRequest {
+				sl.resp = s.apply(sl.req)
+				sl.state.Store(slotResponse)
+				served = true
+			}
+		}
+		if served {
+			idle = 1
+		} else {
+			idle++
+			runtime.Gosched()
+		}
+	}
+}
+
+// Client is a per-goroutine handle.
+type Client[Req, Resp any] struct {
+	s    *Server[Req, Resp]
+	slot *slot[Req, Resp]
+	// Spins counts response-wait iterations (stats).
+	Spins uint64
+}
+
+// Do delegates one request and blocks for its response.
+func (c *Client[Req, Resp]) Do(req Req) Resp {
+	sl := c.slot
+	sl.req = req
+	sl.state.Store(slotRequest)
+	for sl.state.Load() != slotResponse {
+		c.Spins++
+		runtime.Gosched()
+	}
+	resp := sl.resp
+	sl.state.Store(slotEmpty)
+	return resp
+}

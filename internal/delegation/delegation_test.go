@@ -1,0 +1,78 @@
+package delegation
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSingleClientRoundTrip(t *testing.T) {
+	counter := 0
+	srv := NewServer(func(delta int) int {
+		counter += delta
+		return counter
+	})
+	defer srv.Close()
+	c := srv.Client()
+	if got := c.Do(5); got != 5 {
+		t.Fatalf("got %d", got)
+	}
+	if got := c.Do(-2); got != 3 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+// TestSequentialExecution: the server applies operations one at a time,
+// so an unsynchronized structure stays consistent under many clients.
+func TestSequentialExecution(t *testing.T) {
+	counter := 0 // deliberately unsynchronized: only the server touches it
+	srv := NewServer(func(delta int) int {
+		counter += delta
+		return counter
+	})
+	defer srv.Close()
+	const clients, increments = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := srv.Client()
+			for i := 0; i < increments; i++ {
+				c.Do(1)
+			}
+		}()
+	}
+	wg.Wait()
+	c := srv.Client()
+	if got := c.Do(0); got != clients*increments {
+		t.Fatalf("counter %d, want %d (server not serial?)", got, clients*increments)
+	}
+}
+
+func TestResponsesRouteToRightClient(t *testing.T) {
+	srv := NewServer(func(x int) int { return x * 2 })
+	defer srv.Close()
+	const clients = 6
+	var wg sync.WaitGroup
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			c := srv.Client()
+			for i := 0; i < 300; i++ {
+				v := base*1000 + i
+				if got := c.Do(v); got != v*2 {
+					t.Errorf("client %d: Do(%d)=%d", base, v, got)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	srv := NewServer(func(x int) int { return x })
+	srv.Close()
+	srv.Close() // second close must not hang or panic
+}

@@ -1,0 +1,167 @@
+package ds
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// bstNames are the tree implementations under test.
+var bstNames = []string{"mvrlu-bst", "rlu-bst", "rlu-ordo-bst", "rcu-bst", "vp-bst"}
+
+func eachBST(t *testing.T, fn func(t *testing.T, s Session)) {
+	t.Helper()
+	for _, name := range bstNames {
+		t.Run(name, func(t *testing.T) {
+			set, err := New(name, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer set.Close()
+			fn(t, set.Session())
+		})
+	}
+}
+
+// TestBSTDeleteLeaf removes a node with no children.
+func TestBSTDeleteLeaf(t *testing.T) {
+	eachBST(t, func(t *testing.T, s Session) {
+		for _, k := range []int{50, 30, 70} {
+			s.Insert(k)
+		}
+		if !s.Remove(30) {
+			t.Fatal("leaf remove failed")
+		}
+		checkMembership(t, s, map[int]bool{50: true, 70: true}, []int{30})
+	})
+}
+
+// TestBSTDeleteOneChild removes nodes with exactly one child on either
+// side.
+func TestBSTDeleteOneChild(t *testing.T) {
+	eachBST(t, func(t *testing.T, s Session) {
+		for _, k := range []int{50, 30, 20, 70, 80} {
+			s.Insert(k)
+		}
+		if !s.Remove(30) { // left child only
+			t.Fatal("remove(30) failed")
+		}
+		if !s.Remove(70) { // right child only
+			t.Fatal("remove(70) failed")
+		}
+		checkMembership(t, s, map[int]bool{50: true, 20: true, 80: true}, []int{30, 70})
+	})
+}
+
+// TestBSTDeleteTwoChildrenDirectSuccessor: the successor is the node's
+// immediate right child.
+func TestBSTDeleteTwoChildrenDirectSuccessor(t *testing.T) {
+	eachBST(t, func(t *testing.T, s Session) {
+		for _, k := range []int{50, 30, 60, 65} {
+			s.Insert(k)
+		}
+		if !s.Remove(50) {
+			t.Fatal("remove(50) failed")
+		}
+		checkMembership(t, s, map[int]bool{30: true, 60: true, 65: true}, []int{50})
+	})
+}
+
+// TestBSTDeleteTwoChildrenDeepSuccessor: the successor is deep in the
+// right subtree's left spine.
+func TestBSTDeleteTwoChildrenDeepSuccessor(t *testing.T) {
+	eachBST(t, func(t *testing.T, s Session) {
+		for _, k := range []int{50, 30, 80, 70, 60, 65, 90} {
+			s.Insert(k)
+		}
+		if !s.Remove(50) { // successor is 60, with child 65
+			t.Fatal("remove(50) failed")
+		}
+		checkMembership(t, s,
+			map[int]bool{30: true, 60: true, 65: true, 70: true, 80: true, 90: true},
+			[]int{50})
+	})
+}
+
+// TestBSTDeleteRootRepeatedly drains a tree from the root, hitting every
+// deletion case.
+func TestBSTDeleteRootRepeatedly(t *testing.T) {
+	eachBST(t, func(t *testing.T, s Session) {
+		keys := rand.New(rand.NewSource(5)).Perm(200)
+		for _, k := range keys {
+			s.Insert(k)
+		}
+		sort.Ints(keys)
+		for _, k := range keys {
+			if !s.Remove(k) {
+				t.Fatalf("remove(%d) failed", k)
+			}
+			if s.Lookup(k) {
+				t.Fatalf("%d still present", k)
+			}
+		}
+		for _, k := range keys {
+			if s.Lookup(k) {
+				t.Fatalf("drained tree still has %d", k)
+			}
+		}
+	})
+}
+
+// TestBSTRandomizedOracle is a long random sequence against a map.
+func TestBSTRandomizedOracle(t *testing.T) {
+	eachBST(t, func(t *testing.T, s Session) {
+		ref := map[int]bool{}
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; i < 8000; i++ {
+			k := rng.Intn(150)
+			switch rng.Intn(3) {
+			case 0:
+				if got, want := s.Insert(k), !ref[k]; got != want {
+					t.Fatalf("op %d Insert(%d)=%v want %v", i, k, got, want)
+				}
+				ref[k] = true
+			case 1:
+				if got, want := s.Remove(k), ref[k]; got != want {
+					t.Fatalf("op %d Remove(%d)=%v want %v", i, k, got, want)
+				}
+				delete(ref, k)
+			default:
+				if got, want := s.Lookup(k), ref[k]; got != want {
+					t.Fatalf("op %d Lookup(%d)=%v want %v", i, k, got, want)
+				}
+			}
+		}
+	})
+}
+
+// TestBSTReinsertAfterDelete ensures freed nodes never resurrect.
+func TestBSTReinsertAfterDelete(t *testing.T) {
+	eachBST(t, func(t *testing.T, s Session) {
+		for round := 0; round < 50; round++ {
+			if !s.Insert(42) {
+				t.Fatalf("round %d: insert failed", round)
+			}
+			if !s.Remove(42) {
+				t.Fatalf("round %d: remove failed", round)
+			}
+		}
+		if s.Lookup(42) {
+			t.Fatal("key present after final remove")
+		}
+	})
+}
+
+func checkMembership(t *testing.T, s Session, present map[int]bool, absent []int) {
+	t.Helper()
+	for k := range present {
+		if !s.Lookup(k) {
+			t.Fatalf("key %d missing", k)
+		}
+	}
+	for _, k := range absent {
+		if s.Lookup(k) {
+			t.Fatalf("key %d should be gone", k)
+		}
+	}
+}

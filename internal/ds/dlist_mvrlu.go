@@ -1,0 +1,180 @@
+package ds
+
+import "mvrlu/internal/core"
+
+// dlNode is a doubly linked list node under MV-RLU.
+type dlNode struct {
+	key        int
+	prev, next *core.Object[dlNode]
+}
+
+// MVRLUDList is a sorted doubly linked list — the structure the paper
+// singles out as easy under RLU-style programming and hard everywhere
+// else (§1): every insert and remove updates two pointers in two
+// different nodes, which MV-RLU commits atomically, so readers can
+// traverse in either direction and always see a consistent list. RCU
+// cannot express this with a single pointer publish, and lock-free
+// variants need multi-word tricks.
+//
+// Both sentinels (head with minKey, tail with maxKey) are permanent.
+type MVRLUDList struct {
+	d          *core.Domain[dlNode]
+	head, tail *core.Object[dlNode]
+}
+
+// NewMVRLUDList creates an empty doubly linked list.
+func NewMVRLUDList(opts core.Options) *MVRLUDList {
+	l := &MVRLUDList{d: core.NewDomain[dlNode](opts)}
+	l.tail = core.NewObject(dlNode{key: maxKey})
+	l.head = core.NewObject(dlNode{key: minKey, next: l.tail})
+	// Pre-publication initialization of the tail's back pointer.
+	l.tail = l.fixTail()
+	return l
+}
+
+// fixTail sets tail.prev = head before the list is shared (single
+// threaded construction; no critical section needed).
+func (l *MVRLUDList) fixTail() *core.Object[dlNode] {
+	h := l.d.Register()
+	h.ReadLock()
+	c, ok := h.TryLock(l.tail)
+	if !ok {
+		panic("mvrlu dlist: init lock failed")
+	}
+	c.prev = l.head
+	h.ReadUnlock()
+	return l.tail
+}
+
+// Name implements Set.
+func (l *MVRLUDList) Name() string { return "mvrlu-dlist" }
+
+// Close implements Set.
+func (l *MVRLUDList) Close() { l.d.Close() }
+
+// AbortStats implements AbortCounter.
+func (l *MVRLUDList) AbortStats() (uint64, uint64) {
+	s := l.d.Stats()
+	return s.Commits, s.Aborts
+}
+
+// Session implements Set.
+func (l *MVRLUDList) Session() Session {
+	return &mvrluDListSession{l: l, h: l.d.Register()}
+}
+
+type mvrluDListSession struct {
+	l *MVRLUDList
+	h *core.Thread[dlNode]
+}
+
+// find returns the first node with key ≥ k (possibly the tail sentinel)
+// and its predecessor, in h's snapshot.
+func dlFind(h *core.Thread[dlNode], l *MVRLUDList, key int) (prev, cur *core.Object[dlNode], curKey int) {
+	prev = l.head
+	cur = h.Deref(l.head).next
+	for {
+		d := h.Deref(cur)
+		if d.key >= key {
+			return prev, cur, d.key
+		}
+		prev, cur = cur, d.next
+	}
+}
+
+func (s *mvrluDListSession) Lookup(key int) bool {
+	s.h.ReadLock()
+	_, _, k := dlFind(s.h, s.l, key)
+	s.h.ReadUnlock()
+	return k == key
+}
+
+// Insert links a new node between prev and cur, updating prev.next and
+// cur.prev in one atomic write set.
+func (s *mvrluDListSession) Insert(key int) (ok bool) {
+	s.h.Execute(func(h *core.Thread[dlNode]) bool {
+		prev, cur, k := dlFind(h, s.l, key)
+		if k == key {
+			ok = false
+			return true
+		}
+		cp, locked := h.TryLock(prev)
+		if !locked {
+			return false
+		}
+		cc, locked := h.TryLock(cur)
+		if !locked {
+			return false
+		}
+		n := core.NewObject(dlNode{key: key, prev: prev, next: cur})
+		cp.next = n
+		cc.prev = n
+		ok = true
+		return true
+	})
+	return ok
+}
+
+// Remove unlinks the node, updating both neighbours atomically.
+func (s *mvrluDListSession) Remove(key int) (ok bool) {
+	s.h.Execute(func(h *core.Thread[dlNode]) bool {
+		_, cur, k := dlFind(h, s.l, key)
+		if k != key {
+			ok = false
+			return true
+		}
+		d := h.Deref(cur)
+		prev, next := d.prev, d.next
+		cp, locked := h.TryLock(prev)
+		if !locked {
+			return false
+		}
+		cn, locked := h.TryLock(next)
+		if !locked {
+			return false
+		}
+		if _, locked := h.TryLock(cur); !locked {
+			return false
+		}
+		cp.next = next
+		cn.prev = prev
+		h.Free(cur)
+		ok = true
+		return true
+	})
+	return ok
+}
+
+// SnapshotForward walks head→tail in one critical section.
+func (s *mvrluDListSession) SnapshotForward() []int {
+	var out []int
+	s.h.ReadLock()
+	cur := s.h.Deref(s.l.head).next
+	for {
+		d := s.h.Deref(cur)
+		if d.key == maxKey {
+			break
+		}
+		out = append(out, d.key)
+		cur = d.next
+	}
+	s.h.ReadUnlock()
+	return out
+}
+
+// SnapshotBackward walks tail→head in one critical section.
+func (s *mvrluDListSession) SnapshotBackward() []int {
+	var out []int
+	s.h.ReadLock()
+	cur := s.h.Deref(s.l.tail).prev
+	for {
+		d := s.h.Deref(cur)
+		if d.key == minKey {
+			break
+		}
+		out = append(out, d.key)
+		cur = d.prev
+	}
+	s.h.ReadUnlock()
+	return out
+}

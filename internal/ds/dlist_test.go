@@ -1,0 +1,190 @@
+package ds
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mvrlu/internal/core"
+)
+
+func newDList(t *testing.T) (*MVRLUDList, *mvrluDListSession) {
+	t.Helper()
+	l := NewMVRLUDList(core.DefaultOptions())
+	t.Cleanup(l.Close)
+	return l, l.Session().(*mvrluDListSession)
+}
+
+func TestDListBasic(t *testing.T) {
+	_, s := newDList(t)
+	if s.Lookup(5) {
+		t.Fatal("empty list has 5")
+	}
+	if !s.Insert(5) || s.Insert(5) {
+		t.Fatal("insert semantics")
+	}
+	if !s.Insert(3) || !s.Insert(7) {
+		t.Fatal("insert neighbours")
+	}
+	if !s.Remove(5) || s.Remove(5) {
+		t.Fatal("remove semantics")
+	}
+	fwd := s.SnapshotForward()
+	if len(fwd) != 2 || fwd[0] != 3 || fwd[1] != 7 {
+		t.Fatalf("forward %v", fwd)
+	}
+	bwd := s.SnapshotBackward()
+	if len(bwd) != 2 || bwd[0] != 7 || bwd[1] != 3 {
+		t.Fatalf("backward %v", bwd)
+	}
+}
+
+// TestDListBidirectionalConsistency: in any snapshot, the backward walk
+// is exactly the reverse of the forward walk — the property that needs
+// atomic two-pointer updates.
+func TestDListBidirectionalConsistency(t *testing.T) {
+	l, _ := newDList(t)
+	var stop atomic.Bool
+	var bad atomic.Int64
+	var wg sync.WaitGroup
+
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			s := l.Session().(*mvrluDListSession)
+			rng := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				k := rng.Intn(64)
+				if rng.Intn(2) == 0 {
+					s.Insert(k)
+				} else {
+					s.Remove(k)
+				}
+			}
+		}(int64(g + 3))
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := l.Session().(*mvrluDListSession)
+			for !stop.Load() {
+				// One critical section covering both directions.
+				s.h.ReadLock()
+				var fwd, bwd []int
+				cur := s.h.Deref(l.head).next
+				for {
+					d := s.h.Deref(cur)
+					if d.key == maxKey {
+						break
+					}
+					fwd = append(fwd, d.key)
+					cur = d.next
+				}
+				cur = s.h.Deref(l.tail).prev
+				for {
+					d := s.h.Deref(cur)
+					if d.key == minKey {
+						break
+					}
+					bwd = append(bwd, d.key)
+					cur = d.prev
+				}
+				s.h.ReadUnlock()
+				if len(fwd) != len(bwd) {
+					bad.Add(1)
+					continue
+				}
+				for i := range fwd {
+					if fwd[i] != bwd[len(bwd)-1-i] {
+						bad.Add(1)
+						break
+					}
+				}
+			}
+		}()
+	}
+	time.Sleep(150 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	if n := bad.Load(); n != 0 {
+		t.Fatalf("%d asymmetric snapshots (torn two-pointer updates)", n)
+	}
+}
+
+func TestDListSequentialOracle(t *testing.T) {
+	_, s := newDList(t)
+	ref := map[int]bool{}
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 5000; i++ {
+		k := rng.Intn(80)
+		switch rng.Intn(3) {
+		case 0:
+			if s.Insert(k) == ref[k] {
+				t.Fatalf("op %d Insert(%d)", i, k)
+			}
+			ref[k] = true
+		case 1:
+			if s.Remove(k) != ref[k] {
+				t.Fatalf("op %d Remove(%d)", i, k)
+			}
+			delete(ref, k)
+		default:
+			if s.Lookup(k) != ref[k] {
+				t.Fatalf("op %d Lookup(%d)", i, k)
+			}
+		}
+	}
+	// Order invariant at the end.
+	fwd := s.SnapshotForward()
+	for i := 1; i < len(fwd); i++ {
+		if fwd[i] <= fwd[i-1] {
+			t.Fatalf("unsorted snapshot: %v", fwd)
+		}
+	}
+}
+
+func TestDListConcurrentNet(t *testing.T) {
+	l, _ := newDList(t)
+	const keys, goroutines, ops = 48, 4, 1500
+	counts := make([]int64, keys)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			s := l.Session()
+			rng := rand.New(rand.NewSource(seed))
+			local := make([]int64, keys)
+			for i := 0; i < ops; i++ {
+				k := rng.Intn(keys)
+				if rng.Intn(2) == 0 {
+					if s.Insert(k) {
+						local[k]++
+					}
+				} else {
+					if s.Remove(k) {
+						local[k]--
+					}
+				}
+			}
+			mu.Lock()
+			for i, v := range local {
+				counts[i] += v
+			}
+			mu.Unlock()
+		}(int64(g + 11))
+	}
+	wg.Wait()
+	s := l.Session()
+	for k := 0; k < keys; k++ {
+		want := counts[k] == 1
+		if got := s.Lookup(k); got != want {
+			t.Fatalf("key %d: present=%v net=%d", k, got, counts[k])
+		}
+	}
+}

@@ -1,0 +1,39 @@
+// Package ds provides the concurrent data structures of the paper's
+// evaluation (§6.2) — sorted linked list, hash table, and binary search
+// tree — implemented over every synchronization mechanism compared:
+// MV-RLU, RLU (global clock and ORDO), RCU, lock-free Harris-Michael
+// (leaky and hazard-pointer), TL2-style STM, and versioned programming.
+//
+// All structures expose the same integer-set API through per-goroutine
+// sessions, so the benchmark harness treats them uniformly.
+package ds
+
+// Session is a per-goroutine handle to a concurrent integer set. Sessions
+// are not safe for concurrent use; each worker goroutine obtains its own.
+type Session interface {
+	// Lookup reports whether key is present.
+	Lookup(key int) bool
+	// Insert adds key, reporting whether it was absent.
+	Insert(key int) bool
+	// Remove deletes key, reporting whether it was present.
+	Remove(key int) bool
+}
+
+// Set is a concurrent integer set guarded by one of the compared
+// mechanisms.
+type Set interface {
+	// Name identifies the mechanism/structure (e.g. "mvrlu-hash").
+	Name() string
+	// Session registers the calling goroutine and returns its handle.
+	Session() Session
+	// Close releases background resources (GC threads).
+	Close()
+}
+
+// AbortCounter is implemented by sets whose mechanism can abort
+// (MV-RLU, RLU, STM, VP); the harness uses it for Figure 5.
+type AbortCounter interface {
+	// AbortStats returns cumulative (commits, aborts) across sessions.
+	// Valid only while all sessions are quiescent.
+	AbortStats() (commits, aborts uint64)
+}

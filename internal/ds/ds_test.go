@@ -1,0 +1,201 @@
+package ds
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func allSets(t *testing.T) []Set {
+	t.Helper()
+	var sets []Set
+	for _, name := range Names() {
+		s, err := New(name, Config{Buckets: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sets = append(sets, s)
+	}
+	return sets
+}
+
+// TestSequentialOracle runs a randomized op sequence against a reference
+// map on every registered structure.
+func TestSequentialOracle(t *testing.T) {
+	for _, set := range allSets(t) {
+		t.Run(set.Name(), func(t *testing.T) {
+			defer set.Close()
+			s := set.Session()
+			ref := map[int]bool{}
+			rng := rand.New(rand.NewSource(42))
+			for i := 0; i < 4000; i++ {
+				k := rng.Intn(100)
+				switch rng.Intn(3) {
+				case 0:
+					if got, want := s.Insert(k), !ref[k]; got != want {
+						t.Fatalf("op %d: Insert(%d)=%v want %v", i, k, got, want)
+					}
+					ref[k] = true
+				case 1:
+					if got, want := s.Remove(k), ref[k]; got != want {
+						t.Fatalf("op %d: Remove(%d)=%v want %v", i, k, got, want)
+					}
+					delete(ref, k)
+				default:
+					if got, want := s.Lookup(k), ref[k]; got != want {
+						t.Fatalf("op %d: Lookup(%d)=%v want %v", i, k, got, want)
+					}
+				}
+			}
+			// Final sweep.
+			for k := 0; k < 100; k++ {
+				if got := s.Lookup(k); got != ref[k] {
+					t.Fatalf("final Lookup(%d)=%v want %v", k, got, ref[k])
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentLinearizableNet checks that, per key, the net effect of
+// successful inserts/removes matches final membership — a linearizability
+// necessary-condition that catches lost updates and double-frees.
+func TestConcurrentLinearizableNet(t *testing.T) {
+	const (
+		keys       = 96
+		goroutines = 4
+		ops        = 2500
+	)
+	for _, set := range allSets(t) {
+		t.Run(set.Name(), func(t *testing.T) {
+			defer set.Close()
+			counts := make([]int64, keys)
+			var mu sync.Mutex
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					s := set.Session()
+					rng := rand.New(rand.NewSource(seed))
+					local := make([]int64, keys)
+					for i := 0; i < ops; i++ {
+						k := rng.Intn(keys)
+						switch rng.Intn(3) {
+						case 0:
+							if s.Insert(k) {
+								local[k]++
+							}
+						case 1:
+							if s.Remove(k) {
+								local[k]--
+							}
+						default:
+							s.Lookup(k)
+						}
+					}
+					mu.Lock()
+					for i, v := range local {
+						counts[i] += v
+					}
+					mu.Unlock()
+				}(int64(g + 1))
+			}
+			wg.Wait()
+			s := set.Session()
+			for k := 0; k < keys; k++ {
+				if counts[k] != 0 && counts[k] != 1 {
+					t.Fatalf("key %d: net insert count %d (lost/duplicated updates)", k, counts[k])
+				}
+				want := counts[k] == 1
+				if got := s.Lookup(k); got != want {
+					t.Fatalf("key %d: present=%v, net=%d", k, got, counts[k])
+				}
+			}
+		})
+	}
+}
+
+// TestBSTShapeInvariant checks BST ordering under concurrent churn by
+// draining the tree and verifying every key's final membership; ordering
+// violations manifest as unreachable keys.
+func TestBSTShapeInvariant(t *testing.T) {
+	for _, name := range []string{"mvrlu-bst", "rlu-bst", "rcu-bst", "vp-bst"} {
+		t.Run(name, func(t *testing.T) {
+			set, err := New(name, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer set.Close()
+			const keys = 128
+			var wg sync.WaitGroup
+			stopAt := time.Now().Add(150 * time.Millisecond)
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					s := set.Session()
+					rng := rand.New(rand.NewSource(seed))
+					for time.Now().Before(stopAt) {
+						k := rng.Intn(keys)
+						switch rng.Intn(3) {
+						case 0:
+							s.Insert(k)
+						case 1:
+							s.Remove(k)
+						default:
+							s.Lookup(k)
+						}
+					}
+				}(int64(g + 7))
+			}
+			wg.Wait()
+			// Drain: every key must be removable exactly once if
+			// present, and unfindable afterwards.
+			s := set.Session()
+			for k := 0; k < keys; k++ {
+				present := s.Lookup(k)
+				removed := s.Remove(k)
+				if present != removed {
+					t.Fatalf("key %d: lookup=%v but remove=%v (unreachable key)", k, present, removed)
+				}
+				if s.Lookup(k) {
+					t.Fatalf("key %d still present after removal", k)
+				}
+			}
+		})
+	}
+}
+
+// TestAbortCountersExposed ensures mechanisms that can abort report
+// activity through AbortStats.
+func TestAbortCountersExposed(t *testing.T) {
+	for _, name := range []string{"mvrlu-list", "rlu-list", "stm-list", "vp-list"} {
+		set, err := New(name, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ac, ok := set.(AbortCounter)
+		if !ok {
+			t.Fatalf("%s does not expose abort stats", name)
+		}
+		s := set.Session()
+		s.Insert(1)
+		s.Remove(1)
+		commits, _ := ac.AbortStats()
+		if commits == 0 {
+			t.Fatalf("%s: no commits counted", name)
+		}
+		set.Close()
+	}
+}
+
+func TestRegistryRejectsUnknown(t *testing.T) {
+	if _, err := New("nope", Config{}); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	if len(Names()) != 23 {
+		t.Fatalf("expected 23 registered sets, got %d: %v", len(Names()), Names())
+	}
+}

@@ -1,0 +1,100 @@
+package ds
+
+import (
+	"testing"
+
+	"mvrlu/internal/core"
+)
+
+// Fuzz targets: byte streams decode into op sequences executed against a
+// reference map. `go test` runs the seed corpus; `go test -fuzz
+// FuzzMVRLUListOracle ./internal/ds` explores further.
+
+// runFuzzOps decodes data as (op, key) byte pairs and cross-checks the
+// session against a map oracle.
+func runFuzzOps(t *testing.T, s Session, data []byte) {
+	t.Helper()
+	ref := map[int]bool{}
+	for i := 0; i+1 < len(data) && i < 512; i += 2 {
+		k := int(data[i+1]) % 64
+		switch data[i] % 3 {
+		case 0:
+			if s.Insert(k) == ref[k] {
+				t.Fatalf("Insert(%d) disagreed with oracle", k)
+			}
+			ref[k] = true
+		case 1:
+			if s.Remove(k) != ref[k] {
+				t.Fatalf("Remove(%d) disagreed with oracle", k)
+			}
+			delete(ref, k)
+		default:
+			if s.Lookup(k) != ref[k] {
+				t.Fatalf("Lookup(%d) disagreed with oracle", k)
+			}
+		}
+	}
+	for k := 0; k < 64; k++ {
+		if s.Lookup(k) != ref[k] {
+			t.Fatalf("final Lookup(%d) disagreed", k)
+		}
+	}
+}
+
+func fuzzSeeds(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 0, 1, 1, 1})             // duplicate insert, remove
+	f.Add([]byte{0, 5, 0, 3, 0, 9, 1, 5, 2, 3}) // mixed
+	seq := make([]byte, 200)
+	for i := range seq {
+		seq[i] = byte(i * 7)
+	}
+	f.Add(seq)
+}
+
+func FuzzMVRLUListOracle(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		set := NewMVRLUList(core.DefaultOptions())
+		defer set.Close()
+		runFuzzOps(t, set.Session(), data)
+	})
+}
+
+func FuzzMVRLUBSTOracle(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		set := NewMVRLUBST(core.DefaultOptions())
+		defer set.Close()
+		runFuzzOps(t, set.Session(), data)
+	})
+}
+
+func FuzzCitrusOracle(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		set := NewRCUBST()
+		defer set.Close()
+		runFuzzOps(t, set.Session(), data)
+	})
+}
+
+func FuzzDListOracle(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		set := NewMVRLUDList(core.DefaultOptions())
+		defer set.Close()
+		s := set.Session().(*mvrluDListSession)
+		runFuzzOps(t, s, data)
+		// Structural invariant: backward is the reverse of forward.
+		fwd, bwd := s.SnapshotForward(), s.SnapshotBackward()
+		if len(fwd) != len(bwd) {
+			t.Fatalf("fwd %d keys, bwd %d", len(fwd), len(bwd))
+		}
+		for i := range fwd {
+			if fwd[i] != bwd[len(bwd)-1-i] {
+				t.Fatalf("asymmetric list: %v vs %v", fwd, bwd)
+			}
+		}
+	})
+}

@@ -1,0 +1,131 @@
+package ds
+
+import (
+	"mvrlu/internal/hazard"
+	"mvrlu/internal/lockfree"
+)
+
+// HarrisList adapts the leaky Harris-Michael list (no reclamation — the
+// Go GC stands in, as Leaky-Harris's free() never runs in C either).
+type HarrisList struct {
+	l *lockfree.List
+}
+
+// NewHarrisList creates an empty leaky Harris list.
+func NewHarrisList() *HarrisList { return &HarrisList{l: lockfree.NewList()} }
+
+// Name implements Set.
+func (h *HarrisList) Name() string { return "harris-list" }
+
+// Close implements Set.
+func (h *HarrisList) Close() {}
+
+// Session implements Set (leaky sessions are stateless).
+func (h *HarrisList) Session() Session { return harrisListSession{h.l} }
+
+type harrisListSession struct{ l *lockfree.List }
+
+func (s harrisListSession) Lookup(key int) bool { return s.l.Contains(key) }
+func (s harrisListSession) Insert(key int) bool { return s.l.Insert(key) }
+func (s harrisListSession) Remove(key int) bool { return s.l.Remove(key) }
+
+// HPHarrisList adapts the hazard-pointer Harris list (HP-Harris).
+type HPHarrisList struct {
+	l *lockfree.HPList
+}
+
+// NewHPHarrisList creates an empty HP-Harris list.
+func NewHPHarrisList() *HPHarrisList { return &HPHarrisList{l: lockfree.NewHPList()} }
+
+// Name implements Set.
+func (h *HPHarrisList) Name() string { return "hp-harris-list" }
+
+// Close implements Set.
+func (h *HPHarrisList) Close() {}
+
+// Session implements Set.
+func (h *HPHarrisList) Session() Session { return hpHarrisListSession{h.l.Session()} }
+
+type hpHarrisListSession struct{ s *lockfree.HPSession }
+
+func (s hpHarrisListSession) Lookup(key int) bool { return s.s.Contains(key) }
+func (s hpHarrisListSession) Insert(key int) bool { return s.s.Insert(key) }
+func (s hpHarrisListSession) Remove(key int) bool { return s.s.Remove(key) }
+
+// HarrisHash is the leaky-Harris hash table: buckets of lock-free lists.
+type HarrisHash struct {
+	buckets []*lockfree.List
+}
+
+// NewHarrisHash creates a hash table with nbuckets lock-free chains.
+func NewHarrisHash(nbuckets int) *HarrisHash {
+	h := &HarrisHash{buckets: make([]*lockfree.List, nbuckets)}
+	for i := range h.buckets {
+		h.buckets[i] = lockfree.NewList()
+	}
+	return h
+}
+
+// Name implements Set.
+func (h *HarrisHash) Name() string { return "harris-hash" }
+
+// Close implements Set.
+func (h *HarrisHash) Close() {}
+
+// Session implements Set.
+func (h *HarrisHash) Session() Session { return harrisHashSession{h} }
+
+type harrisHashSession struct{ h *HarrisHash }
+
+func (s harrisHashSession) bucket(key int) *lockfree.List {
+	return s.h.buckets[bucketFor(key, len(s.h.buckets))]
+}
+
+func (s harrisHashSession) Lookup(key int) bool { return s.bucket(key).Contains(key) }
+func (s harrisHashSession) Insert(key int) bool { return s.bucket(key).Insert(key) }
+func (s harrisHashSession) Remove(key int) bool { return s.bucket(key).Remove(key) }
+
+// HPHarrisHash is the HP-Harris hash table of Figure 1: buckets of
+// lock-free lists whose unlinked nodes go through hazard-pointer
+// reclamation, with all buckets sharing one hazard domain.
+type HPHarrisHash struct {
+	buckets []*lockfree.List
+	hp      *hazard.Domain[lockfree.Node]
+}
+
+// NewHPHarrisHash creates a hash table with nbuckets chains.
+func NewHPHarrisHash(nbuckets int) *HPHarrisHash {
+	h := &HPHarrisHash{
+		buckets: make([]*lockfree.List, nbuckets),
+		hp:      lockfree.NewHazardDomain(),
+	}
+	for i := range h.buckets {
+		h.buckets[i] = lockfree.NewList()
+	}
+	return h
+}
+
+// Name implements Set.
+func (h *HPHarrisHash) Name() string { return "hp-harris-hash" }
+
+// Close implements Set.
+func (h *HPHarrisHash) Close() {}
+
+// Session implements Set.
+func (h *HPHarrisHash) Session() Session {
+	return &hpHarrisHashSession{h: h, ht: h.hp.Register()}
+}
+
+type hpHarrisHashSession struct {
+	h  *HPHarrisHash
+	ht *hazard.Thread[lockfree.Node]
+}
+
+func (s *hpHarrisHashSession) on(key int) *lockfree.HPSession {
+	l := s.h.buckets[bucketFor(key, len(s.h.buckets))]
+	return lockfree.SessionOn(l, s.ht)
+}
+
+func (s *hpHarrisHashSession) Lookup(key int) bool { return s.on(key).Contains(key) }
+func (s *hpHarrisHashSession) Insert(key int) bool { return s.on(key).Insert(key) }
+func (s *hpHarrisHashSession) Remove(key int) bool { return s.on(key).Remove(key) }

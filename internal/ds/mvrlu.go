@@ -1,0 +1,224 @@
+package ds
+
+import (
+	"mvrlu/internal/core"
+)
+
+// mvNode is a sorted-list node under MV-RLU. Pointers link master
+// objects; Deref picks the snapshot's version on every hop.
+type mvNode struct {
+	key  int
+	next *core.Object[mvNode]
+}
+
+// MVRLUList is the paper's MV-RLU linked list: a sorted set with a head
+// sentinel. Updates lock only the nodes they modify; the
+// write-latest-version-only rule doubles as optimistic validation, so no
+// re-check after TryLock is needed (a commit that changed a locked node
+// after this section's snapshot makes the TryLock fail).
+type MVRLUList struct {
+	d    *core.Domain[mvNode]
+	head *core.Object[mvNode]
+}
+
+// NewMVRLUList creates an empty list in a fresh domain.
+func NewMVRLUList(opts core.Options) *MVRLUList {
+	return &MVRLUList{
+		d:    core.NewDomain[mvNode](opts),
+		head: core.NewObject(mvNode{key: minKey}),
+	}
+}
+
+const (
+	minKey = -int(^uint(0)>>1) - 1
+	maxKey = int(^uint(0) >> 1)
+)
+
+// Name implements Set.
+func (l *MVRLUList) Name() string { return "mvrlu-list" }
+
+// Close stops the domain's grace-period detector.
+func (l *MVRLUList) Close() { l.d.Close() }
+
+// AbortStats implements AbortCounter.
+func (l *MVRLUList) AbortStats() (uint64, uint64) {
+	s := l.d.Stats()
+	return s.Commits, s.Aborts
+}
+
+// Stats exposes the underlying domain counters.
+func (l *MVRLUList) Stats() core.Stats { return l.d.Stats() }
+
+// Session implements Set.
+func (l *MVRLUList) Session() Session {
+	return &mvrluListSession{l: l, h: l.d.Register()}
+}
+
+type mvrluListSession struct {
+	l *MVRLUList
+	h *core.Thread[mvNode]
+}
+
+// mvFind walks to the first node with key ≥ k in h's snapshot.
+func mvFind(h *core.Thread[mvNode], head *core.Object[mvNode], key int) (prev, cur *core.Object[mvNode], curKey int, curNext *core.Object[mvNode]) {
+	prev = head
+	cur = h.Deref(head).next
+	for cur != nil {
+		d := h.Deref(cur)
+		if d.key >= key {
+			return prev, cur, d.key, d.next
+		}
+		prev, cur = cur, d.next
+	}
+	return prev, nil, 0, nil
+}
+
+func (s *mvrluListSession) Lookup(key int) bool {
+	s.h.ReadLock()
+	_, cur, k, _ := mvFind(s.h, s.l.head, key)
+	s.h.ReadUnlock()
+	return cur != nil && k == key
+}
+
+func (s *mvrluListSession) Insert(key int) (ok bool) {
+	s.h.Execute(func(h *core.Thread[mvNode]) bool {
+		prev, cur, k, _ := mvFind(h, s.l.head, key)
+		if cur != nil && k == key {
+			ok = false
+			return true // already present; commit the empty section
+		}
+		c, locked := h.TryLock(prev)
+		if !locked {
+			return false
+		}
+		c.next = core.NewObject(mvNode{key: key, next: cur})
+		ok = true
+		return true
+	})
+	return ok
+}
+
+func (s *mvrluListSession) Remove(key int) (ok bool) {
+	s.h.Execute(func(h *core.Thread[mvNode]) bool {
+		prev, cur, k, _ := mvFind(h, s.l.head, key)
+		if cur == nil || k != key {
+			ok = false
+			return true
+		}
+		cp, locked := h.TryLock(prev)
+		if !locked {
+			return false
+		}
+		cv, locked := h.TryLock(cur)
+		if !locked {
+			return false
+		}
+		cp.next = cv.next
+		h.Free(cur)
+		ok = true
+		return true
+	})
+	return ok
+}
+
+// MVRLUHash is the paper's hash table: fixed buckets, each a sorted
+// MV-RLU list, all sharing one domain (§6.2: 1,000 buckets by default).
+type MVRLUHash struct {
+	d       *core.Domain[mvNode]
+	buckets []*core.Object[mvNode]
+}
+
+// NewMVRLUHash creates a hash table with nbuckets chains.
+func NewMVRLUHash(nbuckets int, opts core.Options) *MVRLUHash {
+	h := &MVRLUHash{
+		d:       core.NewDomain[mvNode](opts),
+		buckets: make([]*core.Object[mvNode], nbuckets),
+	}
+	for i := range h.buckets {
+		h.buckets[i] = core.NewObject(mvNode{key: minKey})
+	}
+	return h
+}
+
+// Name implements Set.
+func (h *MVRLUHash) Name() string { return "mvrlu-hash" }
+
+// Close stops the domain.
+func (h *MVRLUHash) Close() { h.d.Close() }
+
+// AbortStats implements AbortCounter.
+func (h *MVRLUHash) AbortStats() (uint64, uint64) {
+	s := h.d.Stats()
+	return s.Commits, s.Aborts
+}
+
+// Stats exposes the underlying domain counters.
+func (h *MVRLUHash) Stats() core.Stats { return h.d.Stats() }
+
+// Session implements Set.
+func (h *MVRLUHash) Session() Session {
+	return &mvrluHashSession{t: h, h: h.d.Register()}
+}
+
+type mvrluHashSession struct {
+	t *MVRLUHash
+	h *core.Thread[mvNode]
+}
+
+// bucketFor spreads keys with Fibonacci hashing.
+func bucketFor(key, n int) int {
+	const phi64 = 0x9E3779B97F4A7C15
+	x := uint64(key) * phi64
+	return int(x % uint64(n))
+}
+
+func (s *mvrluHashSession) Lookup(key int) bool {
+	head := s.t.buckets[bucketFor(key, len(s.t.buckets))]
+	s.h.ReadLock()
+	_, cur, k, _ := mvFind(s.h, head, key)
+	s.h.ReadUnlock()
+	return cur != nil && k == key
+}
+
+func (s *mvrluHashSession) Insert(key int) (ok bool) {
+	head := s.t.buckets[bucketFor(key, len(s.t.buckets))]
+	s.h.Execute(func(h *core.Thread[mvNode]) bool {
+		prev, cur, k, _ := mvFind(h, head, key)
+		if cur != nil && k == key {
+			ok = false
+			return true
+		}
+		c, locked := h.TryLock(prev)
+		if !locked {
+			return false
+		}
+		c.next = core.NewObject(mvNode{key: key, next: cur})
+		ok = true
+		return true
+	})
+	return ok
+}
+
+func (s *mvrluHashSession) Remove(key int) (ok bool) {
+	head := s.t.buckets[bucketFor(key, len(s.t.buckets))]
+	s.h.Execute(func(h *core.Thread[mvNode]) bool {
+		prev, cur, k, _ := mvFind(h, head, key)
+		if cur == nil || k != key {
+			ok = false
+			return true
+		}
+		cp, locked := h.TryLock(prev)
+		if !locked {
+			return false
+		}
+		cv, locked := h.TryLock(cur)
+		if !locked {
+			return false
+		}
+		cp.next = cv.next
+		h.Free(cur)
+		ok = true
+		return true
+	})
+	return ok
+}

@@ -1,0 +1,175 @@
+package ds
+
+import "mvrlu/internal/core"
+
+// mvTNode is an internal BST node under MV-RLU.
+type mvTNode struct {
+	key         int
+	left, right *core.Object[mvTNode]
+}
+
+// MVRLUBST is the paper's MV-RLU binary search tree (§6.2.1): an internal
+// BST whose updates lock only the nodes they rewrite. Two-child deletion
+// replaces the node's key with its successor's and unlinks the successor
+// in the same write set, so the whole deletion commits atomically. The
+// successor itself is always locked, which serializes it against the only
+// racy insertion position (a key between the old key and the successor
+// always attaches at the successor's left child).
+type MVRLUBST struct {
+	d *core.Domain[mvTNode]
+	// root is a sentinel with key maxKey; the tree hangs off its left.
+	root *core.Object[mvTNode]
+}
+
+// NewMVRLUBST creates an empty tree in a fresh domain.
+func NewMVRLUBST(opts core.Options) *MVRLUBST {
+	return &MVRLUBST{
+		d:    core.NewDomain[mvTNode](opts),
+		root: core.NewObject(mvTNode{key: maxKey}),
+	}
+}
+
+// Name implements Set.
+func (t *MVRLUBST) Name() string { return "mvrlu-bst" }
+
+// Close stops the domain.
+func (t *MVRLUBST) Close() { t.d.Close() }
+
+// AbortStats implements AbortCounter.
+func (t *MVRLUBST) AbortStats() (uint64, uint64) {
+	s := t.d.Stats()
+	return s.Commits, s.Aborts
+}
+
+// Session implements Set.
+func (t *MVRLUBST) Session() Session {
+	return &mvrluBSTSession{t: t, h: t.d.Register()}
+}
+
+type mvrluBSTSession struct {
+	t *MVRLUBST
+	h *core.Thread[mvTNode]
+}
+
+// findTree descends to key, returning the node (nil if absent), its
+// parent, and whether the node hangs off the parent's left.
+func findTree(h *core.Thread[mvTNode], root *core.Object[mvTNode], key int) (parent, node *core.Object[mvTNode], left bool) {
+	parent, left = root, true
+	node = h.Deref(root).left
+	for node != nil {
+		d := h.Deref(node)
+		if d.key == key {
+			return parent, node, left
+		}
+		parent = node
+		if key < d.key {
+			node, left = d.left, true
+		} else {
+			node, left = d.right, false
+		}
+	}
+	return parent, nil, left
+}
+
+func (s *mvrluBSTSession) Lookup(key int) bool {
+	s.h.ReadLock()
+	_, node, _ := findTree(s.h, s.t.root, key)
+	s.h.ReadUnlock()
+	return node != nil
+}
+
+func (s *mvrluBSTSession) Insert(key int) (ok bool) {
+	s.h.Execute(func(h *core.Thread[mvTNode]) bool {
+		parent, node, left := findTree(h, s.t.root, key)
+		if node != nil {
+			ok = false
+			return true
+		}
+		c, locked := h.TryLock(parent)
+		if !locked {
+			return false
+		}
+		n := core.NewObject(mvTNode{key: key})
+		if left {
+			c.left = n
+		} else {
+			c.right = n
+		}
+		ok = true
+		return true
+	})
+	return ok
+}
+
+func (s *mvrluBSTSession) Remove(key int) (ok bool) {
+	s.h.Execute(func(h *core.Thread[mvTNode]) bool {
+		parent, node, left := findTree(h, s.t.root, key)
+		if node == nil {
+			ok = false
+			return true
+		}
+		nd := h.Deref(node)
+		switch {
+		case nd.left == nil || nd.right == nil:
+			// Zero or one child: swing the parent pointer.
+			cp, locked := h.TryLock(parent)
+			if !locked {
+				return false
+			}
+			cn, locked := h.TryLock(node)
+			if !locked {
+				return false
+			}
+			child := cn.left
+			if child == nil {
+				child = cn.right
+			}
+			if left {
+				cp.left = child
+			} else {
+				cp.right = child
+			}
+			h.Free(node)
+		default:
+			// Two children: replace key with the successor's and
+			// unlink the successor, all in one write set.
+			sparent, succ := node, nd.right
+			sleft := false
+			for {
+				sd := h.Deref(succ)
+				if sd.left == nil {
+					break
+				}
+				sparent, succ = succ, sd.left
+				sleft = true
+			}
+			cn, locked := h.TryLock(node)
+			if !locked {
+				return false
+			}
+			cs, locked := h.TryLock(succ)
+			if !locked {
+				return false
+			}
+			cn.key = cs.key
+			if sparent == node {
+				// Successor is node's direct right child.
+				cn.right = cs.right
+			} else {
+				csp, locked := h.TryLock(sparent)
+				if !locked {
+					return false
+				}
+				if sleft {
+					csp.left = cs.right
+				} else {
+					csp.right = cs.right
+				}
+			}
+			h.Free(succ)
+		}
+		ok = true
+		return true
+	})
+	return ok
+}

@@ -1,0 +1,107 @@
+package ds
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// op is a generated set operation for the quick properties.
+type op struct {
+	Kind uint8
+	Key  uint8
+}
+
+// applyOps runs a generated sequence against both a Session and a map,
+// checking every return value.
+func applyOps(s Session, ops []op) bool {
+	ref := map[int]bool{}
+	for _, o := range ops {
+		k := int(o.Key) % 48
+		switch o.Kind % 3 {
+		case 0:
+			if s.Insert(k) == ref[k] {
+				return false
+			}
+			ref[k] = true
+		case 1:
+			if s.Remove(k) != ref[k] {
+				return false
+			}
+			delete(ref, k)
+		default:
+			if s.Lookup(k) != ref[k] {
+				return false
+			}
+		}
+	}
+	for k := 0; k < 48; k++ {
+		if s.Lookup(k) != ref[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQuickSetEquivalence property-checks one representative structure of
+// each mechanism family against the map oracle under generated op
+// sequences.
+func TestQuickSetEquivalence(t *testing.T) {
+	for _, name := range []string{"mvrlu-list", "mvrlu-bst", "mvrlu-hash",
+		"rlu-bst", "rcu-bst", "vp-bst", "stm-hash", "hp-harris-hash"} {
+		t.Run(name, func(t *testing.T) {
+			f := func(ops []op) bool {
+				set, err := New(name, Config{Buckets: 8})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer set.Close()
+				return applyOps(set.Session(), ops)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestQuickSessionsInterleaved: two sessions of the same set, operations
+// interleaved deterministically, must behave like one map (sessions share
+// state, not snapshots, between their own operations).
+func TestQuickSessionsInterleaved(t *testing.T) {
+	f := func(ops []op) bool {
+		set, err := New("mvrlu-bst", Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer set.Close()
+		s1, s2 := set.Session(), set.Session()
+		ref := map[int]bool{}
+		for i, o := range ops {
+			s := s1
+			if i%2 == 1 {
+				s = s2
+			}
+			k := int(o.Key) % 32
+			switch o.Kind % 3 {
+			case 0:
+				if s.Insert(k) == ref[k] {
+					return false
+				}
+				ref[k] = true
+			case 1:
+				if s.Remove(k) != ref[k] {
+					return false
+				}
+				delete(ref, k)
+			default:
+				if s.Lookup(k) != ref[k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

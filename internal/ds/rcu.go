@@ -1,0 +1,180 @@
+package ds
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"mvrlu/internal/rcu"
+)
+
+// rcuNode is a list node under RCU: immutable key, atomic next pointer.
+type rcuNode struct {
+	key  int
+	next atomic.Pointer[rcuNode]
+}
+
+// RCUList is the RCU linked list of the paper's evaluation: wait-free
+// readers, writers serialized by a per-list lock (the paper uses a
+// spinlock), and removals paying a grace period before reclamation —
+// the cost that caps RCU's update scalability.
+type RCUList struct {
+	d    *rcu.Domain
+	head *rcuNode
+	mu   sync.Mutex
+}
+
+// NewRCUList creates an empty list.
+func NewRCUList() *RCUList {
+	return &RCUList{d: rcu.NewDomain(), head: &rcuNode{key: minKey}}
+}
+
+// Name implements Set.
+func (l *RCUList) Name() string { return "rcu-list" }
+
+// Close implements Set.
+func (l *RCUList) Close() {}
+
+// Session implements Set.
+func (l *RCUList) Session() Session {
+	return &rcuListSession{l: l, t: l.d.Register()}
+}
+
+type rcuListSession struct {
+	l *RCUList
+	t *rcu.Thread
+}
+
+func (s *rcuListSession) Lookup(key int) bool {
+	s.t.ReadLock()
+	cur := s.l.head.next.Load()
+	for cur != nil && cur.key < key {
+		cur = cur.next.Load()
+	}
+	found := cur != nil && cur.key == key
+	s.t.ReadUnlock()
+	return found
+}
+
+func (s *rcuListSession) Insert(key int) bool {
+	s.l.mu.Lock()
+	prev := s.l.head
+	cur := prev.next.Load()
+	for cur != nil && cur.key < key {
+		prev, cur = cur, cur.next.Load()
+	}
+	if cur != nil && cur.key == key {
+		s.l.mu.Unlock()
+		return false
+	}
+	n := &rcuNode{key: key}
+	n.next.Store(cur)
+	prev.next.Store(n) // single-pointer publish
+	s.l.mu.Unlock()
+	return true
+}
+
+func (s *rcuListSession) Remove(key int) bool {
+	s.l.mu.Lock()
+	prev := s.l.head
+	cur := prev.next.Load()
+	for cur != nil && cur.key < key {
+		prev, cur = cur, cur.next.Load()
+	}
+	if cur == nil || cur.key != key {
+		s.l.mu.Unlock()
+		return false
+	}
+	prev.next.Store(cur.next.Load())
+	s.l.mu.Unlock()
+	// Grace period before reclamation (the Go GC frees the node, but
+	// the wait is RCU's algorithmic removal cost).
+	s.t.Synchronize()
+	return true
+}
+
+// RCUHash is the paper's RCU hash table: per-bucket locks for writers
+// (more write parallelism than the list), RCU readers.
+type RCUHash struct {
+	d       *rcu.Domain
+	buckets []rcuBucket
+}
+
+type rcuBucket struct {
+	mu   sync.Mutex
+	head *rcuNode
+	_    [40]byte // keep bucket locks off each other's cache line
+}
+
+// NewRCUHash creates a hash table with nbuckets chains.
+func NewRCUHash(nbuckets int) *RCUHash {
+	h := &RCUHash{d: rcu.NewDomain(), buckets: make([]rcuBucket, nbuckets)}
+	for i := range h.buckets {
+		h.buckets[i].head = &rcuNode{key: minKey}
+	}
+	return h
+}
+
+// Name implements Set.
+func (h *RCUHash) Name() string { return "rcu-hash" }
+
+// Close implements Set.
+func (h *RCUHash) Close() {}
+
+// Session implements Set.
+func (h *RCUHash) Session() Session {
+	return &rcuHashSession{h: h, t: h.d.Register()}
+}
+
+type rcuHashSession struct {
+	h *RCUHash
+	t *rcu.Thread
+}
+
+func (s *rcuHashSession) Lookup(key int) bool {
+	b := &s.h.buckets[bucketFor(key, len(s.h.buckets))]
+	s.t.ReadLock()
+	cur := b.head.next.Load()
+	for cur != nil && cur.key < key {
+		cur = cur.next.Load()
+	}
+	found := cur != nil && cur.key == key
+	s.t.ReadUnlock()
+	return found
+}
+
+func (s *rcuHashSession) Insert(key int) bool {
+	b := &s.h.buckets[bucketFor(key, len(s.h.buckets))]
+	b.mu.Lock()
+	prev := b.head
+	cur := prev.next.Load()
+	for cur != nil && cur.key < key {
+		prev, cur = cur, cur.next.Load()
+	}
+	if cur != nil && cur.key == key {
+		b.mu.Unlock()
+		return false
+	}
+	n := &rcuNode{key: key}
+	n.next.Store(cur)
+	prev.next.Store(n)
+	b.mu.Unlock()
+	return true
+}
+
+func (s *rcuHashSession) Remove(key int) bool {
+	b := &s.h.buckets[bucketFor(key, len(s.h.buckets))]
+	b.mu.Lock()
+	prev := b.head
+	cur := prev.next.Load()
+	for cur != nil && cur.key < key {
+		prev, cur = cur, cur.next.Load()
+	}
+	if cur == nil || cur.key != key {
+		b.mu.Unlock()
+		return false
+	}
+	prev.next.Store(cur.next.Load())
+	b.mu.Unlock()
+	s.t.Synchronize()
+	return true
+}

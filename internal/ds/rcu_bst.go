@@ -1,0 +1,208 @@
+package ds
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"mvrlu/internal/rcu"
+)
+
+// rcuTNode is a Citrus tree node: immutable key, atomic child pointers
+// (readers race writers), a per-node lock for writers, and a marked flag
+// for logical deletion.
+type rcuTNode struct {
+	key    int
+	child  [2]atomic.Pointer[rcuTNode]
+	mu     sync.Mutex
+	marked bool // under mu
+}
+
+// RCUBST is the Citrus tree (Arbel & Attiya, PPoPP 2014), the paper's
+// RCU search-tree baseline: wait-free lookups under RCU, fine-grained
+// per-node locking for writers with post-lock validation, and the
+// two-phase two-child deletion whose rcu_synchronize call dominates
+// Citrus's write cost — a copy of the successor replaces the deleted
+// node, a grace period guarantees every reader that could still be
+// heading for the original successor has finished, and only then is the
+// original unlinked.
+type RCUBST struct {
+	d    *rcu.Domain
+	root *rcuTNode
+}
+
+// NewRCUBST creates an empty tree (sentinel root with key maxKey; the
+// tree hangs off its left child).
+func NewRCUBST() *RCUBST {
+	return &RCUBST{d: rcu.NewDomain(), root: &rcuTNode{key: maxKey}}
+}
+
+// Name implements Set.
+func (t *RCUBST) Name() string { return "rcu-bst" }
+
+// Close implements Set.
+func (t *RCUBST) Close() {}
+
+// Session implements Set.
+func (t *RCUBST) Session() Session {
+	return &rcuBSTSession{t: t, r: t.d.Register()}
+}
+
+type rcuBSTSession struct {
+	t *RCUBST
+	r *rcu.Thread
+}
+
+// dir returns which child of n to follow for key.
+func dir(n *rcuTNode, key int) int {
+	if key < n.key {
+		return 0
+	}
+	return 1
+}
+
+func (s *rcuBSTSession) Lookup(key int) bool {
+	s.r.ReadLock()
+	node := s.t.root.child[0].Load()
+	for node != nil && node.key != key {
+		node = node.child[dir(node, key)].Load()
+	}
+	s.r.ReadUnlock()
+	return node != nil
+}
+
+// search finds (prev, node, direction) for key under RCU; node is nil if
+// absent, with prev the would-be parent.
+func (s *rcuBSTSession) search(key int) (prev, node *rcuTNode, d int) {
+	prev, d = s.t.root, 0
+	node = s.t.root.child[0].Load()
+	for node != nil && node.key != key {
+		prev = node
+		d = dir(node, key)
+		node = node.child[d].Load()
+	}
+	return prev, node, d
+}
+
+func (s *rcuBSTSession) Insert(key int) bool {
+	for {
+		s.r.ReadLock()
+		prev, node, d := s.search(key)
+		s.r.ReadUnlock()
+		if node != nil {
+			return false
+		}
+		prev.mu.Lock()
+		// Validate: prev still unmarked and the slot still empty.
+		if prev.marked || prev.child[d].Load() != nil {
+			prev.mu.Unlock()
+			continue
+		}
+		prev.child[d].Store(&rcuTNode{key: key})
+		prev.mu.Unlock()
+		return true
+	}
+}
+
+func (s *rcuBSTSession) Remove(key int) bool {
+	for {
+		s.r.ReadLock()
+		prev, node, d := s.search(key)
+		s.r.ReadUnlock()
+		if node == nil {
+			return false
+		}
+		prev.mu.Lock()
+		if prev.marked || prev.child[d].Load() != node {
+			prev.mu.Unlock()
+			continue
+		}
+		node.mu.Lock()
+		if node.marked {
+			node.mu.Unlock()
+			prev.mu.Unlock()
+			continue
+		}
+		l, r := node.child[0].Load(), node.child[1].Load()
+		if l == nil || r == nil {
+			// Zero or one child: single pointer swing.
+			child := l
+			if child == nil {
+				child = r
+			}
+			prev.child[d].Store(child)
+			node.marked = true
+			node.mu.Unlock()
+			prev.mu.Unlock()
+			// Grace period before the node may be reclaimed (the Go
+			// GC frees it; the wait is Citrus's removal cost).
+			s.r.Synchronize()
+			return true
+		}
+		// Two children: find and lock the successor (and its parent),
+		// validate, publish a copy, wait a grace period, unlink.
+		sparent, succ := node, r
+		for {
+			sl := succ.child[0].Load()
+			if sl == nil {
+				break
+			}
+			sparent, succ = succ, sl
+		}
+		if sparent != node {
+			sparent.mu.Lock()
+			if sparent.marked || sparent.child[0].Load() != succ {
+				sparent.mu.Unlock()
+				node.mu.Unlock()
+				prev.mu.Unlock()
+				continue
+			}
+		}
+		succ.mu.Lock()
+		if succ.marked || succ.child[0].Load() != nil {
+			succ.mu.Unlock()
+			if sparent != node {
+				sparent.mu.Unlock()
+			}
+			node.mu.Unlock()
+			prev.mu.Unlock()
+			continue
+		}
+
+		if sparent == node {
+			// Successor is node's direct right child: bypass node in
+			// one swing; succ adopts node's left subtree.
+			repl := &rcuTNode{key: succ.key}
+			repl.child[0].Store(l)
+			repl.child[1].Store(succ.child[1].Load())
+			prev.child[d].Store(repl)
+			node.marked = true
+			succ.marked = true
+			succ.mu.Unlock()
+			node.mu.Unlock()
+			prev.mu.Unlock()
+			s.r.Synchronize()
+			return true
+		}
+
+		// Phase 1: publish a copy of the successor in node's place.
+		// succ.key is now reachable at the copy; the original is still
+		// linked deeper in the right subtree.
+		repl := &rcuTNode{key: succ.key}
+		repl.child[0].Store(l)
+		repl.child[1].Store(r)
+		prev.child[d].Store(repl)
+		node.marked = true
+		// Grace period: every reader that could still route to the
+		// original successor through the old topology has finished.
+		s.r.Synchronize()
+		// Phase 2: unlink the original successor.
+		sparent.child[0].Store(succ.child[1].Load())
+		succ.marked = true
+		succ.mu.Unlock()
+		sparent.mu.Unlock()
+		node.mu.Unlock()
+		prev.mu.Unlock()
+		s.r.Synchronize()
+		return true
+	}
+}

@@ -1,0 +1,78 @@
+package ds
+
+import (
+	"fmt"
+	"sort"
+
+	"mvrlu/internal/core"
+	"mvrlu/internal/rlu"
+)
+
+// Config parameterizes set construction.
+type Config struct {
+	// Buckets is the hash-table bucket count (paper default: 1,000).
+	Buckets int
+	// Core configures MV-RLU domains (factor-analysis rungs override
+	// these; zero value means core.DefaultOptions).
+	Core core.Options
+}
+
+func (c Config) core() core.Options {
+	if c.Core.LogSlots == 0 {
+		return core.DefaultOptions()
+	}
+	return c.Core
+}
+
+func (c Config) buckets() int {
+	if c.Buckets <= 0 {
+		return 1000
+	}
+	return c.Buckets
+}
+
+// builders maps "mechanism-structure" names to constructors.
+var builders = map[string]func(Config) Set{
+	"mvrlu-list":     func(c Config) Set { return NewMVRLUList(c.core()) },
+	"mvrlu-dlist":    func(c Config) Set { return NewMVRLUDList(c.core()) },
+	"mvrlu-hash":     func(c Config) Set { return NewMVRLUHash(c.buckets(), c.core()) },
+	"mvrlu-bst":      func(c Config) Set { return NewMVRLUBST(c.core()) },
+	"rlu-list":       func(c Config) Set { return NewRLUList(rlu.ClockGlobal) },
+	"rlu-hash":       func(c Config) Set { return NewRLUHash(c.buckets(), rlu.ClockGlobal) },
+	"rlu-bst":        func(c Config) Set { return NewRLUBST(rlu.ClockGlobal) },
+	"rlu-ordo-list":  func(c Config) Set { return NewRLUList(rlu.ClockOrdo) },
+	"rlu-ordo-hash":  func(c Config) Set { return NewRLUHash(c.buckets(), rlu.ClockOrdo) },
+	"rlu-ordo-bst":   func(c Config) Set { return NewRLUBST(rlu.ClockOrdo) },
+	"rcu-list":       func(c Config) Set { return NewRCUList() },
+	"rcu-hash":       func(c Config) Set { return NewRCUHash(c.buckets()) },
+	"rcu-bst":        func(c Config) Set { return NewRCUBST() },
+	"harris-list":    func(c Config) Set { return NewHarrisList() },
+	"harris-hash":    func(c Config) Set { return NewHarrisHash(c.buckets()) },
+	"hp-harris-list": func(c Config) Set { return NewHPHarrisList() },
+	"hp-harris-hash": func(c Config) Set { return NewHPHarrisHash(c.buckets()) },
+	"stm-list":       func(c Config) Set { return NewSTMList() },
+	"stm-hash":       func(c Config) Set { return NewSTMHash(c.buckets()) },
+	"vp-list":        func(c Config) Set { return NewVPList() },
+	"vp-bst":         func(c Config) Set { return NewVPBST() },
+	"ffwd-list":      func(c Config) Set { return NewFFWDList() },
+	"nr-list":        func(c Config) Set { return NewNRList() },
+}
+
+// New constructs a set by name ("mvrlu-hash", "rlu-ordo-list", ...).
+func New(name string, cfg Config) (Set, error) {
+	b, ok := builders[name]
+	if !ok {
+		return nil, fmt.Errorf("ds: unknown set %q (known: %v)", name, Names())
+	}
+	return b(cfg), nil
+}
+
+// Names lists all registered set names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(builders))
+	for n := range builders {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

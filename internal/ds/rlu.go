@@ -1,0 +1,219 @@
+package ds
+
+import (
+	"mvrlu/internal/rlu"
+)
+
+// rluNode is a sorted-list node under RLU.
+type rluNode struct {
+	key  int
+	next *rlu.Object[rluNode]
+}
+
+// RLUList is the original-RLU linked list (with the global clock or the
+// ORDO clock — the paper's RLU and RLU-ORDO configurations). Unlike
+// MV-RLU, a successful TryLock copies the *current* master, which may be
+// newer than this section's snapshot, so every update validates the
+// locked copies against what the traversal observed and aborts on
+// mismatch.
+type RLUList struct {
+	d    *rlu.Domain[rluNode]
+	head *rlu.Object[rluNode]
+	name string
+}
+
+// NewRLUList creates an empty list. mode selects RLU vs RLU-ORDO.
+func NewRLUList(mode rlu.ClockMode) *RLUList {
+	name := "rlu-list"
+	if mode == rlu.ClockOrdo {
+		name = "rlu-ordo-list"
+	}
+	return &RLUList{
+		d:    rlu.NewDomain[rluNode](mode),
+		head: rlu.NewObject(rluNode{key: minKey}),
+		name: name,
+	}
+}
+
+// Name implements Set.
+func (l *RLUList) Name() string { return l.name }
+
+// Close implements Set.
+func (l *RLUList) Close() { l.d.Close() }
+
+// AbortStats implements AbortCounter.
+func (l *RLUList) AbortStats() (uint64, uint64) {
+	s := l.d.Stats()
+	return s.Commits, s.Aborts
+}
+
+// Stats exposes RLU counters (sync spins etc.).
+func (l *RLUList) Stats() rlu.Stats { return l.d.Stats() }
+
+// Session implements Set.
+func (l *RLUList) Session() Session {
+	return &rluListSession{l: l, h: l.d.Register()}
+}
+
+type rluListSession struct {
+	l *RLUList
+	h *rlu.Thread[rluNode]
+}
+
+func rluFind(h *rlu.Thread[rluNode], head *rlu.Object[rluNode], key int) (prev, cur *rlu.Object[rluNode], curKey int) {
+	prev = head
+	cur = h.Deref(head).next
+	for cur != nil {
+		d := h.Deref(cur)
+		if d.key >= key {
+			return prev, cur, d.key
+		}
+		prev, cur = cur, d.next
+	}
+	return prev, nil, 0
+}
+
+func (s *rluListSession) Lookup(key int) bool {
+	s.h.ReadLock()
+	_, cur, k := rluFind(s.h, s.l.head, key)
+	s.h.ReadUnlock()
+	return cur != nil && k == key
+}
+
+func (s *rluListSession) Insert(key int) (ok bool) {
+	s.h.Execute(func(h *rlu.Thread[rluNode]) bool {
+		prev, cur, k := rluFind(h, s.l.head, key)
+		if cur != nil && k == key {
+			ok = false
+			return true
+		}
+		c, locked := h.TryLock(prev)
+		if !locked || c.next != cur {
+			return false // lock failed or link changed under us
+		}
+		c.next = rlu.NewObject(rluNode{key: key, next: cur})
+		ok = true
+		return true
+	})
+	return ok
+}
+
+func (s *rluListSession) Remove(key int) (ok bool) {
+	s.h.Execute(func(h *rlu.Thread[rluNode]) bool {
+		prev, cur, k := rluFind(h, s.l.head, key)
+		if cur == nil || k != key {
+			ok = false
+			return true
+		}
+		cp, locked := h.TryLock(prev)
+		if !locked || cp.next != cur {
+			return false
+		}
+		cv, locked := h.TryLock(cur)
+		if !locked {
+			return false
+		}
+		cp.next = cv.next
+		h.Free(cur)
+		ok = true
+		return true
+	})
+	return ok
+}
+
+// RLUHash is the RLU hash table: shared domain, per-bucket sorted lists.
+type RLUHash struct {
+	d       *rlu.Domain[rluNode]
+	buckets []*rlu.Object[rluNode]
+	name    string
+}
+
+// NewRLUHash creates a hash table with nbuckets chains.
+func NewRLUHash(nbuckets int, mode rlu.ClockMode) *RLUHash {
+	name := "rlu-hash"
+	if mode == rlu.ClockOrdo {
+		name = "rlu-ordo-hash"
+	}
+	h := &RLUHash{
+		d:       rlu.NewDomain[rluNode](mode),
+		buckets: make([]*rlu.Object[rluNode], nbuckets),
+		name:    name,
+	}
+	for i := range h.buckets {
+		h.buckets[i] = rlu.NewObject(rluNode{key: minKey})
+	}
+	return h
+}
+
+// Name implements Set.
+func (h *RLUHash) Name() string { return h.name }
+
+// Close implements Set.
+func (h *RLUHash) Close() { h.d.Close() }
+
+// AbortStats implements AbortCounter.
+func (h *RLUHash) AbortStats() (uint64, uint64) {
+	s := h.d.Stats()
+	return s.Commits, s.Aborts
+}
+
+// Session implements Set.
+func (h *RLUHash) Session() Session {
+	return &rluHashSession{t: h, h: h.d.Register()}
+}
+
+type rluHashSession struct {
+	t *RLUHash
+	h *rlu.Thread[rluNode]
+}
+
+func (s *rluHashSession) Lookup(key int) bool {
+	head := s.t.buckets[bucketFor(key, len(s.t.buckets))]
+	s.h.ReadLock()
+	_, cur, k := rluFind(s.h, head, key)
+	s.h.ReadUnlock()
+	return cur != nil && k == key
+}
+
+func (s *rluHashSession) Insert(key int) (ok bool) {
+	head := s.t.buckets[bucketFor(key, len(s.t.buckets))]
+	s.h.Execute(func(h *rlu.Thread[rluNode]) bool {
+		prev, cur, k := rluFind(h, head, key)
+		if cur != nil && k == key {
+			ok = false
+			return true
+		}
+		c, locked := h.TryLock(prev)
+		if !locked || c.next != cur {
+			return false
+		}
+		c.next = rlu.NewObject(rluNode{key: key, next: cur})
+		ok = true
+		return true
+	})
+	return ok
+}
+
+func (s *rluHashSession) Remove(key int) (ok bool) {
+	head := s.t.buckets[bucketFor(key, len(s.t.buckets))]
+	s.h.Execute(func(h *rlu.Thread[rluNode]) bool {
+		prev, cur, k := rluFind(h, head, key)
+		if cur == nil || k != key {
+			ok = false
+			return true
+		}
+		cp, locked := h.TryLock(prev)
+		if !locked || cp.next != cur {
+			return false
+		}
+		cv, locked := h.TryLock(cur)
+		if !locked {
+			return false
+		}
+		cp.next = cv.next
+		h.Free(cur)
+		ok = true
+		return true
+	})
+	return ok
+}

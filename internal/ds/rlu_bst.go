@@ -1,0 +1,188 @@
+package ds
+
+import "mvrlu/internal/rlu"
+
+// rluTNode is an internal BST node under RLU.
+type rluTNode struct {
+	key         int
+	left, right *rlu.Object[rluTNode]
+}
+
+// RLUBST is the RLU binary search tree. Same algorithm as MVRLUBST, but
+// with explicit post-lock validation (RLU's TryLock exposes the current
+// master, which may differ from the traversal's view).
+type RLUBST struct {
+	d    *rlu.Domain[rluTNode]
+	root *rlu.Object[rluTNode]
+	name string
+}
+
+// NewRLUBST creates an empty tree.
+func NewRLUBST(mode rlu.ClockMode) *RLUBST {
+	name := "rlu-bst"
+	if mode == rlu.ClockOrdo {
+		name = "rlu-ordo-bst"
+	}
+	return &RLUBST{
+		d:    rlu.NewDomain[rluTNode](mode),
+		root: rlu.NewObject(rluTNode{key: maxKey}),
+		name: name,
+	}
+}
+
+// Name implements Set.
+func (t *RLUBST) Name() string { return t.name }
+
+// Close implements Set.
+func (t *RLUBST) Close() { t.d.Close() }
+
+// AbortStats implements AbortCounter.
+func (t *RLUBST) AbortStats() (uint64, uint64) {
+	s := t.d.Stats()
+	return s.Commits, s.Aborts
+}
+
+// Session implements Set.
+func (t *RLUBST) Session() Session {
+	return &rluBSTSession{t: t, h: t.d.Register()}
+}
+
+type rluBSTSession struct {
+	t *RLUBST
+	h *rlu.Thread[rluTNode]
+}
+
+func rluFindTree(h *rlu.Thread[rluTNode], root *rlu.Object[rluTNode], key int) (parent, node *rlu.Object[rluTNode], left bool) {
+	parent, left = root, true
+	node = h.Deref(root).left
+	for node != nil {
+		d := h.Deref(node)
+		if d.key == key {
+			return parent, node, left
+		}
+		parent = node
+		if key < d.key {
+			node, left = d.left, true
+		} else {
+			node, left = d.right, false
+		}
+	}
+	return parent, nil, left
+}
+
+func (s *rluBSTSession) Lookup(key int) bool {
+	s.h.ReadLock()
+	_, node, _ := rluFindTree(s.h, s.t.root, key)
+	s.h.ReadUnlock()
+	return node != nil
+}
+
+func (s *rluBSTSession) Insert(key int) (ok bool) {
+	s.h.Execute(func(h *rlu.Thread[rluTNode]) bool {
+		parent, node, left := rluFindTree(h, s.t.root, key)
+		if node != nil {
+			ok = false
+			return true
+		}
+		c, locked := h.TryLock(parent)
+		if !locked {
+			return false
+		}
+		// Validate: the slot we are filling must still be empty and
+		// the parent's key unchanged (a concurrent two-child delete
+		// rewrites keys).
+		if c.key != keyOf(h, parent) {
+			return false
+		}
+		if left {
+			if c.left != nil {
+				return false
+			}
+			c.left = rlu.NewObject(rluTNode{key: key})
+		} else {
+			if c.right != nil {
+				return false
+			}
+			c.right = rlu.NewObject(rluTNode{key: key})
+		}
+		ok = true
+		return true
+	})
+	return ok
+}
+
+// keyOf reads the snapshot key of a node (for validation against the
+// locked copy).
+func keyOf(h *rlu.Thread[rluTNode], o *rlu.Object[rluTNode]) int {
+	return h.Deref(o).key
+}
+
+func (s *rluBSTSession) Remove(key int) (ok bool) {
+	s.h.Execute(func(h *rlu.Thread[rluTNode]) bool {
+		parent, node, left := rluFindTree(h, s.t.root, key)
+		if node == nil {
+			ok = false
+			return true
+		}
+		cn, locked := h.TryLock(node)
+		if !locked || cn.key != key {
+			return false
+		}
+		switch {
+		case cn.left == nil || cn.right == nil:
+			cp, locked := h.TryLock(parent)
+			if !locked {
+				return false
+			}
+			// Validate the parent still points at node.
+			if (left && cp.left != node) || (!left && cp.right != node) {
+				return false
+			}
+			child := cn.left
+			if child == nil {
+				child = cn.right
+			}
+			if left {
+				cp.left = child
+			} else {
+				cp.right = child
+			}
+			h.Free(node)
+		default:
+			// Two children: lock the successor (and its parent) and
+			// validate the locked copies describe the same shape the
+			// shapshot showed.
+			sparent, succ := node, cn.right
+			var succKey int
+			for {
+				sd := h.Deref(succ)
+				succKey = sd.key
+				if sd.left == nil {
+					break
+				}
+				sparent, succ = succ, sd.left
+			}
+			cs, locked := h.TryLock(succ)
+			if !locked || cs.left != nil || cs.key != succKey {
+				return false
+			}
+			cn.key = cs.key
+			if sparent == node {
+				if cn.right != succ {
+					return false
+				}
+				cn.right = cs.right
+			} else {
+				csp, locked := h.TryLock(sparent)
+				if !locked || csp.left != succ {
+					return false
+				}
+				csp.left = cs.right
+			}
+			h.Free(succ)
+		}
+		ok = true
+		return true
+	})
+	return ok
+}

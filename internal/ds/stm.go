@@ -1,0 +1,173 @@
+package ds
+
+import "mvrlu/internal/stm"
+
+// stmNode is a list node under STM. The next pointer lives inside the
+// transactional value, so every link change is a Var write and every
+// traversal hop enters the read set — precisely the amplification and
+// read-write conflict behaviour Table 1 and Figure 5 attribute to STM.
+type stmNode struct {
+	key  int
+	next *stm.Var[stmNode]
+}
+
+// STMList is a sorted linked list over the TL2-style STM (the SwissTM
+// stand-in).
+type STMList struct {
+	d    *stm.Domain[stmNode]
+	head *stm.Var[stmNode]
+}
+
+// NewSTMList creates an empty list.
+func NewSTMList() *STMList {
+	return &STMList{
+		d:    stm.NewDomain[stmNode](),
+		head: stm.NewVar(stmNode{key: minKey}),
+	}
+}
+
+// Name implements Set.
+func (l *STMList) Name() string { return "stm-list" }
+
+// Close implements Set.
+func (l *STMList) Close() {}
+
+// AbortStats implements AbortCounter.
+func (l *STMList) AbortStats() (uint64, uint64) { return l.d.Stats() }
+
+// Session implements Set. STM sessions are stateless; transactions carry
+// all state.
+func (l *STMList) Session() Session { return &stmListSession{l: l} }
+
+type stmListSession struct {
+	l *STMList
+}
+
+func stmFind(tx *stm.Tx[stmNode], head *stm.Var[stmNode], key int) (prev *stm.Var[stmNode], prevVal stmNode, cur *stm.Var[stmNode], curVal stmNode) {
+	prev = head
+	prevVal = *tx.Read(head)
+	cur = prevVal.next
+	for cur != nil {
+		curVal = *tx.Read(cur)
+		if curVal.key >= key {
+			return prev, prevVal, cur, curVal
+		}
+		prev, prevVal = cur, curVal
+		cur = curVal.next
+	}
+	return prev, prevVal, nil, stmNode{}
+}
+
+func (s *stmListSession) Lookup(key int) (found bool) {
+	stm.Atomically(s.l.d, func(tx *stm.Tx[stmNode]) {
+		_, _, cur, cv := stmFind(tx, s.l.head, key)
+		found = cur != nil && cv.key == key
+	})
+	return found
+}
+
+func (s *stmListSession) Insert(key int) (ok bool) {
+	stm.Atomically(s.l.d, func(tx *stm.Tx[stmNode]) {
+		prev, pv, cur, cv := stmFind(tx, s.l.head, key)
+		if cur != nil && cv.key == key {
+			ok = false
+			return
+		}
+		n := stm.NewVar(stmNode{key: key, next: cur})
+		pv.next = n
+		tx.Write(prev, pv)
+		ok = true
+	})
+	return ok
+}
+
+func (s *stmListSession) Remove(key int) (ok bool) {
+	stm.Atomically(s.l.d, func(tx *stm.Tx[stmNode]) {
+		prev, pv, cur, cv := stmFind(tx, s.l.head, key)
+		if cur == nil || cv.key != key {
+			ok = false
+			return
+		}
+		pv.next = cv.next
+		tx.Write(prev, pv)
+		// Write the victim too so concurrent updates of it conflict.
+		tx.Write(cur, cv)
+		ok = true
+	})
+	return ok
+}
+
+// STMHash is the STM hash table (shared domain, bucket lists).
+type STMHash struct {
+	d       *stm.Domain[stmNode]
+	buckets []*stm.Var[stmNode]
+}
+
+// NewSTMHash creates a hash table with nbuckets chains.
+func NewSTMHash(nbuckets int) *STMHash {
+	h := &STMHash{
+		d:       stm.NewDomain[stmNode](),
+		buckets: make([]*stm.Var[stmNode], nbuckets),
+	}
+	for i := range h.buckets {
+		h.buckets[i] = stm.NewVar(stmNode{key: minKey})
+	}
+	return h
+}
+
+// Name implements Set.
+func (h *STMHash) Name() string { return "stm-hash" }
+
+// Close implements Set.
+func (h *STMHash) Close() {}
+
+// AbortStats implements AbortCounter.
+func (h *STMHash) AbortStats() (uint64, uint64) { return h.d.Stats() }
+
+// Session implements Set.
+func (h *STMHash) Session() Session { return &stmHashSession{h: h} }
+
+type stmHashSession struct {
+	h *STMHash
+}
+
+func (s *stmHashSession) Lookup(key int) (found bool) {
+	head := s.h.buckets[bucketFor(key, len(s.h.buckets))]
+	stm.Atomically(s.h.d, func(tx *stm.Tx[stmNode]) {
+		_, _, cur, cv := stmFind(tx, head, key)
+		found = cur != nil && cv.key == key
+	})
+	return found
+}
+
+func (s *stmHashSession) Insert(key int) (ok bool) {
+	head := s.h.buckets[bucketFor(key, len(s.h.buckets))]
+	stm.Atomically(s.h.d, func(tx *stm.Tx[stmNode]) {
+		prev, pv, cur, cv := stmFind(tx, head, key)
+		if cur != nil && cv.key == key {
+			ok = false
+			return
+		}
+		n := stm.NewVar(stmNode{key: key, next: cur})
+		pv.next = n
+		tx.Write(prev, pv)
+		ok = true
+	})
+	return ok
+}
+
+func (s *stmHashSession) Remove(key int) (ok bool) {
+	head := s.h.buckets[bucketFor(key, len(s.h.buckets))]
+	stm.Atomically(s.h.d, func(tx *stm.Tx[stmNode]) {
+		prev, pv, cur, cv := stmFind(tx, head, key)
+		if cur == nil || cv.key != key {
+			ok = false
+			return
+		}
+		pv.next = cv.next
+		tx.Write(prev, pv)
+		tx.Write(cur, cv)
+		ok = true
+	})
+	return ok
+}

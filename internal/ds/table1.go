@@ -1,0 +1,156 @@
+package ds
+
+import (
+	"sync/atomic"
+
+	"mvrlu/internal/delegation"
+	"mvrlu/internal/nr"
+)
+
+// This file adapts the two remaining Table 1 rows — delegation (ffwd)
+// and node replication (NR) — to the common Set interface, over the same
+// sorted-list shape as the other list variants.
+
+// plainList is the sequential sorted list both schemes execute.
+type plainList struct {
+	head *plainNode
+}
+
+type plainNode struct {
+	key  int
+	next *plainNode
+}
+
+func newPlainList() *plainList {
+	return &plainList{head: &plainNode{key: minKey}}
+}
+
+func (l *plainList) lookup(key int) bool {
+	cur := l.head.next
+	for cur != nil && cur.key < key {
+		cur = cur.next
+	}
+	return cur != nil && cur.key == key
+}
+
+func (l *plainList) insert(key int) bool {
+	prev := l.head
+	cur := prev.next
+	for cur != nil && cur.key < key {
+		prev, cur = cur, cur.next
+	}
+	if cur != nil && cur.key == key {
+		return false
+	}
+	prev.next = &plainNode{key: key, next: cur}
+	return true
+}
+
+func (l *plainList) remove(key int) bool {
+	prev := l.head
+	cur := prev.next
+	for cur != nil && cur.key < key {
+		prev, cur = cur, cur.next
+	}
+	if cur == nil || cur.key != key {
+		return false
+	}
+	prev.next = cur.next
+	return true
+}
+
+// setOp is the operation encoding shared by both schemes.
+type setOp struct {
+	kind uint8 // 0 lookup, 1 insert, 2 remove
+	key  int
+}
+
+func applyToPlain(l *plainList, op setOp) bool {
+	switch op.kind {
+	case 1:
+		return l.insert(op.key)
+	case 2:
+		return l.remove(op.key)
+	default:
+		return l.lookup(op.key)
+	}
+}
+
+// FFWDList is the delegation (ffwd) list: a server goroutine owns the
+// sequential list; sessions delegate operations through mailbox slots.
+type FFWDList struct {
+	srv *delegation.Server[setOp, bool]
+}
+
+// NewFFWDList creates the list and starts its server goroutine.
+func NewFFWDList() *FFWDList {
+	l := newPlainList()
+	return &FFWDList{srv: delegation.NewServer(func(op setOp) bool {
+		return applyToPlain(l, op)
+	})}
+}
+
+// Name implements Set.
+func (f *FFWDList) Name() string { return "ffwd-list" }
+
+// Close stops the server goroutine.
+func (f *FFWDList) Close() { f.srv.Close() }
+
+// Session implements Set.
+func (f *FFWDList) Session() Session {
+	return &ffwdSession{c: f.srv.Client()}
+}
+
+type ffwdSession struct {
+	c *delegation.Client[setOp, bool]
+}
+
+func (s *ffwdSession) Lookup(key int) bool { return s.c.Do(setOp{0, key}) }
+func (s *ffwdSession) Insert(key int) bool { return s.c.Do(setOp{1, key}) }
+func (s *ffwdSession) Remove(key int) bool { return s.c.Do(setOp{2, key}) }
+
+// nrReplicas is the replica count of the NR list (the original uses one
+// per NUMA node).
+const nrReplicas = 2
+
+// NRList is the node-replication list: updates go through the shared
+// operation log, lookups read a caught-up replica.
+type NRList struct {
+	s    *nr.Structure[setOp, bool, *plainList]
+	next atomic.Uint64 // round-robin replica assignment for sessions
+}
+
+// NewNRList creates the replicated list.
+func NewNRList() *NRList {
+	return &NRList{s: nr.New(nrReplicas, newPlainList, applyToPlain)}
+}
+
+// Name implements Set.
+func (n *NRList) Name() string { return "nr-list" }
+
+// Close implements Set.
+func (n *NRList) Close() {}
+
+// Session implements Set: sessions are pinned round-robin to replicas
+// (the original pins threads to their NUMA node's replica).
+func (n *NRList) Session() Session {
+	idx := int(n.next.Add(1)) % n.s.Replicas()
+	return &nrSession{l: n, replica: idx}
+}
+
+type nrSession struct {
+	l       *NRList
+	replica int
+}
+
+func (s *nrSession) Lookup(key int) bool {
+	return s.l.s.Read(s.replica, func(l *plainList) bool { return l.lookup(key) })
+}
+
+func (s *nrSession) Insert(key int) bool {
+	return s.l.s.Update(s.replica, setOp{1, key})
+}
+
+func (s *nrSession) Remove(key int) bool {
+	return s.l.s.Update(s.replica, setOp{2, key})
+}

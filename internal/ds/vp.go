@@ -1,0 +1,248 @@
+package ds
+
+import "mvrlu/internal/vp"
+
+// vpNode is a list node under versioned programming.
+type vpNode struct {
+	key  int
+	next *vp.Obj[vpNode]
+}
+
+// VPList is the versioned-programming linked list baseline.
+type VPList struct {
+	d    *vp.Domain[vpNode]
+	head *vp.Obj[vpNode]
+}
+
+// NewVPList creates an empty list.
+func NewVPList() *VPList {
+	d := vp.NewDomain[vpNode]()
+	return &VPList{d: d, head: vp.NewObj(d, vpNode{key: minKey})}
+}
+
+// Name implements Set.
+func (l *VPList) Name() string { return "vp-list" }
+
+// Close implements Set.
+func (l *VPList) Close() {}
+
+// AbortStats implements AbortCounter.
+func (l *VPList) AbortStats() (uint64, uint64) { return l.d.Stats() }
+
+// Session implements Set.
+func (l *VPList) Session() Session {
+	return &vpListSession{l: l, s: l.d.Register()}
+}
+
+type vpListSession struct {
+	l *VPList
+	s *vp.Session[vpNode]
+}
+
+func vpFind(s *vp.Session[vpNode], head *vp.Obj[vpNode], key int) (prev, cur *vp.Obj[vpNode], curKey int, curNext *vp.Obj[vpNode]) {
+	prev = head
+	cur = s.Read(head).next
+	for cur != nil {
+		d := s.Read(cur)
+		if d.key >= key {
+			return prev, cur, d.key, d.next
+		}
+		prev, cur = cur, d.next
+	}
+	return prev, nil, 0, nil
+}
+
+func (s *vpListSession) Lookup(key int) bool {
+	s.s.Begin()
+	_, cur, k, _ := vpFind(s.s, s.l.head, key)
+	s.s.Commit()
+	return cur != nil && k == key
+}
+
+func (s *vpListSession) Insert(key int) (ok bool) {
+	s.s.Execute(func(sess *vp.Session[vpNode]) bool {
+		prev, cur, k, _ := vpFind(sess, s.l.head, key)
+		if cur != nil && k == key {
+			ok = false
+			return true
+		}
+		c, locked := sess.ReadWrite(prev)
+		if !locked {
+			return false
+		}
+		c.next = vp.NewObj(s.l.d, vpNode{key: key, next: cur})
+		ok = true
+		return true
+	})
+	return ok
+}
+
+func (s *vpListSession) Remove(key int) (ok bool) {
+	s.s.Execute(func(sess *vp.Session[vpNode]) bool {
+		prev, cur, k, _ := vpFind(sess, s.l.head, key)
+		if cur == nil || k != key {
+			ok = false
+			return true
+		}
+		cp, locked := sess.ReadWrite(prev)
+		if !locked {
+			return false
+		}
+		cv, locked := sess.ReadWrite(cur) // conflict guard on the victim
+		if !locked {
+			return false
+		}
+		cp.next = cv.next
+		ok = true
+		return true
+	})
+	return ok
+}
+
+// vpTNode is a BST node under versioned programming.
+type vpTNode struct {
+	key         int
+	left, right *vp.Obj[vpTNode]
+}
+
+// VPBST is the versioned-programming BST baseline (the configuration
+// whose logical-timestamp allocation the paper identifies as its
+// bottleneck at scale).
+type VPBST struct {
+	d    *vp.Domain[vpTNode]
+	root *vp.Obj[vpTNode]
+}
+
+// NewVPBST creates an empty tree.
+func NewVPBST() *VPBST {
+	d := vp.NewDomain[vpTNode]()
+	return &VPBST{d: d, root: vp.NewObj(d, vpTNode{key: maxKey})}
+}
+
+// Name implements Set.
+func (t *VPBST) Name() string { return "vp-bst" }
+
+// Close implements Set.
+func (t *VPBST) Close() {}
+
+// AbortStats implements AbortCounter.
+func (t *VPBST) AbortStats() (uint64, uint64) { return t.d.Stats() }
+
+// Session implements Set.
+func (t *VPBST) Session() Session {
+	return &vpBSTSession{t: t, s: t.d.Register()}
+}
+
+type vpBSTSession struct {
+	t *VPBST
+	s *vp.Session[vpTNode]
+}
+
+func vpFindTree(s *vp.Session[vpTNode], root *vp.Obj[vpTNode], key int) (parent, node *vp.Obj[vpTNode], left bool) {
+	parent, left = root, true
+	node = s.Read(root).left
+	for node != nil {
+		d := s.Read(node)
+		if d.key == key {
+			return parent, node, left
+		}
+		parent = node
+		if key < d.key {
+			node, left = d.left, true
+		} else {
+			node, left = d.right, false
+		}
+	}
+	return parent, nil, left
+}
+
+func (s *vpBSTSession) Lookup(key int) bool {
+	s.s.Begin()
+	_, node, _ := vpFindTree(s.s, s.t.root, key)
+	s.s.Commit()
+	return node != nil
+}
+
+func (s *vpBSTSession) Insert(key int) (ok bool) {
+	s.s.Execute(func(sess *vp.Session[vpTNode]) bool {
+		parent, node, left := vpFindTree(sess, s.t.root, key)
+		if node != nil {
+			ok = false
+			return true
+		}
+		c, locked := sess.ReadWrite(parent)
+		if !locked {
+			return false
+		}
+		n := vp.NewObj(s.t.d, vpTNode{key: key})
+		if left {
+			c.left = n
+		} else {
+			c.right = n
+		}
+		ok = true
+		return true
+	})
+	return ok
+}
+
+func (s *vpBSTSession) Remove(key int) (ok bool) {
+	s.s.Execute(func(sess *vp.Session[vpTNode]) bool {
+		parent, node, left := vpFindTree(sess, s.t.root, key)
+		if node == nil {
+			ok = false
+			return true
+		}
+		nd := sess.Read(node)
+		switch {
+		case nd.left == nil || nd.right == nil:
+			cp, locked := sess.ReadWrite(parent)
+			if !locked {
+				return false
+			}
+			cn, locked := sess.ReadWrite(node)
+			if !locked {
+				return false
+			}
+			child := cn.left
+			if child == nil {
+				child = cn.right
+			}
+			if left {
+				cp.left = child
+			} else {
+				cp.right = child
+			}
+		default:
+			sparent, succ := node, nd.right
+			for {
+				sd := sess.Read(succ)
+				if sd.left == nil {
+					break
+				}
+				sparent, succ = succ, sd.left
+			}
+			cn, locked := sess.ReadWrite(node)
+			if !locked {
+				return false
+			}
+			cs, locked := sess.ReadWrite(succ)
+			if !locked {
+				return false
+			}
+			cn.key = cs.key
+			if sparent == node {
+				cn.right = cs.right
+			} else {
+				csp, locked := sess.ReadWrite(sparent)
+				if !locked {
+					return false
+				}
+				csp.left = cs.right
+			}
+		}
+		ok = true
+		return true
+	})
+	return ok
+}

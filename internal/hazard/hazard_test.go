@@ -1,0 +1,102 @@
+package hazard
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+type node struct{ v int }
+
+func TestRetireUnprotectedReclaims(t *testing.T) {
+	d := NewDomain[node]()
+	th := d.Register()
+	for i := 0; i < scanThreshold; i++ {
+		th.Retire(&node{v: i})
+	}
+	if th.Reclaimed != scanThreshold {
+		t.Fatalf("reclaimed %d, want %d", th.Reclaimed, scanThreshold)
+	}
+	if len(th.retired) != 0 {
+		t.Fatalf("retired list not drained: %d", len(th.retired))
+	}
+}
+
+func TestProtectedNodeSurvivesScan(t *testing.T) {
+	d := NewDomain[node]()
+	owner := d.Register()
+	reaper := d.Register()
+
+	hot := &node{v: 42}
+	owner.Protect(0, hot)
+	reaper.Retire(hot)
+	for i := 0; i < scanThreshold; i++ {
+		reaper.Retire(&node{v: i})
+	}
+	// hot must still be pending.
+	found := false
+	for _, p := range reaper.retired {
+		if p == hot {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("protected node was reclaimed")
+	}
+	owner.Clear(0)
+	for i := 0; i < scanThreshold; i++ {
+		reaper.Retire(&node{v: i})
+	}
+	for _, p := range reaper.retired {
+		if p == hot {
+			t.Fatal("node still pending after protection cleared")
+		}
+	}
+}
+
+func TestAcquireStabilizes(t *testing.T) {
+	d := NewDomain[node]()
+	th := d.Register()
+	var src atomic.Pointer[node]
+	n := &node{v: 1}
+	src.Store(n)
+	if got := th.Acquire(0, &src); got != n {
+		t.Fatal("acquire returned wrong pointer")
+	}
+	if th.slots[0].Load() != n {
+		t.Fatal("slot not published")
+	}
+}
+
+func TestClearAll(t *testing.T) {
+	d := NewDomain[node]()
+	th := d.Register()
+	for i := 0; i < slotsPerThread; i++ {
+		th.Protect(i, &node{v: i})
+	}
+	th.ClearAll()
+	for i := 0; i < slotsPerThread; i++ {
+		if th.slots[i].Load() != nil {
+			t.Fatalf("slot %d not cleared", i)
+		}
+	}
+}
+
+func TestConcurrentRetire(t *testing.T) {
+	d := NewDomain[node]()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := d.Register()
+			for i := 0; i < 1000; i++ {
+				n := &node{v: i}
+				th.Protect(0, n)
+				th.Clear(0)
+				th.Retire(n)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,36 @@
+package kvstore_test
+
+import (
+	"fmt"
+
+	"mvrlu/internal/kvstore"
+)
+
+// Example exercises the cache DB through the MV-RLU build: point ops
+// plus a consistent full scan.
+func Example() {
+	store, err := kvstore.New("mvrlu-kv", 2, 16)
+	if err != nil {
+		panic(err)
+	}
+	defer store.Close()
+
+	s := store.Session()
+	s.Set("lang", "go")
+	s.Set("paper", "mv-rlu")
+	s.Set("venue", "asplos")
+	s.Remove("lang")
+
+	if v, ok := s.Get("paper"); ok {
+		fmt.Println("paper =", v)
+	}
+	count := 0
+	s.ForEach(func(k, v string) bool {
+		count++
+		return true
+	})
+	fmt.Println("records:", count)
+	// Output:
+	// paper = mv-rlu
+	// records: 2
+}

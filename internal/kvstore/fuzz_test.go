@@ -1,0 +1,73 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzStoreOracle decodes a byte stream into Set/Remove/Get ops and
+// cross-checks all three builds against one map oracle simultaneously —
+// any divergence between builds is itself a failure.
+func FuzzStoreOracle(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 0, 2, 1, 1, 1, 3})
+	seq := make([]byte, 120)
+	for i := range seq {
+		seq[i] = byte(i * 13)
+	}
+	f.Add(seq)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var sessions []Session
+		for _, name := range Names() {
+			s, err := New(name, 2, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			sessions = append(sessions, s.Session())
+		}
+		ref := map[string]string{}
+		for i := 0; i+2 < len(data) && i < 300; i += 3 {
+			k := fmt.Sprintf("k%02d", int(data[i+1])%32)
+			switch data[i] % 3 {
+			case 0:
+				v := fmt.Sprintf("v%d", data[i+2])
+				for _, s := range sessions {
+					s.Set(k, v)
+				}
+				ref[k] = v
+			case 1:
+				_, inRef := ref[k]
+				for _, s := range sessions {
+					if s.Remove(k) != inRef {
+						t.Fatalf("Remove(%s) diverged", k)
+					}
+				}
+				delete(ref, k)
+			default:
+				want, inRef := ref[k]
+				for _, s := range sessions {
+					got, ok := s.Get(k)
+					if ok != inRef || (ok && got != want) {
+						t.Fatalf("Get(%s) diverged: %q,%v want %q,%v", k, got, ok, want, inRef)
+					}
+				}
+			}
+		}
+		// Scans agree with the oracle on every build.
+		for _, s := range sessions {
+			n := 0
+			s.ForEach(func(k, v string) bool {
+				if ref[k] != v {
+					t.Fatalf("scan key %s value %q, want %q", k, v, ref[k])
+				}
+				n++
+				return true
+			})
+			if n != len(ref) {
+				t.Fatalf("scan saw %d records, want %d", n, len(ref))
+			}
+		}
+	})
+}

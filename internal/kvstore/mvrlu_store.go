@@ -1,0 +1,221 @@
+package kvstore
+
+import (
+	"sync"
+
+	"mvrlu/internal/core"
+)
+
+// kvNode is a record tree node under MV-RLU.
+type kvNode struct {
+	key         string
+	value       string
+	left, right *core.Object[kvNode]
+}
+
+// MVRLUStore is the MV-RLU port of CacheDB: the global readers-writer
+// lock is gone (reads are MV-RLU critical sections), and writers keep the
+// per-slot lock for a fair comparison with the RLU port, exactly as §6.4
+// describes.
+type MVRLUStore struct {
+	d       *core.Domain[kvNode]
+	slots   []mvSlot
+	buckets int
+}
+
+type mvSlot struct {
+	mu    sync.Mutex
+	roots []*core.Object[kvNode] // sentinel headers; trees hang off left
+	_     [40]byte
+}
+
+// NewMVRLUStore creates an MV-RLU-backed store.
+func NewMVRLUStore(slots, bucketsPerSlot int, opts core.Options) *MVRLUStore {
+	s := &MVRLUStore{
+		d:       core.NewDomain[kvNode](opts),
+		slots:   make([]mvSlot, slots),
+		buckets: bucketsPerSlot,
+	}
+	for i := range s.slots {
+		s.slots[i].roots = make([]*core.Object[kvNode], bucketsPerSlot)
+		for b := range s.slots[i].roots {
+			s.slots[i].roots[b] = core.NewObject(kvNode{})
+		}
+	}
+	return s
+}
+
+// Name implements Store.
+func (s *MVRLUStore) Name() string { return "mvrlu-kv" }
+
+// Close implements Store.
+func (s *MVRLUStore) Close() { s.d.Close() }
+
+// Stats exposes domain counters.
+func (s *MVRLUStore) Stats() core.Stats { return s.d.Stats() }
+
+// Session implements Store.
+func (s *MVRLUStore) Session() Session {
+	return &mvrluKVSession{s: s, h: s.d.Register()}
+}
+
+type mvrluKVSession struct {
+	s *MVRLUStore
+	h *core.Thread[kvNode]
+}
+
+func (k *mvrluKVSession) locate(key string) (*mvSlot, *core.Object[kvNode]) {
+	h := hashString(key)
+	sl := &k.s.slots[slotOf(h, len(k.s.slots))]
+	return sl, sl.roots[bucketOf(h, k.s.buckets)]
+}
+
+// findKV descends to key. left reports which child of parent holds node.
+func findKV(h *core.Thread[kvNode], root *core.Object[kvNode], key string) (parent, node *core.Object[kvNode], left bool) {
+	parent, left = root, true
+	node = h.Deref(root).left
+	for node != nil {
+		d := h.Deref(node)
+		if d.key == key {
+			return parent, node, left
+		}
+		parent = node
+		if key < d.key {
+			node, left = d.left, true
+		} else {
+			node, left = d.right, false
+		}
+	}
+	return parent, nil, left
+}
+
+func (k *mvrluKVSession) Get(key string) (string, bool) {
+	k.h.ReadLock()
+	_, node, _ := findKV(k.h, k.locateRoot(key), key)
+	var val string
+	if node != nil {
+		val = k.h.Deref(node).value
+	}
+	k.h.ReadUnlock()
+	return val, node != nil
+}
+
+func (k *mvrluKVSession) locateRoot(key string) *core.Object[kvNode] {
+	_, root := k.locate(key)
+	return root
+}
+
+func (k *mvrluKVSession) Set(key, value string) {
+	sl, root := k.locate(key)
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	k.h.Execute(func(h *core.Thread[kvNode]) bool {
+		parent, node, left := findKV(h, root, key)
+		if node != nil {
+			c, ok := h.TryLock(node)
+			if !ok {
+				return false
+			}
+			c.value = value
+			return true
+		}
+		c, ok := h.TryLock(parent)
+		if !ok {
+			return false
+		}
+		n := core.NewObject(kvNode{key: key, value: value})
+		if left {
+			c.left = n
+		} else {
+			c.right = n
+		}
+		return true
+	})
+}
+
+func (k *mvrluKVSession) Remove(key string) (removed bool) {
+	sl, root := k.locate(key)
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	k.h.Execute(func(h *core.Thread[kvNode]) bool {
+		parent, node, left := findKV(h, root, key)
+		if node == nil {
+			removed = false
+			return true
+		}
+		nd := h.Deref(node)
+		if nd.left == nil || nd.right == nil {
+			cp, ok := h.TryLock(parent)
+			if !ok {
+				return false
+			}
+			cn, ok := h.TryLock(node)
+			if !ok {
+				return false
+			}
+			child := cn.left
+			if child == nil {
+				child = cn.right
+			}
+			if left {
+				cp.left = child
+			} else {
+				cp.right = child
+			}
+			h.Free(node)
+		} else {
+			sparent, succ := node, nd.right
+			for {
+				sd := h.Deref(succ)
+				if sd.left == nil {
+					break
+				}
+				sparent, succ = succ, sd.left
+			}
+			cn, ok := h.TryLock(node)
+			if !ok {
+				return false
+			}
+			cs, ok := h.TryLock(succ)
+			if !ok {
+				return false
+			}
+			cn.key, cn.value = cs.key, cs.value
+			if sparent == node {
+				cn.right = cs.right
+			} else {
+				csp, ok := h.TryLock(sparent)
+				if !ok {
+					return false
+				}
+				csp.left = cs.right
+			}
+			h.Free(succ)
+		}
+		removed = true
+		return true
+	})
+	return removed
+}
+
+// ForEach implements Session: one MV-RLU critical section yields a
+// consistent snapshot of every tree without blocking writers.
+func (k *mvrluKVSession) ForEach(fn func(key, value string) bool) {
+	k.h.ReadLock()
+	defer k.h.ReadUnlock()
+	for si := range k.s.slots {
+		for _, root := range k.s.slots[si].roots {
+			if !k.walk(k.h.Deref(root).left, fn) {
+				return
+			}
+		}
+	}
+}
+
+func (k *mvrluKVSession) walk(o *core.Object[kvNode], fn func(key, value string) bool) bool {
+	if o == nil {
+		return true
+	}
+	d := k.h.Deref(o)
+	return k.walk(d.left, fn) && fn(d.key, d.value) && k.walk(d.right, fn)
+}

@@ -1,0 +1,66 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickStoreEquivalence: generated op sequences against every build
+// match a reference map, including overwrites and removals of the same
+// key (exercising the BST key-replacement deletes).
+func TestQuickStoreEquivalence(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Key  uint8
+		Val  uint8
+	}
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			f := func(ops []op) bool {
+				s, err := New(name, 2, 8) // tiny layout: deep trees
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer s.Close()
+				sess := s.Session()
+				ref := map[string]string{}
+				for _, o := range ops {
+					k := fmt.Sprintf("k%02d", int(o.Key)%40)
+					switch o.Kind % 3 {
+					case 0:
+						v := fmt.Sprintf("v%d", o.Val)
+						sess.Set(k, v)
+						ref[k] = v
+					case 1:
+						_, inRef := ref[k]
+						if sess.Remove(k) != inRef {
+							return false
+						}
+						delete(ref, k)
+					default:
+						want, inRef := ref[k]
+						got, ok := sess.Get(k)
+						if ok != inRef || (ok && got != want) {
+							return false
+						}
+					}
+				}
+				// Full-scan equivalence.
+				seen := 0
+				okScan := true
+				sess.ForEach(func(k, v string) bool {
+					seen++
+					if ref[k] != v {
+						okScan = false
+					}
+					return true
+				})
+				return okScan && seen == len(ref)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

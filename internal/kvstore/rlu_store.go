@@ -1,0 +1,215 @@
+package kvstore
+
+import (
+	"sync"
+
+	"mvrlu/internal/rlu"
+)
+
+// rkvNode is a record tree node under RLU.
+type rkvNode struct {
+	key         string
+	value       string
+	left, right *rlu.Object[rkvNode]
+}
+
+// RLUStore is the RLU port of CacheDB that the RLU paper describes and
+// §6.4 reuses: no global readers-writer lock, per-slot locks for writers.
+// MVRLUStore is its drop-in replacement.
+type RLUStore struct {
+	d       *rlu.Domain[rkvNode]
+	slots   []rluSlot
+	buckets int
+}
+
+type rluSlot struct {
+	mu    sync.Mutex
+	roots []*rlu.Object[rkvNode]
+	_     [40]byte
+}
+
+// NewRLUStore creates an RLU-backed store.
+func NewRLUStore(slots, bucketsPerSlot int) *RLUStore {
+	s := &RLUStore{
+		d:       rlu.NewDomain[rkvNode](rlu.ClockGlobal),
+		slots:   make([]rluSlot, slots),
+		buckets: bucketsPerSlot,
+	}
+	for i := range s.slots {
+		s.slots[i].roots = make([]*rlu.Object[rkvNode], bucketsPerSlot)
+		for b := range s.slots[i].roots {
+			s.slots[i].roots[b] = rlu.NewObject(rkvNode{})
+		}
+	}
+	return s
+}
+
+// Name implements Store.
+func (s *RLUStore) Name() string { return "rlu-kv" }
+
+// Close implements Store.
+func (s *RLUStore) Close() { s.d.Close() }
+
+// Stats exposes RLU counters.
+func (s *RLUStore) Stats() rlu.Stats { return s.d.Stats() }
+
+// Session implements Store.
+func (s *RLUStore) Session() Session {
+	return &rluKVSession{s: s, h: s.d.Register()}
+}
+
+type rluKVSession struct {
+	s *RLUStore
+	h *rlu.Thread[rkvNode]
+}
+
+func (k *rluKVSession) locate(key string) (*rluSlot, *rlu.Object[rkvNode]) {
+	h := hashString(key)
+	sl := &k.s.slots[slotOf(h, len(k.s.slots))]
+	return sl, sl.roots[bucketOf(h, k.s.buckets)]
+}
+
+func rluFindKV(h *rlu.Thread[rkvNode], root *rlu.Object[rkvNode], key string) (parent, node *rlu.Object[rkvNode], left bool) {
+	parent, left = root, true
+	node = h.Deref(root).left
+	for node != nil {
+		d := h.Deref(node)
+		if d.key == key {
+			return parent, node, left
+		}
+		parent = node
+		if key < d.key {
+			node, left = d.left, true
+		} else {
+			node, left = d.right, false
+		}
+	}
+	return parent, nil, left
+}
+
+func (k *rluKVSession) Get(key string) (string, bool) {
+	_, root := k.locate(key)
+	k.h.ReadLock()
+	_, node, _ := rluFindKV(k.h, root, key)
+	var val string
+	if node != nil {
+		val = k.h.Deref(node).value
+	}
+	k.h.ReadUnlock()
+	return val, node != nil
+}
+
+func (k *rluKVSession) Set(key, value string) {
+	sl, root := k.locate(key)
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	k.h.Execute(func(h *rlu.Thread[rkvNode]) bool {
+		parent, node, left := rluFindKV(h, root, key)
+		if node != nil {
+			c, ok := h.TryLock(node)
+			if !ok {
+				return false
+			}
+			c.value = value
+			return true
+		}
+		c, ok := h.TryLock(parent)
+		if !ok {
+			return false
+		}
+		n := rlu.NewObject(rkvNode{key: key, value: value})
+		if left {
+			c.left = n
+		} else {
+			c.right = n
+		}
+		return true
+	})
+}
+
+func (k *rluKVSession) Remove(key string) (removed bool) {
+	sl, root := k.locate(key)
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	k.h.Execute(func(h *rlu.Thread[rkvNode]) bool {
+		parent, node, left := rluFindKV(h, root, key)
+		if node == nil {
+			removed = false
+			return true
+		}
+		nd := h.Deref(node)
+		if nd.left == nil || nd.right == nil {
+			cp, ok := h.TryLock(parent)
+			if !ok {
+				return false
+			}
+			cn, ok := h.TryLock(node)
+			if !ok {
+				return false
+			}
+			child := cn.left
+			if child == nil {
+				child = cn.right
+			}
+			if left {
+				cp.left = child
+			} else {
+				cp.right = child
+			}
+			h.Free(node)
+		} else {
+			sparent, succ := node, nd.right
+			for {
+				sd := h.Deref(succ)
+				if sd.left == nil {
+					break
+				}
+				sparent, succ = succ, sd.left
+			}
+			cn, ok := h.TryLock(node)
+			if !ok {
+				return false
+			}
+			cs, ok := h.TryLock(succ)
+			if !ok {
+				return false
+			}
+			cn.key, cn.value = cs.key, cs.value
+			if sparent == node {
+				cn.right = cs.right
+			} else {
+				csp, ok := h.TryLock(sparent)
+				if !ok {
+					return false
+				}
+				csp.left = cs.right
+			}
+			h.Free(succ)
+		}
+		removed = true
+		return true
+	})
+	return removed
+}
+
+// ForEach implements Session: one RLU critical section yields a
+// consistent snapshot of every tree without blocking writers.
+func (k *rluKVSession) ForEach(fn func(key, value string) bool) {
+	k.h.ReadLock()
+	defer k.h.ReadUnlock()
+	for si := range k.s.slots {
+		for _, root := range k.s.slots[si].roots {
+			if !k.walk(k.h.Deref(root).left, fn) {
+				return
+			}
+		}
+	}
+}
+
+func (k *rluKVSession) walk(o *rlu.Object[rkvNode], fn func(key, value string) bool) bool {
+	if o == nil {
+		return true
+	}
+	d := k.h.Deref(o)
+	return k.walk(d.left, fn) && fn(d.key, d.value) && k.walk(d.right, fn)
+}

@@ -1,0 +1,121 @@
+package kvstore
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mvrlu/internal/core"
+)
+
+// Config describes a Figure 10 cell.
+type Config struct {
+	// Records is the number of key-value pairs loaded (the paper loads
+	// 1 GB; scale Records×ValueSize to taste).
+	Records int
+	// ValueSize is the value payload in bytes.
+	ValueSize int
+	// Threads is the worker count.
+	Threads int
+	// UpdateRatio is the fraction of Set operations (2% and 20% in the
+	// paper).
+	UpdateRatio float64
+	// Duration is the measured run length.
+	Duration time.Duration
+}
+
+// Result is one measured cell.
+type Result struct {
+	Store   string
+	Config  Config
+	Ops     uint64
+	Elapsed time.Duration
+}
+
+// OpsPerUsec returns throughput in operations per microsecond.
+func (r Result) OpsPerUsec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / float64(r.Elapsed.Microseconds())
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%s threads=%d update=%.0f%% ops/µs=%.3f",
+		r.Store, r.Config.Threads, r.Config.UpdateRatio*100, r.OpsPerUsec())
+}
+
+func keyName(i int) string { return fmt.Sprintf("key%010d", i) }
+
+// Populate loads the store with Records values.
+func Populate(s Store, cfg Config) {
+	sess := s.Session()
+	val := strings.Repeat("v", cfg.ValueSize)
+	for i := 0; i < cfg.Records; i++ {
+		sess.Set(keyName(i), val)
+	}
+}
+
+// Run measures one cell: Populate, then Threads workers doing the
+// Get/Set mix over uniformly random existing keys.
+func Run(s Store, cfg Config) Result {
+	Populate(s, cfg)
+	var (
+		stop  atomic.Bool
+		total atomic.Uint64
+		wg    sync.WaitGroup
+		start = make(chan struct{})
+	)
+	val := strings.Repeat("w", cfg.ValueSize)
+	for t := 0; t < cfg.Threads; t++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			sess := s.Session()
+			rng := rand.New(rand.NewSource(seed))
+			ops := uint64(0)
+			<-start
+			for !stop.Load() {
+				k := keyName(rng.Intn(cfg.Records))
+				if rng.Float64() < cfg.UpdateRatio {
+					sess.Set(k, val)
+				} else {
+					sess.Get(k)
+				}
+				ops++
+			}
+			total.Add(ops)
+		}(int64(t)*6151 + 7)
+	}
+	begin := time.Now()
+	close(start)
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	wg.Wait()
+	return Result{Store: s.Name(), Config: cfg, Ops: total.Load(), Elapsed: time.Since(begin)}
+}
+
+// New constructs a store build by name.
+func New(name string, slots, bucketsPerSlot int) (Store, error) {
+	if slots <= 0 {
+		slots = DefaultSlots
+	}
+	if bucketsPerSlot <= 0 {
+		bucketsPerSlot = DefaultBucketsPerSlot
+	}
+	switch name {
+	case "vanilla":
+		return NewVanilla(slots, bucketsPerSlot), nil
+	case "rlu-kv":
+		return NewRLUStore(slots, bucketsPerSlot), nil
+	case "mvrlu-kv":
+		return NewMVRLUStore(slots, bucketsPerSlot, core.DefaultOptions()), nil
+	}
+	return nil, fmt.Errorf("kvstore: unknown build %q (vanilla, rlu-kv, mvrlu-kv)", name)
+}
+
+// Names lists the available builds.
+func Names() []string { return []string{"vanilla", "rlu-kv", "mvrlu-kv"} }

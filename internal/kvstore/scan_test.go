@@ -1,0 +1,124 @@
+package kvstore
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachVisitsAll(t *testing.T) {
+	for _, s := range stores(t) {
+		t.Run(s.Name(), func(t *testing.T) {
+			defer s.Close()
+			sess := s.Session()
+			const n = 300
+			for i := 0; i < n; i++ {
+				sess.Set(fmt.Sprintf("k%04d", i), fmt.Sprintf("v%d", i))
+			}
+			seen := map[string]string{}
+			sess.ForEach(func(k, v string) bool {
+				if _, dup := seen[k]; dup {
+					t.Fatalf("key %s visited twice", k)
+				}
+				seen[k] = v
+				return true
+			})
+			if len(seen) != n {
+				t.Fatalf("visited %d keys, want %d", len(seen), n)
+			}
+			for i := 0; i < n; i++ {
+				k := fmt.Sprintf("k%04d", i)
+				if seen[k] != fmt.Sprintf("v%d", i) {
+					t.Fatalf("key %s value %q", k, seen[k])
+				}
+			}
+		})
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	for _, s := range stores(t) {
+		t.Run(s.Name(), func(t *testing.T) {
+			defer s.Close()
+			sess := s.Session()
+			for i := 0; i < 100; i++ {
+				sess.Set(fmt.Sprintf("k%d", i), "v")
+			}
+			visited := 0
+			sess.ForEach(func(k, v string) bool {
+				visited++
+				return visited < 10
+			})
+			if visited != 10 {
+				t.Fatalf("early stop visited %d, want 10", visited)
+			}
+		})
+	}
+}
+
+// TestForEachSnapshotIsolation: the MV-RLU and RLU scans run inside one
+// critical section, so keys inserted after the scan begins are invisible
+// to it, and the scan never blocks the writer.
+func TestForEachSnapshotIsolation(t *testing.T) {
+	for _, name := range []string{"mvrlu-kv", "rlu-kv"} {
+		t.Run(name, func(t *testing.T) {
+			s, err := New(name, 4, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			sess := s.Session()
+			const initial = 200
+			for i := 0; i < initial; i++ {
+				sess.Set(fmt.Sprintf("old%04d", i), "v")
+			}
+
+			writerDone := make(chan struct{})
+			scanStarted := make(chan struct{})
+			var inserted atomic.Int64
+			go func() {
+				defer close(writerDone)
+				w := s.Session()
+				<-scanStarted
+				for i := 0; i < 100; i++ {
+					w.Set(fmt.Sprintf("new%04d", i), "v")
+					inserted.Add(1)
+				}
+			}()
+
+			count := 0
+			newSeen := 0
+			started := false
+			sess.ForEach(func(k, v string) bool {
+				if !started {
+					started = true
+					close(scanStarted)
+					// Give the writer a chance to run mid-scan.
+					time.Sleep(10 * time.Millisecond)
+				}
+				count++
+				if len(k) >= 3 && k[:3] == "new" {
+					newSeen++
+				}
+				return true
+			})
+			<-writerDone
+			if newSeen != 0 {
+				t.Fatalf("scan observed %d keys inserted after it began", newSeen)
+			}
+			if count != initial {
+				t.Fatalf("scan visited %d keys, want %d", count, initial)
+			}
+			if inserted.Load() != 100 {
+				t.Fatal("writer did not complete during the scan")
+			}
+			// After the scan, a fresh one sees everything.
+			total := 0
+			sess.ForEach(func(k, v string) bool { total++; return true })
+			if total != initial+100 {
+				t.Fatalf("post-scan count %d, want %d", total, initial+100)
+			}
+		})
+	}
+}

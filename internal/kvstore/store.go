@@ -1,0 +1,67 @@
+// Package kvstore is an in-memory cache database shaped like
+// KyotoCabinet's CacheDB (§6.4, Figure 10): the keyspace is divided into
+// slots, each slot into buckets, and each bucket holds a binary search
+// tree of records. Three builds are compared:
+//
+//   - vanilla: the stock design — one global readers-writer lock plus
+//     per-slot locks, the scalability bottleneck the paper (and the RLU
+//     paper before it) removes;
+//   - rlu: the global lock replaced by RLU critical sections, writers
+//     still serialized per slot (the paper keeps per-slot locks for a
+//     fair comparison, and notes they become the next bottleneck);
+//   - mvrlu: the same port over MV-RLU, a drop-in replacement for RLU.
+package kvstore
+
+// Session is a per-goroutine handle to the store.
+type Session interface {
+	// Get returns the value for key.
+	Get(key string) (string, bool)
+	// Set inserts or replaces key's value.
+	Set(key, value string)
+	// Remove deletes key, reporting whether it existed.
+	Remove(key string) bool
+	// ForEach visits every record and stops early when fn returns
+	// false. The iteration is a consistent snapshot taken inside one
+	// critical section (the CacheDB iterator use case). Under MV-RLU
+	// concurrent writers keep committing (multi-versioning); under RLU
+	// their commits wait for the scan in rlu_synchronize; the vanilla
+	// build holds the global read lock, blocking writers outright.
+	ForEach(fn func(key, value string) bool)
+}
+
+// Store is a cache database build.
+type Store interface {
+	// Name identifies the build ("vanilla", "rlu-kv", "mvrlu-kv").
+	Name() string
+	// Session registers the calling goroutine.
+	Session() Session
+	// Close stops background machinery.
+	Close()
+}
+
+// hashString is FNV-1a, the classic cheap string hash.
+func hashString(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// Layout constants mirroring KyotoCabinet CacheDB defaults.
+const (
+	// DefaultSlots is the number of independently locked slots.
+	DefaultSlots = 16
+	// DefaultBucketsPerSlot is each slot's hash-bucket count
+	// (KyotoCabinet allocates ~1M buckets per slot; scaled down for an
+	// in-memory benchmark that fits this substrate).
+	DefaultBucketsPerSlot = 4096
+)
+
+func slotOf(h uint64, slots int) int     { return int(h % uint64(slots)) }
+func bucketOf(h uint64, buckets int) int { return int((h >> 32) % uint64(buckets)) }

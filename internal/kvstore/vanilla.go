@@ -1,0 +1,154 @@
+package kvstore
+
+import "sync"
+
+// vNode is a plain BST node (stock build).
+type vNode struct {
+	key         string
+	value       string
+	left, right *vNode
+}
+
+// Vanilla is the stock CacheDB design: a global readers-writer lock
+// serializing the database against structural races, plus per-slot
+// mutexes for writers — the configuration whose global rwlock the paper
+// identifies as the known scalability bottleneck.
+type Vanilla struct {
+	global  sync.RWMutex
+	slots   []vanillaSlot
+	buckets int
+}
+
+type vanillaSlot struct {
+	mu    sync.Mutex
+	trees []*vNode
+	_     [40]byte
+}
+
+// NewVanilla creates a stock store.
+func NewVanilla(slots, bucketsPerSlot int) *Vanilla {
+	s := &Vanilla{slots: make([]vanillaSlot, slots), buckets: bucketsPerSlot}
+	for i := range s.slots {
+		s.slots[i].trees = make([]*vNode, bucketsPerSlot)
+	}
+	return s
+}
+
+// Name implements Store.
+func (v *Vanilla) Name() string { return "vanilla" }
+
+// Close implements Store.
+func (v *Vanilla) Close() {}
+
+// Session implements Store.
+func (v *Vanilla) Session() Session { return vanillaSession{v} }
+
+type vanillaSession struct{ v *Vanilla }
+
+func (s vanillaSession) locate(key string) (*vanillaSlot, int) {
+	h := hashString(key)
+	sl := &s.v.slots[slotOf(h, len(s.v.slots))]
+	return sl, bucketOf(h, s.v.buckets)
+}
+
+func (s vanillaSession) Get(key string) (string, bool) {
+	s.v.global.RLock()
+	defer s.v.global.RUnlock()
+	sl, b := s.locate(key)
+	n := sl.trees[b]
+	for n != nil {
+		switch {
+		case key == n.key:
+			return n.value, true
+		case key < n.key:
+			n = n.left
+		default:
+			n = n.right
+		}
+	}
+	return "", false
+}
+
+func (s vanillaSession) Set(key, value string) {
+	s.v.global.Lock()
+	defer s.v.global.Unlock()
+	sl, b := s.locate(key)
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	link := &sl.trees[b]
+	for *link != nil {
+		n := *link
+		switch {
+		case key == n.key:
+			n.value = value
+			return
+		case key < n.key:
+			link = &n.left
+		default:
+			link = &n.right
+		}
+	}
+	*link = &vNode{key: key, value: value}
+}
+
+func (s vanillaSession) Remove(key string) bool {
+	s.v.global.Lock()
+	defer s.v.global.Unlock()
+	sl, b := s.locate(key)
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	link := &sl.trees[b]
+	for *link != nil {
+		n := *link
+		switch {
+		case key == n.key:
+			*link = deleteRoot(n)
+			return true
+		case key < n.key:
+			link = &n.left
+		default:
+			link = &n.right
+		}
+	}
+	return false
+}
+
+// ForEach implements Session: a scan under the global read lock.
+func (s vanillaSession) ForEach(fn func(key, value string) bool) {
+	s.v.global.RLock()
+	defer s.v.global.RUnlock()
+	for si := range s.v.slots {
+		for _, root := range s.v.slots[si].trees {
+			if !walkVanilla(root, fn) {
+				return
+			}
+		}
+	}
+}
+
+func walkVanilla(n *vNode, fn func(key, value string) bool) bool {
+	if n == nil {
+		return true
+	}
+	return walkVanilla(n.left, fn) && fn(n.key, n.value) && walkVanilla(n.right, fn)
+}
+
+// deleteRoot removes n from its subtree, returning the new root.
+func deleteRoot(n *vNode) *vNode {
+	if n.left == nil {
+		return n.right
+	}
+	if n.right == nil {
+		return n.left
+	}
+	// Splice the successor (leftmost of right subtree) into n's place.
+	parentLink := &n.right
+	succ := n.right
+	for succ.left != nil {
+		parentLink = &succ.left
+		succ = succ.left
+	}
+	*parentLink = succ.right
+	succ.left, succ.right = n.left, n.right
+	return succ
+}

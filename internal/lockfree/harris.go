@@ -1,0 +1,144 @@
+// Package lockfree implements the Harris-Michael lock-free linked list,
+// the paper's lock-free baseline, in two builds:
+//
+//   - Leaky: no reclamation. In C this leaks; under the Go runtime GC it
+//     is simply the reclamation-free upper bound (unlinked nodes are
+//     collected once unreachable), which is what the paper's Leaky-Harris
+//     curve represents.
+//   - HP: hazard-pointer protected (internal/hazard), paying the
+//     per-dereference publish+re-validate barrier the paper's HP-Harris
+//     analysis blames for its write-side collapse.
+//
+// Go cannot steal mark bits from real pointers, so each node's successor
+// is an immutable (next, marked) descriptor swapped by CAS — the standard
+// Go rendering of Harris's marked pointers. The descriptor allocation is
+// part of this substrate's honest cost.
+package lockfree
+
+import "sync/atomic"
+
+// Node is a list node. Exported so the hazard domain can protect it.
+type Node struct {
+	Key  int
+	succ atomic.Pointer[succRef]
+}
+
+// succRef is an immutable successor descriptor: Harris's {next, marked}
+// word.
+type succRef struct {
+	next   *Node
+	marked bool
+}
+
+func (n *Node) load() (*Node, bool) {
+	s := n.succ.Load()
+	return s.next, s.marked
+}
+
+func (n *Node) cas(oldNext *Node, oldMarked bool, newNext *Node, newMarked bool) bool {
+	old := n.succ.Load()
+	if old.next != oldNext || old.marked != oldMarked {
+		return false
+	}
+	return n.succ.CompareAndSwap(old, &succRef{newNext, newMarked})
+}
+
+// List is a sorted Harris-Michael linked list over int keys with sentinel
+// head and tail.
+type List struct {
+	head *Node
+	tail *Node
+}
+
+// NewList creates an empty list.
+func NewList() *List {
+	tail := &Node{Key: int(^uint(0) >> 1)} // MaxInt sentinel
+	tail.succ.Store(&succRef{})
+	head := &Node{Key: -int(^uint(0)>>1) - 1} // MinInt sentinel
+	head.succ.Store(&succRef{next: tail})
+	return &List{head: head, tail: tail}
+}
+
+// search returns (prev, cur) with prev.Key < key ≤ cur.Key, physically
+// unlinking marked nodes along the way. retire is called for each node
+// this thread unlinks (nil for the leaky build).
+func (l *List) search(key int, retire func(*Node)) (*Node, *Node) {
+retry:
+	for {
+		prev := l.head
+		cur, _ := prev.load()
+		for {
+			next, cmark := cur.load()
+			for cmark {
+				// cur is logically deleted: unlink it.
+				if !prev.cas(cur, false, next, false) {
+					continue retry
+				}
+				if retire != nil {
+					retire(cur)
+				}
+				cur = next
+				next, cmark = cur.load()
+			}
+			if cur.Key >= key {
+				return prev, cur
+			}
+			prev, cur = cur, next
+		}
+	}
+}
+
+// Contains reports whether key is in the list (wait-free traversal).
+func (l *List) Contains(key int) bool {
+	cur, _ := l.head.load()
+	for cur.Key < key {
+		cur, _ = cur.load()
+	}
+	_, marked := cur.load()
+	return cur.Key == key && !marked
+}
+
+// Insert adds key; returns false if present.
+func (l *List) Insert(key int) bool {
+	for {
+		prev, cur := l.search(key, nil)
+		if cur.Key == key {
+			return false
+		}
+		n := &Node{Key: key}
+		n.succ.Store(&succRef{next: cur})
+		if prev.cas(cur, false, n, false) {
+			return true
+		}
+	}
+}
+
+// Remove deletes key; returns false if absent.
+func (l *List) Remove(key int) bool {
+	for {
+		prev, cur := l.search(key, nil)
+		if cur.Key != key {
+			return false
+		}
+		next, _ := cur.load()
+		if !cur.cas(next, false, next, true) {
+			continue // lost the marking race
+		}
+		// Physical unlink; on failure a later search cleans up.
+		prev.cas(cur, false, next, false)
+		return true
+	}
+}
+
+// Len counts unmarked nodes (test helper; not linearizable).
+func (l *List) Len() int {
+	n := 0
+	cur, _ := l.head.load()
+	for cur != l.tail {
+		if _, m := cur.load(); !m {
+			n++
+		}
+		cur, _ = cur.load()
+	}
+	return n
+}

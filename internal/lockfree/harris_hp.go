@@ -1,0 +1,129 @@
+package lockfree
+
+import "mvrlu/internal/hazard"
+
+// HPList is the Harris-Michael list with hazard-pointer reclamation
+// (HP-Harris in the paper). Operations go through per-thread sessions
+// that own hazard slots.
+type HPList struct {
+	list *List
+	hp   *hazard.Domain[Node]
+}
+
+// NewHPList creates an empty hazard-pointer-protected list.
+func NewHPList() *HPList {
+	return &HPList{list: NewList(), hp: hazard.NewDomain[Node]()}
+}
+
+// Session registers the calling goroutine.
+func (l *HPList) Session() *HPSession {
+	return &HPSession{l: l.list, ht: l.hp.Register()}
+}
+
+// NewHazardDomain creates a hazard-pointer domain for Node, for callers
+// composing their own structures (e.g. a hash of lists sharing one
+// domain).
+func NewHazardDomain() *hazard.Domain[Node] { return hazard.NewDomain[Node]() }
+
+// SessionOn binds a hazard thread to an arbitrary list; used by the
+// hash-of-lists adapter so all buckets share one hazard domain.
+func SessionOn(l *List, ht *hazard.Thread[Node]) *HPSession {
+	return &HPSession{l: l, ht: ht}
+}
+
+// HPSession is a per-goroutine handle with three hazard slots
+// (prev, cur, next).
+type HPSession struct {
+	l  *List
+	ht *hazard.Thread[Node]
+}
+
+const (
+	hpPrev = 0
+	hpCur  = 1
+	hpNext = 2
+)
+
+// search is Michael's hazard-pointer search: every advance publishes the
+// next node and re-validates the link before trusting it. Marked nodes
+// are unlinked and retired.
+func (s *HPSession) search(key int) (*Node, *Node) {
+retry:
+	for {
+		prev := s.l.head // sentinel: never retired, no hazard needed
+		s.ht.Protect(hpPrev, prev)
+		cur, _ := prev.load()
+		s.ht.Protect(hpCur, cur)
+		if c, m := prev.load(); c != cur || m {
+			continue retry
+		}
+		for {
+			next, cmark := cur.load()
+			s.ht.Protect(hpNext, next)
+			if n2, m2 := cur.load(); n2 != next || m2 != cmark {
+				continue retry
+			}
+			if cmark {
+				if !prev.cas(cur, false, next, false) {
+					continue retry
+				}
+				s.ht.Retire(cur)
+				cur = next
+				s.ht.Protect(hpCur, cur)
+				continue
+			}
+			if cur.Key >= key {
+				return prev, cur
+			}
+			prev = cur
+			s.ht.Protect(hpPrev, prev)
+			cur = next
+			s.ht.Protect(hpCur, cur)
+		}
+	}
+}
+
+// Contains reports whether key is present.
+func (s *HPSession) Contains(key int) bool {
+	_, cur := s.search(key)
+	found := cur.Key == key
+	s.ht.ClearAll()
+	return found
+}
+
+// Insert adds key; returns false if present.
+func (s *HPSession) Insert(key int) bool {
+	for {
+		prev, cur := s.search(key)
+		if cur.Key == key {
+			s.ht.ClearAll()
+			return false
+		}
+		n := &Node{Key: key}
+		n.succ.Store(&succRef{next: cur})
+		if prev.cas(cur, false, n, false) {
+			s.ht.ClearAll()
+			return true
+		}
+	}
+}
+
+// Remove deletes key; returns false if absent.
+func (s *HPSession) Remove(key int) bool {
+	for {
+		prev, cur := s.search(key)
+		if cur.Key != key {
+			s.ht.ClearAll()
+			return false
+		}
+		next, _ := cur.load()
+		if !cur.cas(next, false, next, true) {
+			continue
+		}
+		if prev.cas(cur, false, next, false) {
+			s.ht.Retire(cur)
+		}
+		s.ht.ClearAll()
+		return true
+	}
+}

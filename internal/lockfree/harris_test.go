@@ -1,0 +1,193 @@
+package lockfree
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestListBasic(t *testing.T) {
+	l := NewList()
+	if l.Contains(5) {
+		t.Fatal("empty list contains 5")
+	}
+	if !l.Insert(5) || l.Insert(5) {
+		t.Fatal("insert semantics broken")
+	}
+	if !l.Contains(5) {
+		t.Fatal("5 missing after insert")
+	}
+	if !l.Remove(5) || l.Remove(5) {
+		t.Fatal("remove semantics broken")
+	}
+	if l.Contains(5) {
+		t.Fatal("5 present after remove")
+	}
+}
+
+func TestListOrderedTraversal(t *testing.T) {
+	l := NewList()
+	for _, k := range []int{5, 1, 9, 3, 7} {
+		l.Insert(k)
+	}
+	var got []int
+	cur, _ := l.head.load()
+	for cur != l.tail {
+		got = append(got, cur.Key)
+		cur, _ = cur.load()
+	}
+	want := []int{1, 3, 5, 7, 9}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order broken: %v", got)
+		}
+	}
+}
+
+func TestQuickSetSemantics(t *testing.T) {
+	f := func(ops []int16) bool {
+		l := NewList()
+		ref := map[int]bool{}
+		for _, op := range ops {
+			k := int(op) % 64
+			switch {
+			case op%3 == 0:
+				if l.Insert(k) == ref[k] {
+					return false
+				}
+				ref[k] = true
+			case op%3 == 1 || op%3 == -1 || op%3 == -2:
+				if l.Remove(k) != ref[k] {
+					return false
+				}
+				delete(ref, k)
+			default:
+				if l.Contains(k) != ref[k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentLeaky(t *testing.T) {
+	l := NewList()
+	runConcurrentSet(t,
+		func(k int) bool { return l.Insert(k) },
+		func(k int) bool { return l.Remove(k) },
+		func(k int) bool { return l.Contains(k) },
+	)
+}
+
+func TestConcurrentHP(t *testing.T) {
+	l := NewHPList()
+	const keys = 128
+	var wg sync.WaitGroup
+	counts := make([]int64, keys)
+	var mu sync.Mutex
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			s := l.Session()
+			rng := rand.New(rand.NewSource(seed))
+			local := make([]int64, keys)
+			for i := 0; i < 3000; i++ {
+				k := rng.Intn(keys)
+				switch rng.Intn(3) {
+				case 0:
+					if s.Insert(k) {
+						local[k]++
+					}
+				case 1:
+					if s.Remove(k) {
+						local[k]--
+					}
+				default:
+					s.Contains(k)
+				}
+			}
+			mu.Lock()
+			for i, v := range local {
+				counts[i] += v
+			}
+			mu.Unlock()
+		}(int64(g))
+	}
+	wg.Wait()
+	s := l.Session()
+	for k := 0; k < keys; k++ {
+		want := counts[k] == 1
+		if got := s.Contains(k); got != want {
+			t.Fatalf("key %d: contains=%v, net inserts=%d", k, got, counts[k])
+		}
+	}
+}
+
+func runConcurrentSet(t *testing.T, insert, remove, contains func(int) bool) {
+	t.Helper()
+	const keys = 128
+	var wg sync.WaitGroup
+	counts := make([]int64, keys)
+	var mu sync.Mutex
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			local := make([]int64, keys)
+			for i := 0; i < 3000; i++ {
+				k := rng.Intn(keys)
+				switch rng.Intn(3) {
+				case 0:
+					if insert(k) {
+						local[k]++
+					}
+				case 1:
+					if remove(k) {
+						local[k]--
+					}
+				default:
+					contains(k)
+				}
+			}
+			mu.Lock()
+			for i, v := range local {
+				counts[i] += v
+			}
+			mu.Unlock()
+		}(int64(g))
+	}
+	wg.Wait()
+	for k := 0; k < keys; k++ {
+		want := counts[k] == 1
+		if got := contains(k); got != want {
+			t.Fatalf("key %d: contains=%v, net inserts=%d", k, got, counts[k])
+		}
+	}
+}
+
+func TestHPBasic(t *testing.T) {
+	l := NewHPList()
+	s := l.Session()
+	if !s.Insert(1) || !s.Insert(2) || s.Insert(1) {
+		t.Fatal("insert broken")
+	}
+	if !s.Contains(1) || s.Contains(3) {
+		t.Fatal("contains broken")
+	}
+	if !s.Remove(1) || s.Remove(1) {
+		t.Fatal("remove broken")
+	}
+	if s.Contains(1) || !s.Contains(2) {
+		t.Fatal("state broken after remove")
+	}
+}

@@ -1,0 +1,173 @@
+// Package nr implements a simplified node-replication scheme (Calciu et
+// al., ASPLOS 2017), the NR row of the paper's Table 1: a sequential
+// data structure is replicated (per NUMA node in the original; a fixed
+// replica count here), updates go through one shared operation log and
+// are replayed into each replica by a combiner, and reads run against a
+// replica after catching it up to the log tail. Readers of one replica
+// proceed in parallel with readers of another; writers serialize on the
+// log and on each replica's combiner lock — the "limited parallelism"
+// for read-write workloads the paper's table notes.
+package nr
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// logCapacity bounds the shared operation log. The original recycles
+// entries once every replica has applied them; appends block (helping
+// laggards) when the window would wrap.
+const logCapacity = 1 << 16
+
+// Structure is an NR-replicated wrapper around a sequential structure
+// State. apply executes one operation against a replica's state and
+// returns its result; it must be deterministic (every replica replays
+// the same sequence).
+type Structure[Op, Res, State any] struct {
+	entries    [logCapacity]atomic.Pointer[logEntry[Op]]
+	tail       atomic.Uint64
+	minApplied atomic.Uint64
+
+	apply    func(State, Op) Res
+	replicas []*replica[Res, State]
+}
+
+// logEntry tags an operation with its log index so a recycled slot from
+// a previous lap is never mistaken for a published entry.
+type logEntry[Op any] struct {
+	idx uint64
+	op  Op
+}
+
+// replica is one copy of the structure plus its combiner lock and a
+// result window for operations it has replayed (read by appenders under
+// the same lock).
+type replica[Res, State any] struct {
+	mu      sync.Mutex
+	state   State
+	applied atomic.Uint64
+	results []Res // window parallel to the log, under mu
+	_       [24]byte
+}
+
+// New creates an NR structure with n replicas of newState().
+func New[Op, Res, State any](n int, newState func() State, apply func(State, Op) Res) *Structure[Op, Res, State] {
+	if n <= 0 {
+		n = 1
+	}
+	s := &Structure[Op, Res, State]{apply: apply}
+	for i := 0; i < n; i++ {
+		s.replicas = append(s.replicas, &replica[Res, State]{
+			state:   newState(),
+			results: make([]Res, logCapacity),
+		})
+	}
+	return s
+}
+
+// Replicas returns the replica count.
+func (s *Structure[Op, Res, State]) Replicas() int { return len(s.replicas) }
+
+// catchUp replays published log entries into r through upTo (exclusive),
+// recording results in r's window. Caller holds r.mu.
+func (s *Structure[Op, Res, State]) catchUp(r *replica[Res, State], upTo uint64) {
+	a := r.applied.Load()
+	for a < upTo {
+		e := s.entries[a%logCapacity].Load()
+		if e == nil || e.idx != a {
+			break // reserved for this lap but not yet published
+		}
+		r.results[a%logCapacity] = s.apply(r.state, e.op)
+		a++
+	}
+	r.applied.Store(a)
+	s.bumpMinApplied()
+}
+
+// bumpMinApplied refreshes the slowest-replica watermark that guards log
+// wrap-around.
+func (s *Structure[Op, Res, State]) bumpMinApplied() {
+	min := ^uint64(0)
+	for _, r := range s.replicas {
+		if a := r.applied.Load(); a < min {
+			min = a
+		}
+	}
+	for {
+		cur := s.minApplied.Load()
+		if min <= cur || s.minApplied.CompareAndSwap(cur, min) {
+			return
+		}
+	}
+}
+
+// Update appends op to the shared log, replays the chosen replica
+// through it, and returns op's result.
+func (s *Structure[Op, Res, State]) Update(replicaIdx int, op Op) Res {
+	var idx uint64
+	for {
+		idx = s.tail.Load()
+		if idx-s.minApplied.Load() >= logCapacity-1 {
+			// The window would wrap over a laggard: help the slowest
+			// replica forward, then retry.
+			s.helpSlowest()
+			continue
+		}
+		if s.tail.CompareAndSwap(idx, idx+1) {
+			break
+		}
+	}
+	s.entries[idx%logCapacity].Store(&logEntry[Op]{idx: idx, op: op})
+
+	r := s.replicas[replicaIdx]
+	r.mu.Lock()
+	for r.applied.Load() <= idx {
+		s.catchUp(r, idx+1)
+		if r.applied.Load() <= idx {
+			// An earlier slot is reserved but not yet published.
+			// Publication happens before its appender takes any
+			// replica lock, so this wait terminates.
+			runtime.Gosched()
+		}
+	}
+	res := r.results[idx%logCapacity]
+	r.mu.Unlock()
+	return res
+}
+
+// helpSlowest catches up the most-lagging replica (flat-combining style
+// helping keeps appends live when a replica has no local traffic).
+func (s *Structure[Op, Res, State]) helpSlowest() {
+	var slowest *replica[Res, State]
+	min := ^uint64(0)
+	for _, r := range s.replicas {
+		if a := r.applied.Load(); a < min {
+			min, slowest = a, r
+		}
+	}
+	if slowest == nil {
+		return
+	}
+	slowest.mu.Lock()
+	s.catchUp(slowest, s.tail.Load())
+	slowest.mu.Unlock()
+	runtime.Gosched()
+}
+
+// Read runs query against the chosen replica after catching it up to the
+// log tail observed at entry (linearizing against completed updates).
+func (s *Structure[Op, Res, State]) Read(replicaIdx int, query func(State) Res) Res {
+	tail := s.tail.Load()
+	r := s.replicas[replicaIdx]
+	r.mu.Lock()
+	for r.applied.Load() < tail {
+		s.catchUp(r, tail)
+		if r.applied.Load() < tail {
+			runtime.Gosched() // waiting for a reserved slot to publish
+		}
+	}
+	res := query(r.state)
+	r.mu.Unlock()
+	return res
+}

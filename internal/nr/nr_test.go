@@ -1,0 +1,121 @@
+package nr
+
+import (
+	"sync"
+	"testing"
+)
+
+// counterState is a trivial sequential structure for the tests.
+type counterState struct{ v int }
+
+func newCounterNR(replicas int) *Structure[int, int, *counterState] {
+	return New(replicas, func() *counterState { return &counterState{} },
+		func(s *counterState, delta int) int {
+			s.v += delta
+			return s.v
+		})
+}
+
+func TestUpdateReturnsOwnResult(t *testing.T) {
+	s := newCounterNR(2)
+	if got := s.Update(0, 5); got != 5 {
+		t.Fatalf("got %d", got)
+	}
+	if got := s.Update(1, 3); got != 8 {
+		t.Fatalf("got %d (replica 1 did not replay replica 0's op)", got)
+	}
+}
+
+func TestReadLinearizesAgainstUpdates(t *testing.T) {
+	s := newCounterNR(2)
+	s.Update(0, 10)
+	// A read on the *other* replica must observe the update.
+	got := s.Read(1, func(c *counterState) int { return c.v })
+	if got != 10 {
+		t.Fatalf("replica 1 read %d, want 10", got)
+	}
+}
+
+func TestReplicasConverge(t *testing.T) {
+	s := newCounterNR(3)
+	const goroutines, increments = 6, 400
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			for i := 0; i < increments; i++ {
+				s.Update(idx%s.Replicas(), 1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	want := goroutines * increments
+	for r := 0; r < s.Replicas(); r++ {
+		if got := s.Read(r, func(c *counterState) int { return c.v }); got != want {
+			t.Fatalf("replica %d = %d, want %d", r, got, want)
+		}
+	}
+}
+
+// TestResultsAreOrdered: with a counter, each update's result reveals its
+// position in the serialization; results across all goroutines must be a
+// permutation of 1..N (each value exactly once).
+func TestResultsAreOrdered(t *testing.T) {
+	s := newCounterNR(2)
+	const goroutines, increments = 4, 300
+	seen := make([]bool, goroutines*increments+1)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			local := make([]int, 0, increments)
+			for i := 0; i < increments; i++ {
+				local = append(local, s.Update(idx%2, 1))
+			}
+			mu.Lock()
+			for _, v := range local {
+				if v <= 0 || v >= len(seen) || seen[v] {
+					t.Errorf("result %d out of range or duplicated", v)
+					mu.Unlock()
+					return
+				}
+				seen[v] = true
+			}
+			mu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+	for v := 1; v < len(seen); v++ {
+		if !seen[v] {
+			t.Fatalf("serialization gap: result %d missing", v)
+		}
+	}
+}
+
+// TestLogWrap forces enough operations to lap the bounded log.
+func TestLogWrap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("log wrap is slow")
+	}
+	s := newCounterNR(2)
+	total := logCapacity + logCapacity/2
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			for i := 0; i < total/2; i++ {
+				s.Update(idx, 1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for r := 0; r < 2; r++ {
+		if got := s.Read(r, func(c *counterState) int { return c.v }); got != total {
+			t.Fatalf("replica %d = %d, want %d after wrap", r, got, total)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package rcu
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCallDefersPastGracePeriod(t *testing.T) {
+	d := NewDomain()
+	r := d.Register()
+	w := d.Register()
+
+	r.ReadLock()
+	var ran atomic.Bool
+	w.Call(func() { ran.Store(true) })
+	done := make(chan struct{})
+	go func() {
+		w.Barrier()
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("Barrier returned while a reader was inside its section")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if ran.Load() {
+		t.Fatal("callback ran before the grace period")
+	}
+	r.ReadUnlock()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Barrier stuck after reader exit")
+	}
+	if !ran.Load() {
+		t.Fatal("callback never ran")
+	}
+}
+
+func TestCallBatchAutoFlush(t *testing.T) {
+	d := NewDomain()
+	w := d.Register()
+	var count atomic.Int64
+	for i := 0; i < callBatch; i++ {
+		w.Call(func() { count.Add(1) })
+	}
+	if got := count.Load(); got != callBatch {
+		t.Fatalf("auto-flush ran %d callbacks, want %d", got, callBatch)
+	}
+}
+
+func TestBarrierEmptyNoop(t *testing.T) {
+	d := NewDomain()
+	w := d.Register()
+	w.Barrier() // must not block or panic with nothing pending
+}
+
+func TestCallbackOrderPreserved(t *testing.T) {
+	d := NewDomain()
+	w := d.Register()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		w.Call(func() { order = append(order, i) })
+	}
+	w.Barrier()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("callbacks out of order: %v", order)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package rcu
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSynchronizeWaitsForReader(t *testing.T) {
+	d := NewDomain()
+	r := d.Register()
+	w := d.Register()
+
+	r.ReadLock()
+	done := make(chan struct{})
+	go func() {
+		w.Synchronize()
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("Synchronize returned while a reader was active")
+	case <-time.After(20 * time.Millisecond):
+	}
+	r.ReadUnlock()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Synchronize did not return after reader exit")
+	}
+}
+
+func TestSynchronizeIgnoresLateReaders(t *testing.T) {
+	d := NewDomain()
+	w := d.Register()
+	// No readers: must return immediately.
+	doneEarly := make(chan struct{})
+	go func() {
+		w.Synchronize()
+		close(doneEarly)
+	}()
+	select {
+	case <-doneEarly:
+	case <-time.After(time.Second):
+		t.Fatal("Synchronize blocked with no readers")
+	}
+	// A reader that starts during synchronize must not extend it: take
+	// the observation first, then spin-start readers.
+	r := d.Register()
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			r.ReadLock()
+			r.ReadUnlock()
+		}
+	}()
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 100; i++ {
+			w.Synchronize()
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Synchronize starved by churning reader")
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+func TestSynchronizeInsideCSPanics(t *testing.T) {
+	d := NewDomain()
+	r := d.Register()
+	r.ReadLock()
+	defer r.ReadUnlock()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Synchronize inside read-side CS must panic")
+		}
+	}()
+	r.Synchronize()
+}
+
+func TestDomainSynchronize(t *testing.T) {
+	d := NewDomain()
+	r := d.Register()
+	r.ReadLock()
+	done := make(chan struct{})
+	go func() {
+		d.Synchronize()
+		close(done)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	r.ReadUnlock()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Domain.Synchronize stuck")
+	}
+}
+
+// TestPublishSemantics: the canonical RCU pattern — readers either see
+// the old or the fully initialized new value, never a partial one.
+func TestPublishSemantics(t *testing.T) {
+	type pair struct{ a, b int }
+	d := NewDomain()
+	var ptr atomic.Pointer[pair]
+	ptr.Store(&pair{1, 1})
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	var bad atomic.Int64
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := d.Register()
+			for !stop.Load() {
+				r.ReadLock()
+				p := ptr.Load()
+				if p.a != p.b {
+					bad.Add(1)
+				}
+				r.ReadUnlock()
+			}
+		}()
+	}
+	w := d.Register()
+	for i := 2; i < 200; i++ {
+		ptr.Store(&pair{i, i})
+		w.Synchronize() // old pair now unreferenced
+	}
+	stop.Store(true)
+	wg.Wait()
+	if bad.Load() != 0 {
+		t.Fatalf("%d torn reads", bad.Load())
+	}
+}

@@ -1,0 +1,231 @@
+package rlu
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDeferredCommitInvisibleUntilFlush(t *testing.T) {
+	d := NewDeferredDomain[item](ClockGlobal)
+	w, r := d.Register(), d.Register()
+	o := NewObject(item{Val: 1})
+
+	w.ReadLock()
+	c, ok := w.TryLock(o)
+	if !ok {
+		t.Fatal("lock failed")
+	}
+	c.Val = 2
+	w.ReadUnlock() // deferred: no synchronize, no write-back
+
+	// Another thread still reads the master.
+	r.ReadLock()
+	if got := r.Deref(o).Val; got != 1 {
+		t.Fatalf("deferred write visible early: %d", got)
+	}
+	r.ReadUnlock()
+
+	// The writer itself sees its own deferred copy.
+	w.ReadLock()
+	if got := w.Deref(o).Val; got != 2 {
+		t.Fatalf("writer lost its own deferred write: %d", got)
+	}
+	w.ReadUnlock()
+
+	w.Flush()
+	r.ReadLock()
+	if got := r.Deref(o).Val; got != 2 {
+		t.Fatalf("flush did not publish: %d", got)
+	}
+	r.ReadUnlock()
+	if s := d.Stats(); s.Flushes == 0 {
+		t.Fatal("flush not counted")
+	}
+}
+
+func TestDeferredConflictForcesFlush(t *testing.T) {
+	d := NewDeferredDomain[item](ClockGlobal)
+	w1, w2 := d.Register(), d.Register()
+	o := NewObject(item{Val: 1})
+
+	w1.ReadLock()
+	if c, ok := w1.TryLock(o); ok {
+		c.Val = 2
+	} else {
+		t.Fatal("lock failed")
+	}
+	w1.ReadUnlock() // deferred, o stays locked
+
+	// w2 conflicts: it must fail now and set the owner's sync request.
+	w2.ReadLock()
+	if _, ok := w2.TryLock(o); ok {
+		t.Fatal("lock on deferred object should fail")
+	}
+	w2.Abort()
+	if !w1.syncReq.Load() {
+		t.Fatal("conflict did not request a flush")
+	}
+
+	// The owner's next boundary flushes; then w2 succeeds.
+	w1.ReadLock()
+	w1.ReadUnlock()
+	w2.ReadLock()
+	c, ok := w2.TryLock(o)
+	if !ok {
+		t.Fatal("lock after owner flush failed")
+	}
+	if c.Val != 2 {
+		t.Fatalf("flushed value lost: %d", c.Val)
+	}
+	c.Val = 3
+	w2.ReadUnlock()
+	w2.Flush()
+
+	w1.ReadLock()
+	if got := w1.Deref(o).Val; got != 3 {
+		t.Fatalf("final value %d, want 3", got)
+	}
+	w1.ReadUnlock()
+}
+
+func TestDeferredSelfRelockSealed(t *testing.T) {
+	d := NewDeferredDomain[item](ClockGlobal)
+	w := d.Register()
+	o := NewObject(item{})
+
+	w.ReadLock()
+	w.TryLock(o)
+	w.ReadUnlock() // sealed
+
+	// Retaking one's own sealed lock must flush first, not mutate the
+	// sealed copy.
+	w.ReadLock()
+	if _, ok := w.TryLock(o); ok {
+		t.Fatal("sealed entry relocked without flush")
+	}
+	w.Abort()
+	w.Flush()
+	w.ReadLock()
+	if _, ok := w.TryLock(o); !ok {
+		t.Fatal("relock after flush failed")
+	}
+	w.ReadUnlock()
+}
+
+func TestDeferredAbortOnlyCurrentSection(t *testing.T) {
+	d := NewDeferredDomain[item](ClockGlobal)
+	w := d.Register()
+	a, b := NewObject(item{Val: 1}), NewObject(item{Val: 1})
+
+	w.ReadLock()
+	if c, ok := w.TryLock(a); ok {
+		c.Val = 2
+	}
+	w.ReadUnlock() // a sealed at 2
+
+	w.ReadLock()
+	if c, ok := w.TryLock(b); ok {
+		c.Val = 99
+	}
+	w.Abort() // must discard only b
+
+	w.Flush()
+	w.ReadLock()
+	if got := w.Deref(a).Val; got != 2 {
+		t.Fatalf("sealed write lost by abort: %d", got)
+	}
+	if got := w.Deref(b).Val; got != 1 {
+		t.Fatalf("aborted write survived: %d", got)
+	}
+	w.ReadUnlock()
+}
+
+func TestDeferredCapTriggersFlush(t *testing.T) {
+	d := NewDeferredDomain[item](ClockGlobal)
+	w := d.Register()
+	for i := 0; i <= deferCapDefault; i++ {
+		o := NewObject(item{})
+		w.ReadLock()
+		if c, ok := w.TryLock(o); ok {
+			c.Val = i
+		}
+		w.ReadUnlock()
+	}
+	if s := d.Stats(); s.Flushes == 0 {
+		t.Fatal("defer capacity did not trigger a flush")
+	}
+}
+
+func TestDeferredConcurrentCounter(t *testing.T) {
+	d := NewDeferredDomain[item](ClockGlobal)
+	o := NewObject(item{})
+	const goroutines, increments = 4, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := d.Register()
+			for i := 0; i < increments; i++ {
+				h.Execute(func(h *Thread[item]) bool {
+					c, ok := h.TryLock(o)
+					if !ok {
+						return false
+					}
+					c.Val++
+					return true
+				})
+			}
+			h.Flush()
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("deferred counter run hung")
+	}
+	h := d.Register()
+	h.ReadLock()
+	got := h.Deref(o).Val
+	h.ReadUnlock()
+	if got != goroutines*increments {
+		t.Fatalf("counter = %d, want %d (lost deferred updates)", got, goroutines*increments)
+	}
+}
+
+// BenchmarkDeferVsImmediate quantifies the paper's §6.1 remark that
+// deferring shows no noticeable difference: same counter workload, both
+// modes.
+func BenchmarkDeferVsImmediate(b *testing.B) {
+	for _, deferred := range []bool{false, true} {
+		name := "immediate"
+		if deferred {
+			name = "deferred"
+		}
+		b.Run(name, func(b *testing.B) {
+			var d *Domain[item]
+			if deferred {
+				d = NewDeferredDomain[item](ClockGlobal)
+			} else {
+				d = NewDomain[item](ClockGlobal)
+			}
+			h := d.Register()
+			o := NewObject(item{})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.ReadLock()
+				if c, ok := h.TryLock(o); ok {
+					c.Val++
+				}
+				h.ReadUnlock()
+			}
+			b.StopTimer()
+			if deferred {
+				h.Flush()
+			}
+		})
+	}
+}

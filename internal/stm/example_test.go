@@ -1,0 +1,46 @@
+package stm_test
+
+import (
+	"fmt"
+
+	"mvrlu/internal/stm"
+)
+
+type account struct {
+	Balance int
+	Next    *stm.Var[account]
+}
+
+// ExampleAtomically transfers between two transactional variables; the
+// whole function body re-executes on conflict.
+func ExampleAtomically() {
+	d := stm.NewDomain[account]()
+	a := stm.NewVar(account{Balance: 100})
+	b := stm.NewVar(account{Balance: 0})
+
+	stm.Atomically(d, func(tx *stm.Tx[account]) {
+		av := tx.Read(a).Balance
+		bv := tx.Read(b).Balance
+		tx.Write(a, account{Balance: av - 40})
+		tx.Write(b, account{Balance: bv + 40})
+	})
+
+	stm.Atomically(d, func(tx *stm.Tx[account]) {
+		fmt.Println(tx.Read(a).Balance, tx.Read(b).Balance)
+	})
+	// Output: 60 40
+}
+
+// ExampleTx_ReadWrite mutates a buffered copy in place.
+func ExampleTx_ReadWrite() {
+	d := stm.NewDomain[account]()
+	v := stm.NewVar(account{Balance: 5})
+	stm.Atomically(d, func(tx *stm.Tx[account]) {
+		c := tx.ReadWrite(v)
+		c.Balance *= 3
+	})
+	stm.Atomically(d, func(tx *stm.Tx[account]) {
+		fmt.Println(tx.Read(v).Balance)
+	})
+	// Output: 15
+}

@@ -1,0 +1,89 @@
+package stm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickVarSequentialSemantics: a generated sequence of transactional
+// reads/writes over a bank of Vars behaves exactly like plain variables
+// when executed by one goroutine.
+func TestQuickVarSequentialSemantics(t *testing.T) {
+	type step struct {
+		Var uint8
+		Val int16
+		Op  uint8
+	}
+	f := func(steps []step) bool {
+		d := NewDomain[cell]()
+		const vars = 8
+		bank := make([]*Var[cell], vars)
+		ref := make([]int, vars)
+		for i := range bank {
+			bank[i] = NewVar(cell{})
+		}
+		for _, st := range steps {
+			i := int(st.Var) % vars
+			switch st.Op % 3 {
+			case 0: // write
+				Atomically(d, func(tx *Tx[cell]) {
+					tx.Write(bank[i], cell{Val: int(st.Val)})
+				})
+				ref[i] = int(st.Val)
+			case 1: // read-modify-write
+				Atomically(d, func(tx *Tx[cell]) {
+					c := tx.ReadWrite(bank[i])
+					c.Val++
+				})
+				ref[i]++
+			default: // read
+				var got int
+				Atomically(d, func(tx *Tx[cell]) {
+					got = tx.Read(bank[i]).Val
+				})
+				if got != ref[i] {
+					return false
+				}
+			}
+		}
+		// Final cross-check inside one transaction (consistent view).
+		ok := true
+		Atomically(d, func(tx *Tx[cell]) {
+			for i := range bank {
+				if tx.Read(bank[i]).Val != ref[i] {
+					ok = false
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMultiVarAtomicity: generated multi-var writes commit all or
+// nothing (checked by conserving a generated sum).
+func TestQuickMultiVarAtomicity(t *testing.T) {
+	f := func(deltas []int8) bool {
+		d := NewDomain[cell]()
+		a, b := NewVar(cell{Val: 100}), NewVar(cell{Val: -100})
+		for _, dv := range deltas {
+			dv := int(dv)
+			Atomically(d, func(tx *Tx[cell]) {
+				av := tx.Read(a).Val
+				bv := tx.Read(b).Val
+				tx.Write(a, cell{Val: av + dv})
+				tx.Write(b, cell{Val: bv - dv})
+			})
+		}
+		var sum int
+		Atomically(d, func(tx *Tx[cell]) {
+			sum = tx.Read(a).Val + tx.Read(b).Val
+		})
+		return sum == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,214 @@
+// Package stm is a TL2-style object-based software transactional memory
+// (Dice, Shalev, Shavit, DISC 2006), standing in for SwissTM in the
+// paper's comparison. Like SwissTM it provides linearizable transactions
+// with invisible reads, a global version clock, versioned write locks,
+// and commit-time read-set validation — and therefore aborts on
+// read-write conflicts, the behaviour the paper's abort-ratio analysis
+// (Figure 5) attributes to STM's poor performance under contention. The
+// global version clock is the centralized metadata the paper calls STM's
+// main bottleneck.
+//
+// Reads and writes are buffered (read set + write set), so both read and
+// write amplification are 2, matching Table 1's STM row.
+package stm
+
+import (
+	"sync/atomic"
+)
+
+// Domain holds the global version clock and abort statistics.
+type Domain[T any] struct {
+	clock   atomic.Uint64
+	commits atomic.Uint64
+	aborts  atomic.Uint64
+}
+
+// NewDomain creates an STM domain.
+func NewDomain[T any]() *Domain[T] { return &Domain[T]{} }
+
+// Stats reports commit/abort counts.
+func (d *Domain[T]) Stats() (commits, aborts uint64) {
+	return d.commits.Load(), d.aborts.Load()
+}
+
+// AbortRatio returns aborts/(aborts+commits).
+func (d *Domain[T]) AbortRatio() float64 {
+	c, a := d.Stats()
+	if c+a == 0 {
+		return 0
+	}
+	return float64(a) / float64(c+a)
+}
+
+// Var is a transactional variable: a versioned lock word plus an
+// immutable boxed value (the boxing keeps concurrent reads torn-free
+// without per-field atomics — part of STM's honest amplification).
+type Var[T any] struct {
+	// lock is version<<1 | lockedBit.
+	lock atomic.Uint64
+	data atomic.Pointer[T]
+}
+
+// NewVar allocates a transactional variable.
+func NewVar[T any](val T) *Var[T] {
+	v := &Var[T]{}
+	v.data.Store(&val)
+	return v
+}
+
+// txAbort is the panic sentinel for internal retry control flow.
+type txAbort struct{}
+
+// Tx is a transaction descriptor. Obtain one inside Atomically.
+type Tx[T any] struct {
+	d      *Domain[T]
+	rv     uint64
+	reads  []*Var[T]
+	writes []writeEntry[T]
+}
+
+type writeEntry[T any] struct {
+	v   *Var[T]
+	val T
+}
+
+// Read returns v's value as of a consistent snapshot, aborting (and
+// retrying the Atomically block) on conflict. The returned pointer is a
+// committed immutable box: do not modify it.
+func (tx *Tx[T]) Read(v *Var[T]) *T {
+	for i := range tx.writes {
+		if tx.writes[i].v == v {
+			return &tx.writes[i].val
+		}
+	}
+	pre := v.lock.Load()
+	if pre&1 == 1 || pre>>1 > tx.rv {
+		panic(txAbort{})
+	}
+	p := v.data.Load()
+	if v.lock.Load() != pre {
+		panic(txAbort{})
+	}
+	tx.reads = append(tx.reads, v)
+	return p
+}
+
+// Write buffers a new value for v.
+func (tx *Tx[T]) Write(v *Var[T], val T) {
+	for i := range tx.writes {
+		if tx.writes[i].v == v {
+			tx.writes[i].val = val
+			return
+		}
+	}
+	tx.writes = append(tx.writes, writeEntry[T]{v, val})
+}
+
+// ReadWrite returns a buffered copy of v for in-place mutation; the copy
+// is committed with the transaction.
+func (tx *Tx[T]) ReadWrite(v *Var[T]) *T {
+	for i := range tx.writes {
+		if tx.writes[i].v == v {
+			return &tx.writes[i].val
+		}
+	}
+	val := *tx.Read(v)
+	tx.writes = append(tx.writes, writeEntry[T]{v, val})
+	return &tx.writes[len(tx.writes)-1].val
+}
+
+// commit runs the TL2 commit protocol: lock the write set, bump the
+// clock, validate the read set, publish, release.
+func (tx *Tx[T]) commit() bool {
+	if len(tx.writes) == 0 {
+		return true // read-only: per-read validation suffices
+	}
+	locked := 0
+	for i := range tx.writes {
+		v := tx.writes[i].v
+		pre := v.lock.Load()
+		if pre&1 == 1 || pre>>1 > tx.rv || !v.lock.CompareAndSwap(pre, pre|1) {
+			tx.releaseLocks(locked, 0)
+			return false
+		}
+		locked++
+	}
+	wv := tx.d.clock.Add(1)
+	// Validate reads (vars we locked validate trivially: we hold them).
+	for _, r := range tx.reads {
+		w := r.lock.Load()
+		if w&1 == 1 {
+			if !tx.inWriteSet(r) {
+				tx.releaseLocks(locked, 0)
+				return false
+			}
+			continue
+		}
+		if w>>1 > tx.rv {
+			tx.releaseLocks(locked, 0)
+			return false
+		}
+	}
+	for i := range tx.writes {
+		val := tx.writes[i].val
+		tx.writes[i].v.data.Store(&val)
+	}
+	tx.releaseLocks(locked, wv)
+	return true
+}
+
+func (tx *Tx[T]) inWriteSet(v *Var[T]) bool {
+	for i := range tx.writes {
+		if tx.writes[i].v == v {
+			return true
+		}
+	}
+	return false
+}
+
+// releaseLocks unlocks the first n write-set entries; wv == 0 restores
+// the pre-lock version (abort), otherwise publishes wv (commit).
+func (tx *Tx[T]) releaseLocks(n int, wv uint64) {
+	for i := 0; i < n; i++ {
+		v := tx.writes[i].v
+		cur := v.lock.Load()
+		if wv == 0 {
+			v.lock.Store(cur &^ 1)
+		} else {
+			v.lock.Store(wv << 1)
+		}
+	}
+}
+
+func (tx *Tx[T]) reset() {
+	tx.rv = tx.d.clock.Load()
+	tx.reads = tx.reads[:0]
+	tx.writes = tx.writes[:0]
+}
+
+// Atomically runs fn as a transaction, retrying until it commits. fn may
+// be re-executed arbitrarily often and must not have side effects beyond
+// the transaction. fn returning false requests a user-level abort+retry
+// (e.g. after observing an inconsistent application state).
+func Atomically[T any](d *Domain[T], fn func(tx *Tx[T])) {
+	tx := &Tx[T]{d: d}
+	for {
+		tx.reset()
+		if func() (ok bool) {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, isAbort := r.(txAbort); !isAbort {
+						panic(r)
+					}
+					ok = false
+				}
+			}()
+			fn(tx)
+			return tx.commit()
+		}() {
+			d.commits.Add(1)
+			return
+		}
+		d.aborts.Add(1)
+	}
+}

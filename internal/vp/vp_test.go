@@ -1,0 +1,192 @@
+package vp
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+type rec struct {
+	Val  int
+	Next *Obj[rec]
+}
+
+func TestReadWrite(t *testing.T) {
+	d := NewDomain[rec]()
+	s := d.Register()
+	o := NewObj(d, rec{Val: 1})
+
+	s.Begin()
+	if got := s.Read(o).Val; got != 1 {
+		t.Fatalf("got %d", got)
+	}
+	if !s.Write(o, rec{Val: 2}) {
+		t.Fatal("write failed")
+	}
+	s.Commit()
+
+	s.Begin()
+	if got := s.Read(o).Val; got != 2 {
+		t.Fatalf("after commit got %d", got)
+	}
+	s.Commit()
+}
+
+func TestSnapshotIgnoresPending(t *testing.T) {
+	d := NewDomain[rec]()
+	w, r := d.Register(), d.Register()
+	o := NewObj(d, rec{Val: 1})
+
+	w.Begin()
+	w.Write(o, rec{Val: 2})
+
+	r.Begin()
+	if got := r.Read(o).Val; got != 1 {
+		t.Fatalf("pending write visible: %d", got)
+	}
+	r.Commit()
+	w.Commit()
+
+	r.Begin()
+	if got := r.Read(o).Val; got != 2 {
+		t.Fatalf("committed write invisible: %d", got)
+	}
+	r.Commit()
+}
+
+func TestAbortedVersionsInvisible(t *testing.T) {
+	d := NewDomain[rec]()
+	s := d.Register()
+	o := NewObj(d, rec{Val: 1})
+	s.Begin()
+	s.Write(o, rec{Val: 99})
+	s.Abort()
+	s.Begin()
+	if got := s.Read(o).Val; got != 1 {
+		t.Fatalf("aborted write visible: %d", got)
+	}
+	s.Commit()
+	// The aborted version still occupies the chain until pruning — the
+	// overhead the paper describes.
+	if n := s.chainLen(o); n < 2 {
+		t.Fatalf("aborted version should linger in chain, len=%d", n)
+	}
+}
+
+func TestWriteWriteConflict(t *testing.T) {
+	d := NewDomain[rec]()
+	a, b := d.Register(), d.Register()
+	o := NewObj(d, rec{})
+	a.Begin()
+	if !a.Write(o, rec{Val: 1}) {
+		t.Fatal("first write failed")
+	}
+	b.Begin()
+	if b.Write(o, rec{Val: 2}) {
+		t.Fatal("conflicting write succeeded")
+	}
+	b.Abort()
+	a.Commit()
+}
+
+func TestPruneBoundsChains(t *testing.T) {
+	d := NewDomain[rec]()
+	s := d.Register()
+	o := NewObj(d, rec{})
+	for i := 0; i < 200; i++ {
+		s.Execute(func(s *Session[rec]) bool {
+			return s.Write(o, rec{Val: i})
+		})
+	}
+	if n := s.chainLen(o); n > d.PruneLen*2+2 {
+		t.Fatalf("chain unbounded: %d", n)
+	}
+	s.Begin()
+	if got := s.Read(o).Val; got != 199 {
+		t.Fatalf("latest = %d", got)
+	}
+	s.Commit()
+}
+
+func TestConcurrentCounter(t *testing.T) {
+	d := NewDomain[rec]()
+	o := NewObj(d, rec{})
+	const goroutines, increments = 4, 300
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := d.Register()
+			for i := 0; i < increments; i++ {
+				s.Execute(func(s *Session[rec]) bool {
+					c, ok := s.ReadWrite(o)
+					if !ok {
+						return false
+					}
+					c.Val++
+					return true
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	s := d.Register()
+	s.Begin()
+	got := s.Read(o).Val
+	s.Commit()
+	if got != goroutines*increments {
+		t.Fatalf("counter %d, want %d", got, goroutines*increments)
+	}
+}
+
+func TestSnapshotSumInvariant(t *testing.T) {
+	d := NewDomain[rec]()
+	x := NewObj(d, rec{Val: 50})
+	y := NewObj(d, rec{Val: -50})
+	var stop atomic.Bool
+	var bad atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s := d.Register()
+		for !stop.Load() {
+			s.Execute(func(s *Session[rec]) bool {
+				a, ok := s.ReadWrite(x)
+				if !ok {
+					return false
+				}
+				b, ok := s.ReadWrite(y)
+				if !ok {
+					return false
+				}
+				a.Val++
+				b.Val--
+				return true
+			})
+		}
+	}()
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := d.Register()
+			for !stop.Load() {
+				s.Begin()
+				sum := s.Read(x).Val + s.Read(y).Val
+				s.Commit()
+				if sum != 0 {
+					bad.Add(1)
+				}
+			}
+		}()
+	}
+	time.Sleep(80 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	if bad.Load() != 0 {
+		t.Fatalf("%d torn snapshots", bad.Load())
+	}
+}

@@ -1,0 +1,181 @@
+package mvrlu_test
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mvrlu/mvrlu"
+)
+
+// Example shows the complete MV-RLU programming model on a two-field
+// record: snapshot reads, locked updates, atomic multi-object commit.
+func Example() {
+	type account struct{ Balance int }
+	dom := mvrlu.NewDefaultDomain[account]()
+	defer dom.Close()
+
+	alice := mvrlu.NewObject(account{Balance: 100})
+	bob := mvrlu.NewObject(account{Balance: 100})
+
+	h := dom.Register()
+	// Transfer 30 from alice to bob; both sides commit atomically.
+	h.Execute(func(h *mvrlu.Thread[account]) bool {
+		a, ok := h.TryLock(alice)
+		if !ok {
+			return false
+		}
+		b, ok := h.TryLock(bob)
+		if !ok {
+			return false
+		}
+		a.Balance -= 30
+		b.Balance += 30
+		return true
+	})
+
+	h.ReadLock()
+	fmt.Println(h.Deref(alice).Balance, h.Deref(bob).Balance)
+	h.ReadUnlock()
+	// Output: 70 130
+}
+
+// ExampleThread_Deref demonstrates snapshot isolation: a reader that
+// entered before a commit keeps seeing the old value.
+func ExampleThread_Deref() {
+	type box struct{ V int }
+	dom := mvrlu.NewDefaultDomain[box]()
+	defer dom.Close()
+	o := mvrlu.NewObject(box{V: 1})
+
+	reader := dom.Register()
+	writer := dom.Register()
+
+	reader.ReadLock() // snapshot fixed here
+
+	writer.ReadLock()
+	if c, ok := writer.TryLock(o); ok {
+		c.V = 2
+	}
+	writer.ReadUnlock() // committed
+
+	fmt.Println("old snapshot:", reader.Deref(o).V)
+	reader.ReadUnlock()
+
+	reader.ReadLock()
+	fmt.Println("new snapshot:", reader.Deref(o).V)
+	reader.ReadUnlock()
+	// Output:
+	// old snapshot: 1
+	// new snapshot: 2
+}
+
+// ExampleThread_Free removes a node from a linked structure and frees it;
+// reclamation is deferred past a grace period automatically.
+func ExampleThread_Free() {
+	type node struct {
+		Key  int
+		Next *mvrlu.Object[node]
+	}
+	dom := mvrlu.NewDefaultDomain[node]()
+	defer dom.Close()
+	b := mvrlu.NewObject(node{Key: 2})
+	a := mvrlu.NewObject(node{Key: 1, Next: b})
+
+	h := dom.Register()
+	h.Execute(func(h *mvrlu.Thread[node]) bool {
+		ca, ok := h.TryLock(a)
+		if !ok {
+			return false
+		}
+		if _, ok := h.TryLock(b); !ok {
+			return false
+		}
+		ca.Next = h.Deref(b).Next // unlink b
+		h.Free(b)                 // reclaim after a grace period
+		return true
+	})
+
+	h.ReadLock()
+	fmt.Println("a.Next == nil:", h.Deref(a).Next == nil, "| b freed:", b.Freed())
+	h.ReadUnlock()
+	// Output: a.Next == nil: true | b freed: true
+}
+
+// ExampleDomain_Register shows the one-handle-per-goroutine rule.
+func ExampleDomain_Register() {
+	type counter struct{ N int }
+	dom := mvrlu.NewDefaultDomain[counter]()
+	defer dom.Close()
+	o := mvrlu.NewObject(counter{})
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := dom.Register() // each goroutine registers its own handle
+			for j := 0; j < 100; j++ {
+				h.Execute(func(h *mvrlu.Thread[counter]) bool {
+					c, ok := h.TryLock(o)
+					if !ok {
+						return false
+					}
+					c.N++
+					return true
+				})
+			}
+		}()
+	}
+	wg.Wait()
+
+	h := dom.Register()
+	h.ReadLock()
+	fmt.Println(h.Deref(o).N)
+	h.ReadUnlock()
+	// Output: 400
+}
+
+// ExampleThread_TryLockConst serializes two dependent updates by locking
+// a read-only object, ruling out write skew for this operation pair.
+func ExampleThread_TryLockConst() {
+	type cell struct{ V int }
+	dom := mvrlu.NewDefaultDomain[cell]()
+	defer dom.Close()
+	guard := mvrlu.NewObject(cell{})
+	x := mvrlu.NewObject(cell{V: 1})
+
+	results := make([]string, 0, 2)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			h := dom.Register()
+			h.Execute(func(h *mvrlu.Thread[cell]) bool {
+				if !h.TryLockConst(guard) { // conflict point
+					return false
+				}
+				c, ok := h.TryLock(x)
+				if !ok {
+					return false
+				}
+				c.V *= 2
+				mu.Lock()
+				results = append(results, fmt.Sprintf("writer %d ran", id))
+				mu.Unlock()
+				return true
+			})
+		}(i)
+	}
+	wg.Wait()
+
+	h := dom.Register()
+	h.ReadLock()
+	v := h.Deref(x).V
+	h.ReadUnlock()
+	sort.Strings(results)
+	fmt.Println(v, len(results))
+	// Output: 4 2
+}

@@ -1,0 +1,122 @@
+package mvrlu_test
+
+import (
+	"sync"
+	"testing"
+
+	"mvrlu/mvrlu"
+)
+
+type node struct {
+	Key  int
+	Next *mvrlu.Object[node]
+}
+
+// TestPublicAPIRoundTrip exercises the whole facade the way the package
+// documentation shows it.
+func TestPublicAPIRoundTrip(t *testing.T) {
+	dom := mvrlu.NewDefaultDomain[node]()
+	defer dom.Close()
+	head := mvrlu.NewObject(node{Key: -1})
+
+	h := dom.Register()
+	h.Execute(func(h *mvrlu.Thread[node]) bool {
+		c, ok := h.TryLock(head)
+		if !ok {
+			return false
+		}
+		c.Next = mvrlu.NewObject(node{Key: 1})
+		return true
+	})
+
+	h.ReadLock()
+	n := h.Deref(head).Next
+	if n == nil || h.Deref(n).Key != 1 {
+		t.Fatal("list append lost")
+	}
+	h.ReadUnlock()
+
+	st := dom.Stats()
+	if st.Commits != 1 {
+		t.Fatalf("commits = %d, want 1", st.Commits)
+	}
+}
+
+// TestPublicOptionsPlumbed checks Options round-trip through the facade.
+func TestPublicOptionsPlumbed(t *testing.T) {
+	opts := mvrlu.DefaultOptions()
+	opts.LogSlots = 128
+	opts.GCMode = mvrlu.GCSingleCollector
+	opts.ClockMode = mvrlu.ClockGlobal
+	opts.DynamicLog = true
+	dom := mvrlu.NewDomain[node](opts)
+	defer dom.Close()
+	if got := dom.Options().LogSlots; got != 128 {
+		t.Fatalf("LogSlots = %d", got)
+	}
+	if dom.Options().GCMode != mvrlu.GCSingleCollector {
+		t.Fatal("GCMode lost")
+	}
+	h := dom.Register()
+	o := dom.Alloc(node{Key: 9})
+	h.ReadLock()
+	if h.Deref(o).Key != 9 {
+		t.Fatal("Alloc payload lost")
+	}
+	h.ReadUnlock()
+}
+
+// TestPublicConcurrentUse is a small end-to-end concurrency check through
+// the public surface only.
+func TestPublicConcurrentUse(t *testing.T) {
+	dom := mvrlu.NewDefaultDomain[node]()
+	defer dom.Close()
+	counter := mvrlu.NewObject(node{})
+
+	const goroutines, increments = 6, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := dom.Register()
+			for i := 0; i < increments; i++ {
+				h.Execute(func(h *mvrlu.Thread[node]) bool {
+					c, ok := h.TryLock(counter)
+					if !ok {
+						return false
+					}
+					c.Key++
+					return true
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	h := dom.Register()
+	h.ReadLock()
+	got := h.Deref(counter).Key
+	h.ReadUnlock()
+	if got != goroutines*increments {
+		t.Fatalf("counter = %d, want %d", got, goroutines*increments)
+	}
+}
+
+// TestFreedVisibleThroughFacade checks Free semantics via the facade.
+func TestFreedVisibleThroughFacade(t *testing.T) {
+	dom := mvrlu.NewDefaultDomain[node]()
+	defer dom.Close()
+	o := mvrlu.NewObject(node{Key: 5})
+	h := dom.Register()
+	h.ReadLock()
+	if _, ok := h.TryLock(o); !ok {
+		t.Fatal("lock failed")
+	}
+	if !h.Free(o) {
+		t.Fatal("free failed")
+	}
+	h.ReadUnlock()
+	if !o.Freed() {
+		t.Fatal("freed flag not visible")
+	}
+}
