@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench figures examples loc
+.PHONY: all build vet test race bench bench-hotpath figures examples loc
 
 all: build vet test
 
@@ -18,6 +18,14 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...
+
+# Hot-path microbenchmarks behind BENCH_hotpath.json: the engine's
+# fast-path costs at 1-8 workers, plus the mvbench hot-path cells with
+# machine-readable output.
+bench-hotpath:
+	$(GO) test -bench 'ReadLockUnlock|DerefChainN|TryLockCommit|WatermarkContention|LogPressure' \
+		-benchmem -cpu 1,2,4,8 -benchtime=300ms -run '^$$' ./internal/core
+	$(GO) run ./cmd/mvbench -hotpath -json BENCH_hotpath_run.json
 
 # Regenerate every paper figure with moderate budgets.
 figures:

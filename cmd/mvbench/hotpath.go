@@ -1,0 +1,196 @@
+// Hot-path microbenchmarks (-hotpath): instead of a paper figure, drive
+// the core engine's four hottest operations directly and report ns/op,
+// ops/s, and the engine Stats counters. With -json the results feed the
+// BENCH_hotpath.json perf trajectory tracked across PRs.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mvrlu/internal/bench"
+	"mvrlu/internal/core"
+)
+
+type hpPayload struct{ A, B int }
+
+// hotpathResult is one measured hot-path cell.
+type hotpathResult struct {
+	Name      string     `json:"name"`
+	Threads   int        `json:"threads"`
+	Ops       uint64     `json:"ops"`
+	NsPerOp   float64    `json:"ns_per_op"`
+	OpsPerSec float64    `json:"ops_per_sec"`
+	Stats     core.Stats `json:"stats"`
+}
+
+// runHotpath measures each hot-path cell at every requested thread count
+// and renders a table; with -json the full results (including Stats) are
+// collected as well.
+func runHotpath(threads []int, dur time.Duration) {
+	cells := []struct {
+		name string
+		opts func() core.Options
+		idle int  // extra registered-but-quiescent handles (scan width)
+		slow bool // one handle cycling ~200µs pinned read sections
+		run  func(d *core.Domain[hpPayload], n int, dur time.Duration) uint64
+	}{
+		{"read-cs", core.DefaultOptions, 0, false, hpReadCS},
+		{"write-cs", core.DefaultOptions, 0, false, hpWriteCS},
+		{"deref-chain16", core.DefaultOptions, 0, false, hpDerefChain},
+		{"watermark-contention", func() core.Options {
+			o := core.DefaultOptions()
+			o.LogSlots = 16384   // headroom: stay beneath near-high
+			o.LowCapacity = 0.01 // GC trigger on every boundary
+			return o
+		}, 256, true, hpWriteCS},
+		{"log-pressure", func() core.Options {
+			o := core.DefaultOptions()
+			o.LogSlots = 256
+			o.LowCapacity = 0.25
+			return o
+		}, 0, false, hpWriteCS},
+	}
+	names := make([]string, len(cells))
+	for i, c := range cells {
+		names[i] = c.name
+	}
+	tab := bench.NewTable("Hot-path microbenchmarks (ns/op)", "threads", names...)
+	for _, n := range threads {
+		for _, c := range cells {
+			d := core.NewDomain[hpPayload](c.opts())
+			for i := 0; i < c.idle; i++ {
+				d.Register()
+			}
+			var (
+				slowStop atomic.Bool
+				slowWG   sync.WaitGroup
+			)
+			if c.slow {
+				// A slow pinned reader holds the watermark back so the
+				// writers' logs stay above the low capacity watermark
+				// and the GC trigger fires on every boundary.
+				h := d.Register()
+				slowWG.Add(1)
+				go func() {
+					defer slowWG.Done()
+					for !slowStop.Load() {
+						h.ReadLock()
+						time.Sleep(200 * time.Microsecond)
+						h.ReadUnlock()
+					}
+				}()
+			}
+			ops := c.run(d, n, dur)
+			slowStop.Store(true)
+			slowWG.Wait()
+			s := d.Stats()
+			d.Close()
+			nsPerOp := float64(dur.Nanoseconds()) * float64(n) / float64(ops)
+			tab.Add(fmt.Sprint(n), c.name, nsPerOp)
+			if report != nil {
+				report.Hotpath = append(report.Hotpath, hotpathResult{
+					Name:      c.name,
+					Threads:   n,
+					Ops:       ops,
+					NsPerOp:   nsPerOp,
+					OpsPerSec: float64(ops) / dur.Seconds(),
+					Stats:     s,
+				})
+			}
+		}
+	}
+	render(tab)
+}
+
+// hpRun spawns n workers, each looping body until the deadline, and
+// returns the total operation count.
+func hpRun(n int, dur time.Duration, body func(worker int, ops *uint64)) uint64 {
+	var (
+		stop  atomic.Bool
+		total atomic.Uint64
+		wg    sync.WaitGroup
+		start = make(chan struct{})
+	)
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ops := uint64(0)
+			<-start
+			for !stop.Load() {
+				body(w, &ops)
+			}
+			total.Add(ops)
+		}(w)
+	}
+	close(start)
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	return total.Load()
+}
+
+// hpReadCS: empty critical sections, one handle per worker.
+func hpReadCS(d *core.Domain[hpPayload], n int, dur time.Duration) uint64 {
+	handles := make([]*core.Thread[hpPayload], n)
+	for i := range handles {
+		handles[i] = d.Register()
+	}
+	return hpRun(n, dur, func(w int, ops *uint64) {
+		h := handles[w]
+		h.ReadLock()
+		h.ReadUnlock()
+		*ops++
+	})
+}
+
+// hpWriteCS: one-object write critical sections against private objects
+// (no lock conflicts — the contention surface is the watermark machinery
+// and the per-thread log, not the object locks).
+func hpWriteCS(d *core.Domain[hpPayload], n int, dur time.Duration) uint64 {
+	handles := make([]*core.Thread[hpPayload], n)
+	objs := make([]*core.Object[hpPayload], n)
+	for i := range handles {
+		handles[i] = d.Register()
+		objs[i] = core.NewObject(hpPayload{})
+	}
+	return hpRun(n, dur, func(w int, ops *uint64) {
+		h := handles[w]
+		h.ReadLock()
+		if c, ok := h.TryLock(objs[w]); ok {
+			c.A++
+		}
+		h.ReadUnlock()
+		*ops++
+	})
+}
+
+// hpDerefChain: a pinned reader walking a 16-deep version chain; writers
+// idle. Thread count scales the number of concurrent pinned readers.
+func hpDerefChain(d *core.Domain[hpPayload], n int, dur time.Duration) uint64 {
+	o := core.NewObject(hpPayload{A: 7})
+	pins := make([]*core.Thread[hpPayload], n)
+	for i := range pins {
+		pins[i] = d.Register()
+		pins[i].ReadLock()
+	}
+	w := d.Register()
+	for i := 0; i < 16; i++ {
+		w.ReadLock()
+		if c, ok := w.TryLock(o); ok {
+			c.A = i
+		}
+		w.ReadUnlock()
+	}
+	ops := hpRun(n, dur, func(w int, ops *uint64) {
+		_ = pins[w].Deref(o).A
+		*ops++
+	})
+	for _, p := range pins {
+		p.ReadUnlock()
+	}
+	return ops
+}

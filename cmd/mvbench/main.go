@@ -18,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,32 +36,72 @@ func main() {
 		threads  = flag.String("threads", "1,2,4,8", "comma-separated goroutine counts")
 		duration = flag.Duration("duration", 200*time.Millisecond, "measurement duration per cell")
 		format   = flag.String("format", "text", "output format: text or csv")
+		jsonPath = flag.String("json", "", "also write machine-readable results (JSON) to this file")
+		hotpath  = flag.Bool("hotpath", false, "run the engine hot-path microbenchmarks instead of a figure")
 	)
 	flag.Parse()
 	if *format == "csv" {
 		render = func(t *bench.Table) { t.RenderCSV(os.Stdout) }
 	}
+	if *jsonPath != "" {
+		report = &jsonReport{}
+		base := render
+		render = func(t *bench.Table) {
+			base(t)
+			report.Tables = append(report.Tables, t.Data())
+		}
+	}
 	th := parseThreads(*threads)
 
-	switch *fig {
-	case 1:
-		fig1(th, *duration)
-	case 4:
-		fig4(th, *duration)
-	case 5:
-		fig5(th, *duration)
-	case 6:
-		fig6(th, *duration)
-	case 7:
-		fig7(th[len(th)-1], *duration)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown figure %d\n", *fig)
-		os.Exit(1)
+	if *hotpath {
+		runHotpath(th, *duration)
+	} else {
+		switch *fig {
+		case 1:
+			fig1(th, *duration)
+		case 4:
+			fig4(th, *duration)
+		case 5:
+			fig5(th, *duration)
+		case 6:
+			fig6(th, *duration)
+		case 7:
+			fig7(th[len(th)-1], *duration)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown figure %d\n", *fig)
+			os.Exit(1)
+		}
+	}
+
+	if *jsonPath != "" {
+		if err := report.write(*jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
 	}
 }
 
-// render emits a finished table; -format csv swaps it.
+// render emits a finished table; -format csv swaps it, -json tees it.
 var render = func(t *bench.Table) { t.Render(os.Stdout) }
+
+// report collects everything rendered when -json is set.
+var report *jsonReport
+
+// jsonReport is the machine-readable output of one mvbench invocation:
+// figure tables and/or hot-path microbenchmark results, for tracking the
+// perf trajectory (BENCH_*.json) across PRs.
+type jsonReport struct {
+	Tables  []bench.TableData `json:"tables,omitempty"`
+	Hotpath []hotpathResult   `json:"hotpath,omitempty"`
+}
+
+func (r *jsonReport) write(path string) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
 
 func parseThreads(s string) []int {
 	var out []int

@@ -62,6 +62,34 @@ func (t *Table) Render(w io.Writer) {
 	fmt.Fprintln(w)
 }
 
+// TableData is the exportable form of a Table, used by machine-readable
+// (JSON) reporting in the benchmark drivers.
+type TableData struct {
+	Title   string     `json:"title"`
+	XLabel  string     `json:"xlabel"`
+	Columns []string   `json:"columns"`
+	Rows    []TableRow `json:"rows"`
+}
+
+// TableRow is one x-axis point of a TableData.
+type TableRow struct {
+	X     string             `json:"x"`
+	Cells map[string]float64 `json:"cells"`
+}
+
+// Data returns a copy of the table's contents for serialization.
+func (t *Table) Data() TableData {
+	d := TableData{Title: t.Title, XLabel: t.XLabel, Columns: append([]string(nil), t.Columns...)}
+	for _, r := range t.rows {
+		cells := make(map[string]float64, len(r.cells))
+		for k, v := range r.cells {
+			cells[k] = v
+		}
+		d.Rows = append(d.Rows, TableRow{X: r.x, Cells: cells})
+	}
+	return d
+}
+
 func pad(s string, n int) string {
 	if len(s) >= n {
 		return s

@@ -39,6 +39,12 @@ type Clock interface {
 	// Now returns the current timestamp. Timestamps from one Clock are
 	// monotone per goroutine but only globally ordered up to Boundary.
 	Now() uint64
+	// Peek returns the current timestamp without allocating one. For
+	// Hardware the two are the same read; for Global, Now advances the
+	// counter while Peek only observes it. Freshness checks (e.g. the
+	// watermark-refresh coalescing in the MV-RLU engine) must use Peek
+	// so that polling does not itself advance logical time.
+	Peek() uint64
 	// Boundary returns the ORDO uncertainty window: timestamps closer
 	// than this cannot be ordered unambiguously.
 	Boundary() uint64
@@ -62,6 +68,9 @@ var base = time.Now()
 // 0 can be used as "before all time".
 func (h *Hardware) Now() uint64 { return uint64(time.Since(base)) + 1 }
 
+// Peek is Now: reading the hardware clock allocates nothing.
+func (h *Hardware) Peek() uint64 { return h.Now() }
+
 // Boundary returns the configured ORDO window.
 func (h *Hardware) Boundary() uint64 { return h.Window }
 
@@ -74,6 +83,9 @@ type Global struct {
 
 // Now draws the next logical timestamp.
 func (g *Global) Now() uint64 { return g.ctr.Add(1) }
+
+// Peek observes the counter without advancing it.
+func (g *Global) Peek() uint64 { return g.ctr.Load() }
 
 // Boundary is zero: a counter is totally ordered.
 func (g *Global) Boundary() uint64 { return 0 }

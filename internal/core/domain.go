@@ -11,6 +11,12 @@ import (
 // threads, a grace-period detector, and the reclamation watermark they
 // share. All objects guarded by the same Domain commit and reclaim
 // against the same timeline.
+//
+// Field order is deliberate: cold configuration first, then the shared
+// hot atomics, padded onto their own cache lines so that every thread's
+// fast-path watermark reads never share a line with fields mutated at
+// registration time (threads, nextID) or scan time (wmInFlight, the
+// scan counters).
 type Domain[T any] struct {
 	opts Options
 	clk  clock.Clock
@@ -18,6 +24,15 @@ type Domain[T any] struct {
 	// commit timestamps, subtracted from reclamation watermarks, and
 	// the minimum unambiguous distance for try_lock ordering checks.
 	boundary uint64
+	// wmFreshness is the watermark coalescing window in clock units:
+	// while the last full scan is younger than this, refresh requests
+	// read the broadcast watermark instead of rescanning the threads.
+	// One grace-period interval (or the ORDO window, if larger) for the
+	// hardware clock; a small tick budget for the logical global clock.
+	// A coalesced (lagging) watermark is always safe — the watermark is
+	// a conservative lower bound and stays monotone — it only delays
+	// reclamation by at most the window.
+	wmFreshness uint64
 
 	// threads is a copy-on-write snapshot of registered threads, read
 	// by the watermark scan without locks.
@@ -27,17 +42,42 @@ type Domain[T any] struct {
 	// version can never be mistaken for the current holder's.
 	nextID int
 
-	// watermark is the broadcast reclamation timestamp: every thread
-	// currently inside a critical section entered at or after it, so
-	// events older than it have no live observers.
-	watermark atomic.Uint64
-
 	// sentinel occupies Object.pending during GC write-back.
 	sentinel *version[T]
 
 	gp     *gpDetector[T]
 	closed atomic.Bool
+
+	// watermark is the broadcast reclamation timestamp: every thread
+	// currently inside a critical section entered at or after it, so
+	// events older than it have no live observers. wmScanAt is the
+	// clock reading of the scan that last published it, the freshness
+	// epoch of the coalescing fast path; it is stored after the
+	// watermark so a fresh wmScanAt never pairs with a stale watermark
+	// (the reverse pairing is harmless: merely more conservative).
+	// Both live on their own read-mostly cache line: every thread reads
+	// them at GC-trigger time, but only a full scan (≤ once per
+	// freshness window) writes them.
+	_         [64]byte
+	watermark atomic.Uint64
+	wmScanAt  atomic.Uint64
+
+	// Scan-side mutable state, on its own line so scanners do not
+	// invalidate the read-mostly watermark line when coalescing.
+	// wmInFlight gates the single in-flight full scan; wmScans counts
+	// full thread scans, wmCoalesced the domain-side refresh requests
+	// satisfied without one (thread-side coalesced reads are counted in
+	// per-thread stats).
+	_           [48]byte
+	wmScans     atomic.Uint64
+	wmCoalesced atomic.Uint64
+	wmInFlight  atomic.Bool
+	_           [47]byte
 }
+
+// globalClockFreshness is the coalescing window under ClockGlobal, in
+// ticks of the logical clock (each timestamp allocation is one tick).
+const globalClockFreshness = 256
 
 // NewDomain creates a domain with the given options and starts its
 // grace-period detector. Call Close when done to stop the detector.
@@ -51,6 +91,15 @@ func NewDomain[T any](opts Options) *Domain[T] {
 		d.clk = &clock.Hardware{Window: opts.OrdoWindow}
 	}
 	d.boundary = d.clk.Boundary()
+	switch opts.ClockMode {
+	case ClockGlobal:
+		d.wmFreshness = globalClockFreshness
+	default:
+		d.wmFreshness = uint64(opts.GPInterval.Nanoseconds())
+		if d.boundary > d.wmFreshness {
+			d.wmFreshness = d.boundary
+		}
+	}
 	d.sentinel = &version[T]{owner: -1}
 	empty := make([]*Thread[T], 0)
 	d.threads.Store(&empty)
@@ -92,18 +141,49 @@ func (d *Domain[T]) Register() *Thread[T] {
 	return t
 }
 
+// coalescedWatermark returns the broadcast watermark when the last full
+// scan is still within window of now, and ok=false when a scan is due.
+// This is the GC-trigger fast path: two loads of a read-mostly line,
+// independent of the number of registered threads. Callers pass a
+// recently drawn clock value rather than reading the clock here — on
+// hosts without a cheap time source the read would cost more than the
+// scan it avoids. A stale now only errs toward ok=false (uint64
+// wraparound when the scan postdates it included), i.e. toward an
+// unnecessary scan, never toward treating a stale broadcast as fresh
+// beyond the window.
+func (d *Domain[T]) coalescedWatermark(now, window uint64) (w uint64, ok bool) {
+	at := d.wmScanAt.Load()
+	if at != 0 && now-at < window {
+		return d.watermark.Load(), true
+	}
+	return 0, false
+}
+
 // refreshWatermark recomputes and publishes the reclamation watermark: the
 // minimum local timestamp over threads currently in a critical section
 // (or "now" when all are quiescent), minus the ORDO boundary (Theorem 2:
 // shrink the grace-period timestamp so clock skew cannot reclaim objects
 // still visible to a thread whose clock runs behind). The watermark is
 // monotone.
+//
+// Concurrent refreshers coalesce through wmInFlight: one performs the
+// O(threads) scan, the rest read the broadcast value — at most one scan
+// old — so a stampede of capacity-blocked writers costs one scan total,
+// not one each. Callers on a thread's GC-trigger path should prefer
+// Thread.refreshWatermark, which additionally skips scans while the
+// broadcast is fresh.
 func (d *Domain[T]) refreshWatermark() uint64 {
+	if !d.wmInFlight.CompareAndSwap(false, true) {
+		d.wmCoalesced.Add(1)
+		return d.watermark.Load()
+	}
+	d.wmScans.Add(1)
 	// The clock must be read BEFORE scanning the threads: ReadLock's
 	// pin-then-stamp protocol (see Thread.ReadLock) relies on a scan
 	// that misses a pin having drawn its own timestamp earlier than the
 	// reader's.
-	minTS := d.clk.Now()
+	now := d.clk.Now()
+	minTS := now
 	for _, t := range *d.threads.Load() {
 		ts := t.localTS.Load()
 		if ts != 0 && ts < minTS {
@@ -115,15 +195,19 @@ func (d *Domain[T]) refreshWatermark() uint64 {
 	} else {
 		minTS = 0
 	}
-	for {
-		cur := d.watermark.Load()
-		if minTS <= cur {
-			return cur
+	w := d.watermark.Load()
+	for minTS > w {
+		if d.watermark.CompareAndSwap(w, minTS) {
+			w = minTS
+			break
 		}
-		if d.watermark.CompareAndSwap(cur, minTS) {
-			return minTS
-		}
+		w = d.watermark.Load()
 	}
+	// Publish the freshness epoch only after the watermark itself so the
+	// coalescing fast path never reads a fresh epoch with a stale value.
+	d.wmScanAt.Store(now)
+	d.wmInFlight.Store(false)
+	return w
 }
 
 // Watermark returns the last broadcast reclamation watermark.

@@ -12,6 +12,9 @@ import "runtime"
 // lets the watermark (and therefore reclamation) advance when this thread
 // itself is the oldest reader.
 func (t *Thread[T]) allocSlot() *version[T] {
+	if t.log == nil {
+		t.initLog()
+	}
 	capU := uint64(len(t.log))
 	for attempt := 0; ; attempt++ {
 		if t.headC-t.tail.Load() < t.highSlots {
@@ -31,10 +34,22 @@ func (t *Thread[T]) allocSlot() *version[T] {
 			panic("mvrlu: write set exceeds log capacity; increase Options.LogSlots")
 		}
 		t.stats.capacityBlocks++
-		t.d.gp.request()
 		if t.d.opts.GCMode == GCConcurrent {
+			// Blocked on capacity: force a real refresh (coalesced
+			// across concurrent blockers by the in-flight flag, but
+			// not freshness-gated — a starved writer must observe
+			// other threads' exits promptly, not a broadcast up to a
+			// GP interval old). No detector kick: the refresh and
+			// collection happen right here. The unconditional yield
+			// below matters as much as the refresh — on an
+			// oversubscribed host the thread pinning the watermark is
+			// likely descheduled, and yielding is what lets it exit.
 			t.d.refreshWatermark()
 			t.collect()
+		} else {
+			// Single-collector mode: only the detector reclaims, so
+			// it must be kicked.
+			t.d.gp.request()
 		}
 		if attempt >= 128 {
 			if t.d.opts.DynamicLog {
@@ -99,10 +114,42 @@ func (t *Thread[T]) maybeGC() {
 	if !trigger {
 		return
 	}
-	t.d.gp.request()
-	t.d.refreshWatermark()
+	// Refresh inline — no detector kick. Waking the detector for every
+	// trigger cost a channel send plus a goroutine wakeup per boundary,
+	// and the refresh it would perform is the one done (or skipped as
+	// fresh) right here. The refresh is coalesced under the full
+	// freshness window, tightened to 1/16 of it when occupancy nears the
+	// blocking watermark: there reclamation must not lag a stale
+	// broadcast — or the log runs into allocSlot's blocking path during
+	// the next window — but scanning on *every* boundary is pure waste
+	// when the watermark is pinned by a straggling reader (then no scan
+	// can advance it, and the log is heading into the blocking path
+	// regardless; allocSlot forces an uncoalesced refresh once there).
+	win := t.d.wmFreshness
+	if size >= t.highSlots-(t.highSlots>>2) {
+		win >>= 4
+	}
+	t.refreshWatermark(win)
 	t.collect()
 	t.resetDerefCounters()
+}
+
+// refreshWatermark is the thread-side, GC-trigger entry point: while the
+// broadcast watermark is within the given freshness window of "now" it
+// is returned as-is — no O(threads) scan, no shared-line CAS, and no
+// clock read (t.ts, the thread's own critical-section entry timestamp,
+// is the "now" proxy) — keeping the per-operation cost of the capacity
+// and dereference triggers independent of the number of registered
+// threads (§3.7's decoupling, preserved under frequent triggers). For a
+// thread iterating critical sections t.ts lags real time by at most one
+// CS; an idle thread's stale t.ts just forces a scan, the
+// pre-coalescing behavior.
+func (t *Thread[T]) refreshWatermark(window uint64) uint64 {
+	if w, ok := t.d.coalescedWatermark(t.ts, window); ok {
+		t.stats.wmCoalesced++
+		return w
+	}
+	return t.d.refreshWatermark()
 }
 
 // collect is one garbage-collection pass over this thread's own log
@@ -116,6 +163,9 @@ func (t *Thread[T]) maybeGC() {
 func (t *Thread[T]) collect() {
 	t.gcMu.Lock()
 	defer t.gcMu.Unlock()
+	if t.log == nil {
+		return // no write yet: the log is not even allocated
+	}
 	w := t.d.watermark.Load()
 	capU := uint64(len(t.log))
 	head := t.head.Load()

@@ -17,6 +17,8 @@ type threadStats struct {
 	derefs         uint64
 	chainSteps     uint64 // versions inspected across all derefs
 	overflowAllocs uint64 // heap-allocated versions (DynamicLog)
+	wmCoalesced    uint64 // watermark refreshes served by the broadcast value
+	wsAllocs       uint64 // write-set headers allocated (pool misses)
 }
 
 // Stats is a point-in-time aggregate of a domain's counters. Collect it
@@ -35,6 +37,19 @@ type Stats struct {
 	Derefs         uint64 // Deref calls
 	ChainSteps     uint64 // version-chain entries inspected by Deref
 	OverflowAllocs uint64 // heap-allocated overflow versions (DynamicLog)
+
+	// WatermarkScans counts full O(threads) scans by refreshWatermark;
+	// WatermarkCoalesced counts refresh requests that were satisfied by
+	// the already-broadcast watermark (fresh enough, or a concurrent
+	// refresher in flight) without scanning. Their ratio is the direct
+	// observable for §3.7's decoupling claim: GC triggers should
+	// normally coalesce instead of recomputing the grace period.
+	WatermarkScans     uint64
+	WatermarkCoalesced uint64
+
+	// WSHeaderAllocs counts write-set headers allocated from the heap;
+	// steady-state write paths recycle headers and keep this flat.
+	WSHeaderAllocs uint64
 }
 
 // AbortRatio returns aborts / (aborts + commits), the quantity Figure 5
@@ -76,12 +91,16 @@ func (d *Domain[T]) Stats() Stats {
 		s.Derefs += t.stats.derefs + t.derefMaster + t.derefCopy
 		s.ChainSteps += t.stats.chainSteps
 		s.OverflowAllocs += t.stats.overflowAllocs
+		s.WatermarkCoalesced += t.stats.wmCoalesced
+		s.WSHeaderAllocs += t.stats.wsAllocs
 		t.gcMu.Lock()
 		s.GCRuns += t.stats.gcRuns
 		s.Reclaimed += t.stats.reclaimed
 		s.Writebacks += t.stats.writebacks
 		t.gcMu.Unlock()
 	}
+	s.WatermarkScans = d.wmScans.Load()
+	s.WatermarkCoalesced += d.wmCoalesced.Load()
 	return s
 }
 

@@ -12,37 +12,44 @@ import (
 // for concurrent use by multiple goroutines (each goroutine registers its
 // own), but a handle may migrate between goroutines as long as uses do
 // not overlap.
+//
+// Field order is deliberate: the owner-hot plain fields come first and
+// share cache lines only with each other, while the atomics the
+// grace-period detector (and, in single-collector mode, the collector)
+// reads — localTS, head, tail — are padded onto their own lines at the
+// end. Without the isolation, every detector scan of localTS would
+// contend with the owner's per-operation writes to ts/headC/counters on
+// the same line, re-coupling detection to the critical path the paper's
+// §3.7 decouples.
 type Thread[T any] struct {
-	d  *Domain[T]
-	id int
-
-	// localTS is the critical-section entry timestamp, 0 when
-	// quiescent. Published for the grace-period detector's watermark
-	// scan; ts caches it for the owner's fast path.
-	localTS atomic.Uint64
-	ts      uint64
-	inCS    bool
-
-	// log is the circular array of version slots. head and tail are
-	// monotonically increasing counters (slot = counter mod capacity);
-	// the owner allocates at head, reclamation advances tail.
-	log   []version[T]
-	headC uint64 // owner's cached head
-	head  atomic.Uint64
-	tail  atomic.Uint64
-	gcMu  sync.Mutex // serializes reclamation (owner vs single collector)
+	// Owner-only fast-path state (plain fields, no sharing).
+	d    *Domain[T]
+	id   int
+	ts   uint64 // owner's cache of localTS
+	inCS bool
 	// needsGCMu: in GCSingleCollector mode the collector goroutine
 	// scans this log, so the owner's slot initialization and rollback
 	// also take gcMu.
 	needsGCMu bool
 
-	highSlots uint64
-	lowSlots  uint64
+	// log is the circular array of version slots; headC is the owner's
+	// cached head counter (slot = counter mod capacity).
+	log   []version[T]
+	headC uint64
 
 	// wset is the current critical section's write set; ws its header.
 	wset    []*version[T]
 	ws      *wsHeader
 	wsStart uint64 // head counter at write-set begin
+
+	// wsPool is the FIFO ring of retired write-set headers awaiting
+	// recycling (owner-only; see getWSHeader for the reuse rule).
+	// wsRetired holds the last committed header until the next
+	// ReadLock's clock read stamps its retire timestamp.
+	wsPool     []retiredWS
+	wsPoolHead uint64
+	wsPoolTail uint64
+	wsRetired  *wsHeader
 
 	// Dereference-watermark accounting (owner-only).
 	derefMaster uint64
@@ -50,14 +57,47 @@ type Thread[T any] struct {
 	// lastWbW is the watermark at which the write-back scan last ran.
 	lastWbW uint64
 
+	highSlots uint64
+	lowSlots  uint64
+
 	stats threadStats
+
+	gcMu sync.Mutex // serializes reclamation (owner vs single collector)
+
+	// Detector-read atomics, one cache line each. localTS is the
+	// critical-section entry timestamp, 0 when quiescent, published for
+	// the detector's watermark scan (ts above caches it for the owner).
+	// head and tail bound the live log region: the owner allocates at
+	// head, reclamation advances tail; in single-collector mode the
+	// collector reads head and writes tail, so they are kept apart —
+	// a collector advancing tail must not invalidate the line the owner
+	// writes on every slot allocation.
+	_       [64]byte
+	localTS atomic.Uint64
+	_       [56]byte
+	head    atomic.Uint64
+	_       [56]byte
+	tail    atomic.Uint64
+	_       [56]byte
 }
+
+// retiredWS is a pool entry: a write-set header retired at clock time ts.
+type retiredWS struct {
+	h  *wsHeader
+	ts uint64
+}
+
+// wsPoolCap bounds the per-thread header pool. It must cover the headers
+// a thread can retire within one watermark lag (~two grace-period
+// intervals): at ~1 commit/µs and the default 200µs interval that is a
+// few hundred; beyond the cap, retired headers are dropped to the
+// runtime GC.
+const wsPoolCap = 1024
 
 func newThread[T any](d *Domain[T], id int) *Thread[T] {
 	t := &Thread[T]{
 		d:         d,
 		id:        id,
-		log:       make([]version[T], d.opts.LogSlots),
 		needsGCMu: d.opts.GCMode == GCSingleCollector,
 	}
 	t.highSlots = uint64(d.opts.HighCapacity * float64(d.opts.LogSlots))
@@ -65,11 +105,28 @@ func newThread[T any](d *Domain[T], id int) *Thread[T] {
 		t.highSlots = uint64(d.opts.LogSlots)
 	}
 	t.lowSlots = uint64(d.opts.LowCapacity * float64(d.opts.LogSlots))
-	for i := range t.log {
-		t.log[i].commitTS.Store(infinity)
-		t.log[i].owner = id
-	}
 	return t
+}
+
+// initLog allocates the version log on first write. Registration stays
+// allocation-light this way: read-only handles never pay for a log, so
+// wide registered fleets (the paper evaluates up to 448 threads) cost
+// the watermark scan one cache line each, not LogSlots versions. Under
+// single-collector mode the published slice must not race the
+// collector's len(t.log) read, so the swap happens under gcMu.
+func (t *Thread[T]) initLog() {
+	log := make([]version[T], t.d.opts.LogSlots)
+	for i := range log {
+		log[i].commitTS.Store(infinity)
+		log[i].owner = t.id
+	}
+	if t.needsGCMu {
+		t.gcMu.Lock()
+		t.log = log
+		t.gcMu.Unlock()
+	} else {
+		t.log = log
+	}
 }
 
 // ReadLock enters an MV-RLU critical section (§2.1): it records the local
@@ -91,6 +148,14 @@ func (t *Thread[T]) ReadLock() {
 	t.ts = ts
 	t.localTS.Store(ts)
 	t.inCS = true
+	if t.wsRetired != nil {
+		// Stamp the header the last commit retired. This clock read
+		// postdates that commit's duplicate stores (same goroutine),
+		// which is all the reuse rule in getWSHeader needs — and it
+		// was drawn anyway, saving a dedicated read per commit.
+		t.poolPush(t.wsRetired, ts)
+		t.wsRetired = nil
+	}
 }
 
 // ReadUnlock leaves the critical section, committing the write set if one
@@ -160,7 +225,17 @@ func (t *Thread[T]) Deref(o *Object[T]) *T {
 	ts := t.ts
 	for v != nil {
 		t.stats.chainSteps++
-		if v.resolveTS() <= ts {
+		// resolveTS folded inline: the common hop — a committed
+		// version — costs one atomic load with no call or write-set
+		// header chase; only a version caught mid-commit (duplicate
+		// timestamp not yet stored) consults its header.
+		cts := v.commitTS.Load()
+		if cts == infinity {
+			if h := v.ws; h != nil {
+				cts = h.commitTS.Load()
+			}
+		}
+		if cts <= ts {
 			t.derefCopy++
 			return &v.data
 		}
@@ -221,8 +296,7 @@ func (t *Thread[T]) tryLock(o *Object[T], constLock bool) (*version[T], bool) {
 		return nil, false
 	}
 	if t.ws == nil {
-		t.ws = &wsHeader{}
-		t.ws.commitTS.Store(infinity)
+		t.ws = t.getWSHeader()
 		t.wsStart = t.headC
 		if !v.overflow {
 			t.wsStart-- // the slot just allocated belongs to this set
@@ -322,7 +396,7 @@ func (t *Thread[T]) commit() {
 		v.obj.pending.Store(nil)
 	}
 	t.stats.commits++
-	t.endWriteSet()
+	t.endWriteSet(true)
 }
 
 // rollback implements abort (§3.6): unlock write-set objects and rewind
@@ -344,12 +418,74 @@ func (t *Thread[T]) rollback() {
 			t.gcMu.Unlock()
 		}
 	}
-	t.endWriteSet()
+	t.endWriteSet(false)
 }
 
-func (t *Thread[T]) endWriteSet() {
-	t.ws = nil
+// endWriteSet clears the write set and retires its header for recycling;
+// published reports whether commit ran (the header's commit timestamp
+// was made reachable through version chains).
+func (t *Thread[T]) endWriteSet(published bool) {
+	if t.ws != nil {
+		if published {
+			// The retire timestamp must be drawn after commit stored
+			// the duplicate timestamp into every version of the set
+			// (the reuse rule in getWSHeader bounds straggling readers
+			// by it). Defer the stamping to the next ReadLock, whose
+			// clock read satisfies that order for free.
+			t.wsRetired = t.ws
+		} else {
+			// Aborted: the header was never reachable (its versions
+			// were popped unpublished), so it retires at 0 and is
+			// reusable immediately.
+			t.poolPush(t.ws, 0)
+		}
+		t.ws = nil
+	}
 	t.wset = t.wset[:0]
+}
+
+// getWSHeader returns a write-set header with commitTS = infinity,
+// recycling a retired one when the watermark proves it unobservable.
+// This keeps the steady-state write path allocation-free.
+func (t *Thread[T]) getWSHeader() *wsHeader {
+	if t.wsPoolHead != t.wsPoolTail {
+		e := t.wsPool[t.wsPoolHead%wsPoolCap]
+		// Reuse rule: only once the watermark has passed the header's
+		// retire timestamp. A reader can still consult this header only
+		// through resolveTS's fallback — it loaded some version's
+		// commitTS while it was still infinity, i.e. before commit
+		// duplicated the timestamp into that version, and is about to
+		// read ws.commitTS. Such a reader entered its critical section
+		// before the duplicates were all stored, hence before the
+		// retire timestamp was drawn, so its local-ts is below
+		// retire-ts + boundary. watermark > retire-ts means every
+		// active section's local-ts is at least watermark + boundary
+		// > retire-ts + boundary: the straggler has exited, and its
+		// ReadUnlock ordered all its loads before the scan that
+		// produced this watermark — it can never observe the reset.
+		if e.ts < t.d.watermark.Load() {
+			t.wsPoolHead++
+			e.h.commitTS.Store(infinity)
+			return e.h
+		}
+	}
+	t.stats.wsAllocs++
+	h := &wsHeader{}
+	h.commitTS.Store(infinity)
+	return h
+}
+
+// poolPush enqueues a retired header with its retire timestamp (0 for
+// never-published headers, which are reusable at once).
+func (t *Thread[T]) poolPush(h *wsHeader, ts uint64) {
+	if t.wsPoolTail-t.wsPoolHead == wsPoolCap {
+		return // pool full: drop to the runtime GC
+	}
+	if t.wsPool == nil {
+		t.wsPool = make([]retiredWS, wsPoolCap)
+	}
+	t.wsPool[t.wsPoolTail%wsPoolCap] = retiredWS{h: h, ts: ts}
+	t.wsPoolTail++
 }
 
 // ID returns the thread's registration index within its domain.
