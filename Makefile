@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-hotpath figures examples loc
+.PHONY: all build vet test race bench bench-hotpath figures examples torture loc
 
 all: build vet test
 
@@ -48,6 +48,9 @@ torture:
 	$(GO) run ./cmd/mvtorture -duration 10s -threads 8
 	$(GO) run ./cmd/mvtorture -duration 10s -config tiny-log
 	$(GO) run ./cmd/mvtorture -duration 10s -config dynamic-log
+	$(GO) run -race ./cmd/mvtorture -duration 10s -config tiny-log \
+		-faults 'readlock-pin=panic/211,trylock-cas=panic/193,commit-publish=panic/197,alloc-capacity=panic/41,writeback=panic/19,detector-scan=panic/11' \
+		-panicfrac 0.05 -stallpin 25ms
 
 loc:
 	@find . -name '*.go' | xargs wc -l | tail -1

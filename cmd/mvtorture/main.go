@@ -4,12 +4,25 @@
 // identity invariants checked continuously and chain invariants verified
 // at the end.
 //
+// Failure-model options: -faults arms the internal failpoint framework
+// with a deterministic injection spec (panics and delays inside the
+// engine's commit, lock, allocation, write-back, and detector paths);
+// -panicfrac mixes in transactions that deliberately panic mid-write-set;
+// -stallpin runs a reader that pins the watermark long enough for the
+// stall detector to fire (the run fails if it does not). A wall-clock
+// watchdog aborts the process with a full goroutine dump if the workers
+// stop making progress.
+//
 // Usage:
 //
 //	go run ./cmd/mvtorture -duration 10s -threads 8 -objects 64
 //	go run ./cmd/mvtorture -config tiny-log -duration 30s
+//	go run ./cmd/mvtorture -config tiny-log -duration 5s \
+//	    -faults 'trylock-cas=panic/193,commit-publish=panic/197' \
+//	    -panicfrac 0.05 -stallpin 25ms
 //
-// Exit status is non-zero on any invariant violation.
+// Exit status is non-zero on any invariant violation (1), bad usage (2),
+// or a watchdog-detected hang (3).
 package main
 
 import (
@@ -17,10 +30,12 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"mvrlu/internal/failpoint"
 	"mvrlu/mvrlu"
 )
 
@@ -52,13 +67,43 @@ func options(config string) (mvrlu.Options, error) {
 	return o, nil
 }
 
+// deliberatePanic is the payload of the panic-worker mix, distinguishable
+// from injected faults and from real bugs.
+const deliberatePanic = "mvtorture: deliberate transaction panic"
+
+// guard runs one torture op, swallowing the two panic classes the run
+// provokes on purpose — failpoint injections and the deliberate
+// mid-write-set panics — and re-raising anything else as a real bug.
+// The engine guarantees the handle is outside any critical section with
+// its write set rolled back (or, for a commit-window fault, committed
+// whole) when such a panic escapes, so the worker just moves on.
+func guard(injected, deliberate *atomic.Int64, op func()) {
+	defer func() {
+		r := recover()
+		switch {
+		case r == nil:
+		case failpoint.IsInjected(r):
+			injected.Add(1)
+		case r == any(deliberatePanic):
+			deliberate.Add(1)
+		default:
+			panic(r)
+		}
+	}()
+	op()
+}
+
 func main() {
 	var (
-		duration = flag.Duration("duration", 5*time.Second, "stress duration")
-		threads  = flag.Int("threads", 8, "worker goroutines")
-		objects  = flag.Int("objects", 32, "account objects")
-		config   = flag.String("config", "default", "engine configuration")
-		seed     = flag.Int64("seed", 1, "base RNG seed")
+		duration  = flag.Duration("duration", 5*time.Second, "stress duration")
+		threads   = flag.Int("threads", 8, "worker goroutines")
+		objects   = flag.Int("objects", 32, "account objects")
+		config    = flag.String("config", "default", "engine configuration")
+		seed      = flag.Int64("seed", 1, "base RNG seed")
+		faults    = flag.String("faults", "", "failpoint spec, e.g. 'trylock-cas=panic/193,writeback=sleep(50us)/7' (points: "+failpoint.Catalog()+")")
+		panicfrac = flag.Float64("panicfrac", 0, "fraction of transfers that deliberately panic mid-write-set")
+		stallpin  = flag.Duration("stallpin", 0, "pin a reader this long per cycle; the run fails unless the stall detector fires")
+		watchdog  = flag.Duration("watchdog", 30*time.Second, "abort with a goroutine dump after this long without worker progress")
 	)
 	flag.Parse()
 
@@ -66,6 +111,13 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *faults != "" {
+		if err := failpoint.Enable(*faults, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer failpoint.Reset()
 	}
 	dom := mvrlu.NewDomain[record](opts)
 	defer dom.Close()
@@ -84,75 +136,153 @@ func main() {
 		audits     atomic.Int64
 		transfers  atomic.Int64
 		frees      atomic.Int64
+		reads      atomic.Int64
+		injected   atomic.Int64
+		panicked   atomic.Int64
 		wg         sync.WaitGroup
 	)
+	progress := func() int64 {
+		return audits.Load() + transfers.Load() + frees.Load() +
+			reads.Load() + injected.Load() + panicked.Load()
+	}
+
+	// Wall-clock watchdog: if no worker completes (or aborts) a single op
+	// across a full interval, the run is wedged — dump every goroutine's
+	// stack and exit non-zero rather than hang CI.
+	watchdogDone := make(chan struct{})
+	defer close(watchdogDone)
+	go func() {
+		last := int64(-1)
+		ticker := time.NewTicker(*watchdog)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-watchdogDone:
+				return
+			case <-ticker.C:
+			}
+			if now := progress(); now != last {
+				last = now
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "WATCHDOG: no progress for %v (ops=%d); goroutine dump follows\n", *watchdog, last)
+			buf := make([]byte, 1<<20)
+			fmt.Fprintf(os.Stderr, "%s\n", buf[:runtime.Stack(buf, true)])
+			os.Exit(3)
+		}
+	}()
+
+	// Deliberately pinned reader: holds a critical section long enough
+	// that the grace-period detector must declare a watermark stall and
+	// name this thread. Its snapshot must stay consistent throughout.
+	if *stallpin > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := dom.Register()
+			defer h.Unregister()
+			for !stop.Load() {
+				h.ReadLock()
+				sum := 0
+				for _, holder := range registry {
+					sum += h.Deref(h.Deref(holder).Acct).Balance
+				}
+				if sum != total {
+					violations.Add(1)
+					fmt.Fprintf(os.Stderr, "pinned snapshot broken: total %d, want %d\n", sum, total)
+				}
+				time.Sleep(*stallpin)
+				h.ReadUnlock()
+				audits.Add(1)
+				time.Sleep(*stallpin / 4)
+			}
+		}()
+	}
+
 	for g := 0; g < *threads; g++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
 			h := dom.Register()
+			defer h.Unregister()
 			rng := rand.New(rand.NewSource(*seed + int64(id)*7919))
 			for !stop.Load() {
 				switch rng.Intn(10) {
 				case 0, 1, 2, 3:
-					h.ReadLock()
-					sum := 0
-					for _, holder := range registry {
-						sum += h.Deref(h.Deref(holder).Acct).Balance
-					}
-					h.ReadUnlock()
-					if sum != total {
-						violations.Add(1)
-					}
-					audits.Add(1)
+					guard(&injected, &panicked, func() {
+						h.ReadLock()
+						sum := 0
+						for _, holder := range registry {
+							sum += h.Deref(h.Deref(holder).Acct).Balance
+						}
+						h.ReadUnlock()
+						if sum != total {
+							violations.Add(1)
+						}
+						audits.Add(1)
+					})
 				case 4, 5, 6, 7:
 					i, j := rng.Intn(*objects), rng.Intn(*objects)
 					if i == j {
 						continue
 					}
 					amt := rng.Intn(100) + 1
-					h.Execute(func(h *mvrlu.Thread[record]) bool {
-						ci, ok := h.TryLock(h.Deref(registry[i]).Acct)
-						if !ok {
-							return false
-						}
-						cj, ok := h.TryLock(h.Deref(registry[j]).Acct)
-						if !ok {
-							return false
-						}
-						ci.Balance -= amt
-						cj.Balance += amt
-						return true
+					die := rng.Float64() < *panicfrac
+					guard(&injected, &panicked, func() {
+						h.Execute(func(h *mvrlu.Thread[record]) bool {
+							ci, ok := h.TryLock(h.Deref(registry[i]).Acct)
+							if !ok {
+								return false
+							}
+							cj, ok := h.TryLock(h.Deref(registry[j]).Acct)
+							if !ok {
+								return false
+							}
+							ci.Balance -= amt
+							cj.Balance += amt
+							if die {
+								// Mid-write-set, both copies dirty: the
+								// rollback must discard both sides or
+								// conservation breaks.
+								panic(deliberatePanic)
+							}
+							return true
+						})
+						transfers.Add(1)
 					})
-					transfers.Add(1)
 				case 8:
 					i := rng.Intn(*objects)
-					h.Execute(func(h *mvrlu.Thread[record]) bool {
-						holder := registry[i]
-						old := h.Deref(holder).Acct
-						co, ok := h.TryLock(old)
-						if !ok {
-							return false
-						}
-						ch, ok := h.TryLock(holder)
-						if !ok {
-							return false
-						}
-						ch.Acct = mvrlu.NewObject(record{Balance: co.Balance, ID: co.ID})
-						h.Free(old)
-						return true
+					guard(&injected, &panicked, func() {
+						h.Execute(func(h *mvrlu.Thread[record]) bool {
+							holder := registry[i]
+							old := h.Deref(holder).Acct
+							co, ok := h.TryLock(old)
+							if !ok {
+								return false
+							}
+							ch, ok := h.TryLock(holder)
+							if !ok {
+								return false
+							}
+							ch.Acct = mvrlu.NewObject(record{Balance: co.Balance, ID: co.ID})
+							h.Free(old)
+							return true
+						})
+						frees.Add(1)
 					})
-					frees.Add(1)
 				default:
-					h.ReadLock()
-					acct := h.Deref(registry[rng.Intn(*objects)]).Acct
-					first := h.Deref(acct).Balance
-					for k := 0; k < 64; k++ {
-						if h.Deref(acct).Balance != first {
-							violations.Add(1)
+					guard(&injected, &panicked, func() {
+						h.ReadLock()
+						acct := h.Deref(registry[rng.Intn(*objects)]).Acct
+						first := h.Deref(acct).Balance
+						for k := 0; k < 64; k++ {
+							if h.Deref(acct).Balance != first {
+								violations.Add(1)
+							}
 						}
-					}
-					h.ReadUnlock()
+						h.ReadUnlock()
+						reads.Add(1)
+					})
 				}
 			}
 		}(g)
@@ -163,6 +293,9 @@ func main() {
 	stop.Store(true)
 	wg.Wait()
 	elapsed := time.Since(start)
+	if *faults != "" {
+		failpoint.Disable()
+	}
 
 	// Final ground truth and structural invariants.
 	h := dom.Register()
@@ -190,10 +323,24 @@ func main() {
 	}
 
 	st := dom.Stats()
+	if *stallpin > 0 && st.StallEvents == 0 {
+		violations.Add(1)
+		fmt.Fprintf(os.Stderr, "stall detector never fired despite -stallpin %v\n", *stallpin)
+	}
 	fmt.Printf("mvtorture config=%s threads=%d objects=%d elapsed=%v\n", *config, *threads, *objects, elapsed)
-	fmt.Printf("  audits=%d transfers=%d frees=%d\n", audits.Load(), transfers.Load(), frees.Load())
+	fmt.Printf("  audits=%d transfers=%d frees=%d reads=%d\n", audits.Load(), transfers.Load(), frees.Load(), reads.Load())
 	fmt.Printf("  commits=%d aborts=%d reclaimed=%d writebacks=%d overflow=%d\n",
 		st.Commits, st.Aborts, st.Reclaimed, st.Writebacks, st.OverflowAllocs)
+	if *faults != "" || *panicfrac > 0 {
+		fmt.Printf("  injected=%d deliberate-panics=%d panic-aborts=%d detector-recoveries=%d\n",
+			injected.Load(), panicked.Load(), st.PanicAborts, st.DetectorRecoveries)
+	}
+	if *faults != "" {
+		fmt.Printf("  failpoints: %s\n", failpoint.Report())
+	}
+	if st.StallEvents > 0 {
+		fmt.Printf("  stalls=%d stall-reports=%d\n", st.StallEvents, st.StallReports)
+	}
 	if v := violations.Load(); v != 0 {
 		fmt.Fprintf(os.Stderr, "FAIL: %d invariant violations\n", v)
 		os.Exit(1)

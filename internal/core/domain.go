@@ -1,8 +1,10 @@
 package core
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"weak"
 
 	"mvrlu/internal/clock"
 )
@@ -34,19 +36,37 @@ type Domain[T any] struct {
 	// reclamation by at most the window.
 	wmFreshness uint64
 
-	// threads is a copy-on-write snapshot of registered threads, read
-	// by the watermark scan without locks.
-	threads atomic.Pointer[[]*Thread[T]]
+	// threads is a copy-on-write snapshot of registry entries, read by
+	// the watermark scan without locks; mu guards its mutation, the
+	// closed transition, and the departed-stats fold.
+	threads atomic.Pointer[[]threadEntry[T]]
 	mu      sync.Mutex
 	// nextID assigns thread ids; never reused, so a stale pending
 	// version can never be mistaken for the current holder's.
 	nextID int
+	// departed accumulates the counters of unregistered and collected
+	// handles so Domain.Stats stays complete across the handle
+	// lifecycle (guarded by mu).
+	departed threadStats
 
 	// sentinel occupies Object.pending during GC write-back.
 	sentinel *version[T]
 
 	gp     *gpDetector[T]
 	closed atomic.Bool
+
+	// Failure-observability state, written by the grace-period detector
+	// (see gpdetector.go) and the leak guard; read by Stats and by
+	// capacity-blocked writers in allocSlot. stallSince doubles as the
+	// active-stall flag (0 = watermark advancing normally) and as the
+	// episode identity allocSlot rate-limits its reports against.
+	stallEvents    atomic.Uint64
+	stallSince     atomic.Int64 // unix nanos of the active stall's declaration
+	stallThread    atomic.Int64 // registry id of the pinning thread
+	stallEntryTS   atomic.Uint64
+	stallWatermark atomic.Uint64
+	handleLeaks    atomic.Uint64
+	detectorPanics atomic.Uint64
 
 	// watermark is the broadcast reclamation timestamp: every thread
 	// currently inside a critical section entered at or after it, so
@@ -75,6 +95,27 @@ type Domain[T any] struct {
 	_           [47]byte
 }
 
+// threadEntry is one scan-list slot. The handle itself is held weakly so
+// that a handle dropped while still registered — a goroutine that leaked
+// or exited without Unregister, the misbehaving participant §3.7's
+// liveness argument assumes away — can be collected by the runtime; the
+// AddCleanup guard then flags the leak. The pieces the grace-period
+// machinery must keep reading are held strongly: pin (localTS/head/tail)
+// so a section leaked mid-flight keeps pinning the watermark instead of
+// silently losing its snapshot protection, and stats so the departed
+// thread's counters survive into Domain.Stats.
+type threadEntry[T any] struct {
+	id      int
+	handle  weak.Pointer[Thread[T]]
+	pin     *pinState
+	stats   *threadStats
+	cleanup runtime.Cleanup
+	// leaked marks an entry whose handle was collected while its pin
+	// was still published; the entry is retained (safety: the pin must
+	// stay visible to the scan) and the stall detector names its id.
+	leaked bool
+}
+
 // globalClockFreshness is the coalescing window under ClockGlobal, in
 // ticks of the logical clock (each timestamp allocation is one tick).
 const globalClockFreshness = 256
@@ -101,7 +142,7 @@ func NewDomain[T any](opts Options) *Domain[T] {
 		}
 	}
 	d.sentinel = &version[T]{owner: -1}
-	empty := make([]*Thread[T], 0)
+	empty := make([]threadEntry[T], 0)
 	d.threads.Store(&empty)
 	d.gp = newGPDetector(d)
 	d.gp.start()
@@ -111,13 +152,26 @@ func NewDomain[T any](opts Options) *Domain[T] {
 // NewDefaultDomain creates a domain with DefaultOptions.
 func NewDefaultDomain[T any]() *Domain[T] { return NewDomain[T](DefaultOptions()) }
 
-// Close stops the grace-period detector. Threads must have left their
-// critical sections; further use of the domain is undefined.
+// Close shuts the domain down in order: it first marks the domain closed
+// — from that point Register panics instead of handing out handles whose
+// detector is about to die — and then stops the grace-period detector,
+// returning once the detector goroutine has exited. Close is idempotent
+// and safe against concurrent Register calls (the closed transition and
+// registration serialize on the same lock); every caller, not just the
+// first, waits for the detector to be fully stopped before returning.
+// Threads must have left their critical sections.
 func (d *Domain[T]) Close() {
-	if d.closed.CompareAndSwap(false, true) {
-		d.gp.stop()
+	d.mu.Lock()
+	first := d.closed.CompareAndSwap(false, true)
+	d.mu.Unlock()
+	if first {
+		d.gp.signalStop()
 	}
+	d.gp.await()
 }
+
+// Closed reports whether Close has begun.
+func (d *Domain[T]) Closed() bool { return d.closed.Load() }
 
 // Options returns the domain's (sanitized) configuration.
 func (d *Domain[T]) Options() Options { return d.opts }
@@ -127,18 +181,72 @@ func (d *Domain[T]) Options() Options { return d.opts }
 func (d *Domain[T]) Alloc(data T) *Object[T] { return NewObject(data) }
 
 // Register adds the calling goroutine as an MV-RLU thread and returns its
-// handle. A handle must only be used by one goroutine at a time.
+// handle. A handle must only be used by one goroutine at a time, and must
+// stay reachable until Unregister: a handle dropped while registered is
+// flagged as a leak (Stats.HandleLeaks) by a runtime cleanup.
+//
+// Register panics if the domain is closed: a handle registered after
+// Close would be serviced by no detector — in single-collector mode its
+// log would never be reclaimed — so handing one out silently is a
+// correctness trap rather than a convenience.
 func (d *Domain[T]) Register() *Thread[T] {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	old := *d.threads.Load()
+	if d.closed.Load() {
+		panic("mvrlu: Register on closed Domain (grace-period detector stopped)")
+	}
 	t := newThread(d, d.nextID)
 	d.nextID++
-	next := make([]*Thread[T], len(old)+1)
+	e := threadEntry[T]{
+		id:     t.id,
+		handle: weak.Make(t),
+		pin:    t.pin,
+		stats:  t.stats,
+	}
+	// The leak guard: fires when the runtime proves the handle
+	// unreachable while still registered. The closure must not
+	// reference t (that would keep it alive forever); it captures the
+	// domain and the registry id only.
+	e.cleanup = runtime.AddCleanup(t, func(id int) { d.handleLeak(id) }, t.id)
+	old := *d.threads.Load()
+	next := make([]threadEntry[T], len(old)+1)
 	copy(next, old)
-	next[len(old)] = t
+	next[len(old)] = e
 	d.threads.Store(&next)
 	return t
+}
+
+// handleLeak is the runtime-cleanup target for a handle dropped while
+// registered. A quiescent leak (localTS 0) is pruned: the handle can
+// never re-enter a critical section, so removing its entry merely stops
+// scanning it; its counters fold into the departed aggregate. A handle
+// leaked while pinned is retained and marked: its pin must stay visible
+// to the watermark scan — the leaked section may still be reading
+// versions through borrowed pointers — so reclamation stays blocked and
+// the stall detector reports the culprit id instead of the domain
+// corrupting readers or hanging silently.
+func (d *Domain[T]) handleLeak(id int) {
+	d.mu.Lock()
+	old := *d.threads.Load()
+	next := make([]threadEntry[T], 0, len(old))
+	for _, e := range old {
+		if e.id != id {
+			next = append(next, e)
+			continue
+		}
+		d.handleLeaks.Add(1)
+		if e.pin.localTS.Load() != 0 {
+			e.leaked = true
+			next = append(next, e)
+			continue
+		}
+		d.departed.add(e.stats)
+	}
+	d.threads.Store(&next)
+	d.mu.Unlock()
+	// Wake the detector: a pruned quiescent leak may have been the
+	// scan's minimum, and a pinned leak should be diagnosed promptly.
+	d.gp.request()
 }
 
 // coalescedWatermark returns the broadcast watermark when the last full
@@ -181,11 +289,13 @@ func (d *Domain[T]) refreshWatermark() uint64 {
 	// The clock must be read BEFORE scanning the threads: ReadLock's
 	// pin-then-stamp protocol (see Thread.ReadLock) relies on a scan
 	// that misses a pin having drawn its own timestamp earlier than the
-	// reader's.
+	// reader's. The scan reads each entry's strongly-held pin state, so
+	// a leaked-while-pinned handle keeps holding the watermark back even
+	// after the runtime collected the handle itself.
 	now := d.clk.Now()
 	minTS := now
-	for _, t := range *d.threads.Load() {
-		ts := t.localTS.Load()
+	for _, e := range *d.threads.Load() {
+		ts := e.pin.localTS.Load()
 		if ts != 0 && ts < minTS {
 			minTS = ts
 		}

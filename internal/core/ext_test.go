@@ -171,8 +171,17 @@ func TestOrdoWindowAmbiguityAborts(t *testing.T) {
 	}
 	h.Abort()
 
-	// After the window elapses the lock must succeed.
-	time.Sleep(300 * time.Microsecond)
+	// After the window elapses the lock must succeed. The ordering rule
+	// is local-ts ≥ commit-ts + boundary, and the commit timestamp was
+	// itself advanced by the boundary — so wait on the clock until the
+	// next ReadLock's timestamp clears the ambiguity margin, rather
+	// than on a fixed sleep whose overshoot the margin would ride on.
+	// (If GC already wrote the copy back, the relock is trivially fine.)
+	if v := o.copy.Load(); v != nil {
+		for cts := v.commitTS.Load(); d.Now() < cts+d.boundary; {
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
 	h.ReadLock()
 	if _, ok := h.TryLock(o); !ok {
 		t.Fatal("TryLock after the window should succeed")

@@ -1,6 +1,10 @@
 package core
 
-import "runtime"
+import (
+	"runtime"
+
+	"mvrlu/internal/failpoint"
+)
 
 // allocSlot claims the next slot at the log head (§3.2: per-thread
 // circular log, sequential and prefetcher friendly). When occupancy
@@ -10,21 +14,25 @@ import "runtime"
 // number of attempts and returns nil, making TryLock fail so the caller
 // aborts. Aborting releases this thread's local timestamp, which is what
 // lets the watermark (and therefore reclamation) advance when this thread
-// itself is the oldest reader.
+// itself is the oldest reader. When the blockage is another thread's —
+// a stalled reader pinning the watermark — giving up cannot clear it;
+// reportAllocStall then surfaces the stall context (who pins, since
+// when) instead of leaving the writer to spin blind through the abort
+// loop.
 func (t *Thread[T]) allocSlot() *version[T] {
 	if t.log == nil {
 		t.initLog()
 	}
 	capU := uint64(len(t.log))
 	for attempt := 0; ; attempt++ {
-		if t.headC-t.tail.Load() < t.highSlots {
+		if t.headC-t.pin.tail.Load() < t.highSlots {
 			if t.needsGCMu {
 				t.gcMu.Lock()
 			}
 			v := &t.log[t.headC%capU]
 			v.reset()
 			t.headC++
-			t.head.Store(t.headC)
+			t.pin.head.Store(t.headC)
 			if t.needsGCMu {
 				t.gcMu.Unlock()
 			}
@@ -34,6 +42,10 @@ func (t *Thread[T]) allocSlot() *version[T] {
 			panic("mvrlu: write set exceeds log capacity; increase Options.LogSlots")
 		}
 		t.stats.capacityBlocks++
+		// Capacity-blocked path: nothing is held here beyond the write
+		// set itself, which the caller's abort rolls back, so an
+		// injected panic unwinds cleanly through tryLock.
+		failpoint.Inject(failpoint.AllocSlotCapacity)
 		if t.d.opts.GCMode == GCConcurrent {
 			// Blocked on capacity: force a real refresh (coalesced
 			// across concurrent blockers by the in-flight flag, but
@@ -63,9 +75,36 @@ func (t *Thread[T]) allocSlot() *version[T] {
 				v.commitTS.Store(infinity)
 				return v
 			}
+			t.reportAllocStall()
 			return nil
 		}
 		runtime.Gosched()
+	}
+}
+
+// reportAllocStall runs when allocSlot exhausts its attempts: the log is
+// full and reclamation did not free a single slot. It kicks the detector
+// so stall detection runs promptly, and — if a stall episode is already
+// declared and this thread has not yet reported against it — hands the
+// blocked writer's context to Options.OnStall, identifying both the
+// pinning reader and the writer it is starving. One report per episode
+// per writer: the abort/retry loop hits this path repeatedly while the
+// stall lasts.
+func (t *Thread[T]) reportAllocStall() {
+	d := t.d
+	d.gp.request()
+	since := d.stallSince.Load()
+	if since == 0 || since == t.lastStallReport {
+		return
+	}
+	t.lastStallReport = since
+	t.stats.stallReports++
+	if cb := d.opts.OnStall; cb != nil {
+		info, ok := d.Stalled()
+		if ok {
+			info.BlockedWriter = t.id
+			cb(info)
+		}
 	}
 }
 
@@ -80,7 +119,7 @@ func (t *Thread[T]) popSlot(v *version[T]) {
 		t.gcMu.Lock()
 	}
 	t.headC--
-	t.head.Store(t.headC)
+	t.pin.head.Store(t.headC)
 	if t.needsGCMu {
 		t.gcMu.Unlock()
 	}
@@ -96,7 +135,7 @@ func (t *Thread[T]) maybeGC() {
 	if t.d.opts.GCMode != GCConcurrent {
 		return
 	}
-	size := t.headC - t.tail.Load()
+	size := t.headC - t.pin.tail.Load()
 	if size == 0 {
 		if t.derefCopy+t.derefMaster > 0 {
 			t.resetDerefCounters()
@@ -168,8 +207,8 @@ func (t *Thread[T]) collect() {
 	}
 	w := t.d.watermark.Load()
 	capU := uint64(len(t.log))
-	head := t.head.Load()
-	tail := t.tail.Load()
+	head := t.pin.head.Load()
+	tail := t.pin.tail.Load()
 	n := uint64(0)
 	for tail+n < head {
 		v := &t.log[(tail+n)%capU]
@@ -179,7 +218,7 @@ func (t *Thread[T]) collect() {
 		n++
 	}
 	if n > 0 {
-		t.tail.Store(tail + n)
+		t.pin.tail.Store(tail + n)
 		t.stats.reclaimed += n
 	}
 	// Bound the write-back scan so a boundary-time GC pass costs O(1)
@@ -268,6 +307,9 @@ func (t *Thread[T]) writeback(v *version[T]) {
 	if !o.pending.CompareAndSwap(nil, t.d.sentinel) {
 		return // locked by a writer or another write-back; retry later
 	}
+	if failpoint.Enabled() {
+		t.injectWriteback(o)
+	}
 	if o.copy.Load() == v {
 		o.master = v.data
 		o.copy.Store(nil)
@@ -277,4 +319,19 @@ func (t *Thread[T]) writeback(v *version[T]) {
 		t.stats.writebacks++
 	}
 	o.pending.Store(nil)
+}
+
+// injectWriteback fires the failpoint inside the write-back barrier
+// window, with the sentinel holding the object's pending word. A panic
+// here would leave the object locked forever; release the sentinel on
+// the unwind — the write-back simply has not happened, which is always
+// legal — before letting the panic continue.
+func (t *Thread[T]) injectWriteback(o *Object[T]) {
+	defer func() {
+		if r := recover(); r != nil {
+			o.pending.Store(nil)
+			panic(r)
+		}
+	}()
+	failpoint.Inject(failpoint.Writeback)
 }

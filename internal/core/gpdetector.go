@@ -3,6 +3,8 @@ package core
 import (
 	"sync"
 	"time"
+
+	"mvrlu/internal/failpoint"
 )
 
 // gpDetector is the background grace-period detector (§3.7): it broadcasts
@@ -12,11 +14,49 @@ import (
 // it also performs all log reclamation itself (the "+multi-version"
 // factor-analysis configuration, whose single collector bottlenecks
 // write-intensive workloads).
+//
+// The detector doubles as the domain's failure observer: it tracks how
+// long the watermark has failed to advance while some reader pins it,
+// and — past Options.StallThreshold grace-period intervals — declares a
+// stall, identifies the pinning thread and its critical-section entry
+// timestamp, and surfaces the episode through Stats.StallEvents /
+// Stats.StalledFor and the optional Options.OnStall callback. A stalled
+// watermark is the failure mode a misbehaving participant induces (a
+// reader that never exits, a leaked pinned handle): writers livelock at
+// the capacity watermark once their logs fill, so the engine must report
+// the cause rather than spin blind.
 type gpDetector[T any] struct {
 	d    *Domain[T]
 	kick chan struct{}
 	quit chan struct{}
+	once sync.Once
 	wg   sync.WaitGroup
+
+	// Stall tracking (detector-goroutine only).
+	lastW      uint64
+	stallTicks int
+	inStall    bool
+}
+
+// StallInfo describes a watermark stall: the reclamation watermark has
+// not advanced for at least Options.StallThreshold grace-period
+// intervals while a reader pins it. It is delivered to Options.OnStall
+// and exposed through Domain.Stalled.
+type StallInfo struct {
+	// ThreadID is the registry id of the pinning thread — the reader
+	// whose critical-section entry timestamp is the watermark's minimum.
+	ThreadID int
+	// EntryTS is that thread's critical-section entry timestamp (its
+	// published localTS), the timestamp the watermark cannot pass.
+	EntryTS uint64
+	// Watermark is the stuck watermark value.
+	Watermark uint64
+	// Since is when the detector declared the stall.
+	Since time.Time
+	// BlockedWriter is the registry id of a capacity-blocked writer
+	// reporting the stall from allocSlot, or -1 when the report comes
+	// from the detector itself.
+	BlockedWriter int
 }
 
 func newGPDetector[T any](d *Domain[T]) *gpDetector[T] {
@@ -32,10 +72,11 @@ func (g *gpDetector[T]) start() {
 	go g.run()
 }
 
-func (g *gpDetector[T]) stop() {
-	close(g.quit)
-	g.wg.Wait()
-}
+// signalStop asks the detector to exit; await blocks until it has. They
+// are split so Domain.Close can make every caller — not only the first —
+// wait for the goroutine to be gone before returning.
+func (g *gpDetector[T]) signalStop() { g.once.Do(func() { close(g.quit) }) }
+func (g *gpDetector[T]) await()      { g.wg.Wait() }
 
 // request asks for an immediate watermark broadcast (on-demand detection).
 // Non-blocking; coalesces with an in-flight request.
@@ -57,11 +98,117 @@ func (g *gpDetector[T]) run() {
 		case <-g.kick:
 		case <-ticker.C:
 		}
-		g.d.refreshWatermark()
-		if g.d.opts.GCMode == GCSingleCollector {
-			for _, t := range *g.d.threads.Load() {
+		g.tick()
+	}
+}
+
+// tick is one detector pass: broadcast the watermark, run stall
+// detection, and (single-collector mode) reclaim every thread's log.
+// The pass recovers panics — an injected detector-scan fault or a
+// panicking user OnStall callback must not kill the goroutine the whole
+// domain's reclamation depends on; recoveries are counted in
+// Stats.DetectorRecoveries.
+func (g *gpDetector[T]) tick() {
+	defer func() {
+		if r := recover(); r != nil {
+			g.d.detectorPanics.Add(1)
+		}
+	}()
+	failpoint.Inject(failpoint.DetectorScan)
+	w := g.d.refreshWatermark()
+	g.checkStall(w)
+	if g.d.opts.GCMode == GCSingleCollector {
+		for _, e := range *g.d.threads.Load() {
+			// Re-check quit between collects: a collection sweep over
+			// many threads must not make Close wait out the whole
+			// scan, and a quit signaled mid-iteration must win over a
+			// stale thread snapshot.
+			select {
+			case <-g.quit:
+				return
+			default:
+			}
+			if t := e.handle.Value(); t != nil {
 				t.collect()
 			}
 		}
 	}
+}
+
+// checkStall advances the stall state machine by one detector tick. A
+// stall is declared when the watermark has been flat for StallThreshold
+// consecutive ticks while at least one thread is pinned (an idle domain
+// under the logical clock also has a flat watermark, but with no pin
+// there is nothing stalled — nothing is awaiting reclamation). The
+// episode ends when the watermark moves again.
+func (g *gpDetector[T]) checkStall(w uint64) {
+	d := g.d
+	if w != g.lastW {
+		g.lastW = w
+		g.stallTicks = 0
+		if g.inStall {
+			g.inStall = false
+			d.stallSince.Store(0)
+		}
+		return
+	}
+	if g.inStall || d.opts.StallThreshold < 0 {
+		return
+	}
+	g.stallTicks++
+	if g.stallTicks < d.opts.StallThreshold {
+		return
+	}
+	// Identify the culprit: the pinned thread with the minimum entry
+	// timestamp. The scan reads the strongly-held pin state, so a
+	// leaked handle is named by its registry id like any live one.
+	pinID, pinTS := -1, uint64(0)
+	for _, e := range *d.threads.Load() {
+		ts := e.pin.localTS.Load()
+		if ts != 0 && (pinID == -1 || ts < pinTS) {
+			pinID, pinTS = e.id, ts
+		}
+	}
+	if pinID == -1 {
+		// Flat watermark with no pinned reader: an idle logical
+		// clock, not a stall. Restart the count.
+		g.stallTicks = 0
+		return
+	}
+	g.inStall = true
+	info := StallInfo{
+		ThreadID:      pinID,
+		EntryTS:       pinTS,
+		Watermark:     w,
+		Since:         time.Now(),
+		BlockedWriter: -1,
+	}
+	d.stallThread.Store(int64(pinID))
+	d.stallEntryTS.Store(pinTS)
+	d.stallWatermark.Store(w)
+	d.stallEvents.Add(1)
+	// stallSince is stored last: it is the flag that makes the episode
+	// observable, so the identity fields above must already be in place.
+	d.stallSince.Store(info.Since.UnixNano())
+	if cb := d.opts.OnStall; cb != nil {
+		cb(info)
+	}
+}
+
+// Stalled reports the active watermark stall, if any. The fields are
+// read individually from the detector's atomics, so a caller racing the
+// end of an episode may see a slightly torn snapshot; the ok result is
+// authoritative for whether a stall was active at the call.
+func (d *Domain[T]) Stalled() (StallInfo, bool) {
+	since := d.stallSince.Load()
+	if since == 0 {
+		return StallInfo{}, false
+	}
+	return StallInfo{
+		ThreadID:      int(d.stallThread.Load()),
+		EntryTS:       d.stallEntryTS.Load(),
+		Watermark:     d.stallWatermark.Load(),
+		Since:         time.Unix(0, since),
+		BlockedWriter: -1,
+	}, true
 }

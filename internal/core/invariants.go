@@ -62,19 +62,37 @@ func (d *Domain[T]) CheckObject(o *Object[T]) error {
 // Go's garbage collector owns the memory — but are no longer written
 // back or reclaimed, so chains they head shrink only when superseded by
 // live writers.
+//
+// Unregister stops the leak guard (the handle may now be dropped without
+// being flagged) and folds the thread's counters into the domain's
+// departed aggregate so Domain.Stats stays complete. It is idempotent:
+// a second call finds no entry and does nothing.
 func (t *Thread[T]) Unregister() {
 	if t.inCS {
 		panic("mvrlu: Unregister inside critical section")
 	}
+	t.resetDerefCounters()
 	d := t.d
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	old := *d.threads.Load()
-	next := make([]*Thread[T], 0, len(old))
-	for _, th := range old {
-		if th != t {
-			next = append(next, th)
+	next := make([]threadEntry[T], 0, len(old))
+	for _, e := range old {
+		if e.id != t.id {
+			next = append(next, e)
+			continue
 		}
+		e.cleanup.Stop()
+		// gcMu: in single-collector mode the detector may be inside
+		// t.collect() against a stale registry snapshot, still writing
+		// the GC-pass counters.
+		t.gcMu.Lock()
+		d.departed.add(e.stats)
+		t.gcMu.Unlock()
 	}
 	d.threads.Store(&next)
 }
+
+// Close unregisters the handle; it is Unregister under the name the rest
+// of the ecosystem expects from a lifecycle endpoint.
+func (t *Thread[T]) Close() { t.Unregister() }

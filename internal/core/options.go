@@ -82,6 +82,23 @@ type Options struct {
 	// timestamp. The default 0 models this substrate's single
 	// monotonic clock (no inter-core skew). Ignored under ClockGlobal.
 	OrdoWindow uint64
+
+	// StallThreshold is the number of consecutive grace-period detector
+	// ticks the watermark may stay flat — while some reader pins it —
+	// before the detector declares a watermark stall (Stats.StallEvents,
+	// Domain.Stalled, OnStall). Zero selects the default (64 ticks,
+	// ~13ms at the default GPInterval); negative disables stall
+	// detection entirely.
+	StallThreshold int
+
+	// OnStall, when non-nil, is invoked once per stall episode by the
+	// grace-period detector (BlockedWriter = -1) and once per episode by
+	// each writer that exhausts its log behind the stalled watermark
+	// (BlockedWriter = that writer's id). Detector-side calls run on the
+	// detector goroutine: the callback must not enter a critical section
+	// of this domain and should return quickly. A panicking callback is
+	// recovered and counted in Stats.DetectorRecoveries.
+	OnStall func(StallInfo)
 }
 
 // DefaultOptions mirror the paper's configuration (§6.1): watermarks at
@@ -113,5 +130,8 @@ func (o *Options) sanitize() {
 	}
 	if o.GPInterval <= 0 {
 		o.GPInterval = 200 * time.Microsecond
+	}
+	if o.StallThreshold == 0 {
+		o.StallThreshold = 64
 	}
 }

@@ -1,15 +1,21 @@
 package core
 
-// threadStats are owner-written plain counters. They are aggregated by
-// Domain.Stats, which is only meaningful while no thread is inside a
-// critical section (e.g. after a benchmark run joins its workers).
+import "time"
+
+// threadStats are owner-written plain counters (the GC-pass trio —
+// gcRuns, reclaimed, writebacks — is also written by the detector in
+// single-collector mode, under gcMu). They live in a separate allocation
+// shared between the Thread and its registry entry so the counters of a
+// departed or collected handle survive into Domain.Stats.
 type threadStats struct {
 	commits        uint64
 	aborts         uint64
+	panicAborts    uint64 // sections rolled back by a panic under Execute
 	lockFails      uint64 // TryLock lost to a concurrent lock holder
 	orderFails     uint64 // write-latest-version-only / ORDO ambiguity
 	logFails       uint64 // log exhausted while this thread pinned GC
 	capacityBlocks uint64 // allocSlot waits at the high watermark
+	stallReports   uint64 // allocSlot give-ups attributed to a stall episode
 	derefTriggers  uint64 // GCs triggered by the dereference watermark
 	gcRuns         uint64
 	reclaimed      uint64
@@ -21,11 +27,33 @@ type threadStats struct {
 	wsAllocs       uint64 // write-set headers allocated (pool misses)
 }
 
+// add folds b into a (aggregation by Domain.Stats and the departed fold).
+func (a *threadStats) add(b *threadStats) {
+	a.commits += b.commits
+	a.aborts += b.aborts
+	a.panicAborts += b.panicAborts
+	a.lockFails += b.lockFails
+	a.orderFails += b.orderFails
+	a.logFails += b.logFails
+	a.capacityBlocks += b.capacityBlocks
+	a.stallReports += b.stallReports
+	a.derefTriggers += b.derefTriggers
+	a.gcRuns += b.gcRuns
+	a.reclaimed += b.reclaimed
+	a.writebacks += b.writebacks
+	a.derefs += b.derefs
+	a.chainSteps += b.chainSteps
+	a.overflowAllocs += b.overflowAllocs
+	a.wmCoalesced += b.wmCoalesced
+	a.wsAllocs += b.wsAllocs
+}
+
 // Stats is a point-in-time aggregate of a domain's counters. Collect it
 // only while all threads are quiescent (outside critical sections).
 type Stats struct {
 	Commits        uint64 // committed critical sections with writes
 	Aborts         uint64 // aborted critical sections
+	PanicAborts    uint64 // sections rolled back because fn panicked under Execute
 	LockFails      uint64 // TryLock failures against a held lock
 	OrderFails     uint64 // write-latest-version-only or ORDO ambiguity failures
 	LogFails       uint64 // TryLock failures due to log exhaustion
@@ -50,6 +78,21 @@ type Stats struct {
 	// WSHeaderAllocs counts write-set headers allocated from the heap;
 	// steady-state write paths recycle headers and keep this flat.
 	WSHeaderAllocs uint64
+
+	// Failure observability (see gpdetector.go). StallEvents counts
+	// declared watermark-stall episodes; StalledFor is how long the
+	// currently active episode has lasted (zero when the watermark is
+	// advancing normally); StallReports counts capacity-blocked writers
+	// that attributed an allocSlot give-up to an active episode.
+	// HandleLeaks counts handles the runtime collected while still
+	// registered (dropped without Unregister). DetectorRecoveries counts
+	// panics the grace-period detector recovered from (injected faults,
+	// panicking OnStall callbacks) without dying.
+	StallEvents        uint64
+	StalledFor         time.Duration
+	StallReports       uint64
+	HandleLeaks        uint64
+	DetectorRecoveries uint64
 }
 
 // AbortRatio returns aborts / (aborts + commits), the quantity Figure 5
@@ -73,39 +116,63 @@ func (s Stats) ReadAmplification() float64 {
 	return float64(s.ChainSteps+s.Derefs) / float64(s.Derefs)
 }
 
-// Stats aggregates all registered threads' counters. Owner-written
-// fields require the threads to be outside critical sections; the
-// GC-pass fields (gcRuns, reclaimed, writebacks) are read under each
-// thread's gcMu because in GCSingleCollector mode the detector keeps
-// collecting even while users are quiescent.
+// Stats aggregates the counters across the whole handle lifecycle: live
+// handles, leaked entries whose handle the runtime already collected
+// (their strongly-held threadStats remain readable), and the departed
+// aggregate of unregistered/pruned handles. Owner-written fields require
+// the live threads to be outside critical sections; each live thread's
+// gcMu is taken because in GCSingleCollector mode the detector keeps
+// collecting (and counting) even while users are quiescent.
 func (d *Domain[T]) Stats() Stats {
-	var s Stats
-	for _, t := range *d.threads.Load() {
-		s.Commits += t.stats.commits
-		s.Aborts += t.stats.aborts
-		s.LockFails += t.stats.lockFails
-		s.OrderFails += t.stats.orderFails
-		s.LogFails += t.stats.logFails
-		s.CapacityBlocks += t.stats.capacityBlocks
-		s.DerefTriggers += t.stats.derefTriggers
-		s.Derefs += t.stats.derefs + t.derefMaster + t.derefCopy
-		s.ChainSteps += t.stats.chainSteps
-		s.OverflowAllocs += t.stats.overflowAllocs
-		s.WatermarkCoalesced += t.stats.wmCoalesced
-		s.WSHeaderAllocs += t.stats.wsAllocs
-		t.gcMu.Lock()
-		s.GCRuns += t.stats.gcRuns
-		s.Reclaimed += t.stats.reclaimed
-		s.Writebacks += t.stats.writebacks
-		t.gcMu.Unlock()
+	var agg threadStats
+	d.mu.Lock()
+	entries := *d.threads.Load()
+	agg.add(&d.departed)
+	d.mu.Unlock()
+	for _, e := range entries {
+		if t := e.handle.Value(); t != nil {
+			t.gcMu.Lock()
+			agg.add(e.stats)
+			t.gcMu.Unlock()
+			agg.derefs += t.derefMaster + t.derefCopy
+		} else {
+			// Handle collected (leaked-while-pinned entry): nothing
+			// writes these counters anymore — the single collector
+			// skips entries whose weak handle is dead.
+			agg.add(e.stats)
+		}
 	}
-	s.WatermarkScans = d.wmScans.Load()
-	s.WatermarkCoalesced += d.wmCoalesced.Load()
+	s := Stats{
+		Commits:            agg.commits,
+		Aborts:             agg.aborts,
+		PanicAborts:        agg.panicAborts,
+		LockFails:          agg.lockFails,
+		OrderFails:         agg.orderFails,
+		LogFails:           agg.logFails,
+		CapacityBlocks:     agg.capacityBlocks,
+		DerefTriggers:      agg.derefTriggers,
+		GCRuns:             agg.gcRuns,
+		Reclaimed:          agg.reclaimed,
+		Writebacks:         agg.writebacks,
+		Derefs:             agg.derefs,
+		ChainSteps:         agg.chainSteps,
+		OverflowAllocs:     agg.overflowAllocs,
+		WatermarkCoalesced: agg.wmCoalesced + d.wmCoalesced.Load(),
+		WSHeaderAllocs:     agg.wsAllocs,
+		WatermarkScans:     d.wmScans.Load(),
+		StallEvents:        d.stallEvents.Load(),
+		StallReports:       agg.stallReports,
+		HandleLeaks:        d.handleLeaks.Load(),
+		DetectorRecoveries: d.detectorPanics.Load(),
+	}
+	if since := d.stallSince.Load(); since != 0 {
+		s.StalledFor = time.Since(time.Unix(0, since))
+	}
 	return s
 }
 
 // LogOccupancy returns the number of live slots in the thread's log
 // (testing and diagnostics).
 func (t *Thread[T]) LogOccupancy() int {
-	return int(t.head.Load() - t.tail.Load())
+	return int(t.pin.head.Load() - t.pin.tail.Load())
 }

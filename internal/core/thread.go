@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"mvrlu/internal/failpoint"
 )
 
 // Thread is a per-goroutine MV-RLU handle: a local timestamp, a circular
@@ -13,24 +15,33 @@ import (
 // own), but a handle may migrate between goroutines as long as uses do
 // not overlap.
 //
-// Field order is deliberate: the owner-hot plain fields come first and
-// share cache lines only with each other, while the atomics the
-// grace-period detector (and, in single-collector mode, the collector)
-// reads — localTS, head, tail — are padded onto their own lines at the
-// end. Without the isolation, every detector scan of localTS would
-// contend with the owner's per-operation writes to ts/headC/counters on
-// the same line, re-coupling detection to the critical path the paper's
-// §3.7 decouples.
+// The handle must stay reachable while its critical section is open: the
+// domain's scan list references handles weakly (see threadEntry in
+// domain.go), so a handle dropped while registered is flagged as a leak
+// by the runtime-cleanup guard. Its pin state lives in a separately
+// allocated pinState that the registry holds strongly — a leaked reader
+// keeps pinning the watermark (safety first) and the stall detector
+// names it, rather than the engine silently reclaiming versions the
+// leaked section may still be reading.
 type Thread[T any] struct {
 	// Owner-only fast-path state (plain fields, no sharing).
 	d    *Domain[T]
 	id   int
-	ts   uint64 // owner's cache of localTS
+	ts   uint64 // owner's cache of pin.localTS
 	inCS bool
 	// needsGCMu: in GCSingleCollector mode the collector goroutine
 	// scans this log, so the owner's slot initialization and rollback
 	// also take gcMu.
 	needsGCMu bool
+
+	// pin is the detector-facing state — localTS, head, tail — split
+	// out of the handle so the watermark scan can keep reading it after
+	// the handle itself is dropped and collected (see pinState).
+	pin *pinState
+
+	// stats is shared with the registry entry so a departed thread's
+	// counters survive into Domain.Stats.
+	stats *threadStats
 
 	// log is the circular array of version slots; headC is the owner's
 	// cached head counter (slot = counter mod capacity).
@@ -56,22 +67,35 @@ type Thread[T any] struct {
 	derefCopy   uint64
 	// lastWbW is the watermark at which the write-back scan last ran.
 	lastWbW uint64
+	// lastStallReport is the stall episode (Domain.stallSince value)
+	// this thread last reported from allocSlot, one OnStall call per
+	// episode per blocked writer.
+	lastStallReport int64
 
 	highSlots uint64
 	lowSlots  uint64
 
-	stats threadStats
-
 	gcMu sync.Mutex // serializes reclamation (owner vs single collector)
+}
 
-	// Detector-read atomics, one cache line each. localTS is the
-	// critical-section entry timestamp, 0 when quiescent, published for
-	// the detector's watermark scan (ts above caches it for the owner).
-	// head and tail bound the live log region: the owner allocates at
-	// head, reclamation advances tail; in single-collector mode the
-	// collector reads head and writes tail, so they are kept apart —
-	// a collector advancing tail must not invalidate the line the owner
-	// writes on every slot allocation.
+// pinState is the slice of a thread the grace-period machinery reads:
+// localTS is the critical-section entry timestamp, 0 when quiescent,
+// published for the detector's watermark scan; head and tail bound the
+// live log region (the owner allocates at head, reclamation advances
+// tail; in single-collector mode the collector reads head and writes
+// tail). It is a separate allocation, strongly held by the registry
+// entry, for two reasons:
+//
+//   - cache-line isolation (carried over from the padded-atomics layout):
+//     detector scans of localTS must not contend with the owner's
+//     per-operation writes to ts/headC/counters, and a collector
+//     advancing tail must not invalidate the line the owner writes on
+//     every slot allocation (§3.7's decoupling);
+//   - failure isolation: if the handle is dropped while inside a
+//     critical section, the pin must remain visible to the watermark
+//     scan even after the runtime collects the Thread, or reclamation
+//     would advance over versions the leaked section can still read.
+type pinState struct {
 	_       [64]byte
 	localTS atomic.Uint64
 	_       [56]byte
@@ -99,6 +123,8 @@ func newThread[T any](d *Domain[T], id int) *Thread[T] {
 		d:         d,
 		id:        id,
 		needsGCMu: d.opts.GCMode == GCSingleCollector,
+		pin:       &pinState{},
+		stats:     &threadStats{},
 	}
 	t.highSlots = uint64(d.opts.HighCapacity * float64(d.opts.LogSlots))
 	if t.highSlots == 0 || t.highSlots > uint64(d.opts.LogSlots) {
@@ -143,10 +169,13 @@ func (t *Thread[T]) ReadLock() {
 	// ≥ watermark" invariant that makes slot reuse safe. With the pin,
 	// a detector scan either misses it (then its watermark derives from
 	// a clock read that precedes ours) or sees it and cannot advance.
-	t.localTS.Store(1)
+	t.pin.localTS.Store(1)
+	if failpoint.Enabled() {
+		t.injectReadLockPin()
+	}
 	ts := t.d.clk.Now()
 	t.ts = ts
-	t.localTS.Store(ts)
+	t.pin.localTS.Store(ts)
 	t.inCS = true
 	if t.wsRetired != nil {
 		// Stamp the header the last commit retired. This clock read
@@ -156,6 +185,21 @@ func (t *Thread[T]) ReadLock() {
 		t.poolPush(t.wsRetired, ts)
 		t.wsRetired = nil
 	}
+}
+
+// injectReadLockPin fires the pin-window failpoint. A panic here leaves
+// the conservative pin published with no critical section to release it
+// — the exact leak that wedges the watermark — so the pin is dropped on
+// the unwind before the panic continues: the caller recovers a handle
+// that is cleanly outside any critical section.
+func (t *Thread[T]) injectReadLockPin() {
+	defer func() {
+		if r := recover(); r != nil {
+			t.pin.localTS.Store(0)
+			panic(r)
+		}
+	}()
+	failpoint.Inject(failpoint.ReadLockPin)
 }
 
 // ReadUnlock leaves the critical section, committing the write set if one
@@ -168,7 +212,7 @@ func (t *Thread[T]) ReadUnlock() {
 		t.commit()
 	}
 	t.inCS = false
-	t.localTS.Store(0)
+	t.pin.localTS.Store(0)
 	t.maybeGC()
 }
 
@@ -181,7 +225,7 @@ func (t *Thread[T]) Abort() {
 	}
 	t.rollback()
 	t.inCS = false
-	t.localTS.Store(0)
+	t.pin.localTS.Store(0)
 	t.stats.aborts++
 	t.maybeGC()
 }
@@ -189,11 +233,17 @@ func (t *Thread[T]) Abort() {
 // Execute runs fn inside a critical section, retrying on abort. fn should
 // return false when a TryLock failed (Execute aborts and re-enters) and
 // true to commit. It is the idiomatic retry loop of the RLU model.
+//
+// Execute is panic-safe: if fn panics, the write set is rolled back —
+// every locked object unlocked, the log head rewound — the local
+// timestamp unpinned, and the panic re-raised. One misbehaving
+// transaction therefore cannot wedge the domain (§3.7's liveness
+// assumption, enforced rather than assumed): callers that recover the
+// panic keep a usable handle and other threads keep committing.
 func (t *Thread[T]) Execute(fn func(*Thread[T]) bool) {
 	for {
 		t.ReadLock()
-		if fn(t) {
-			t.ReadUnlock()
+		if t.protectedApply(fn) {
 			return
 		}
 		t.Abort()
@@ -201,6 +251,33 @@ func (t *Thread[T]) Execute(fn func(*Thread[T]) bool) {
 		// starve the conflicting lock holder.
 		runtime.Gosched()
 	}
+}
+
+// protectedApply runs fn and commits when it succeeds, converting a
+// panic anywhere under fn into an abort before letting it continue to
+// the caller.
+func (t *Thread[T]) protectedApply(fn func(*Thread[T]) bool) (done bool) {
+	defer func() {
+		if r := recover(); r == nil {
+			return
+		} else {
+			// A commit-side failpoint panic completed the commit and
+			// left the critical section before unwinding (see commit);
+			// recovery is only needed while the section is still open.
+			if t.inCS {
+				t.rollback()
+				t.inCS = false
+				t.pin.localTS.Store(0)
+				t.stats.panicAborts++
+			}
+			panic(r)
+		}
+	}()
+	if fn(t) {
+		t.ReadUnlock()
+		return true
+	}
+	return false
 }
 
 // Deref returns the payload version of o that belongs to this critical
@@ -306,6 +383,10 @@ func (t *Thread[T]) tryLock(o *Object[T], constLock bool) (*version[T], bool) {
 	v.ws = t.ws
 	v.constLock = constLock
 
+	if failpoint.Enabled() {
+		t.injectTryLockCAS(v)
+	}
+
 	// Acquire the object lock first (§3.4): only with p-pending held is
 	// the chain head stable, so the newest version must be read after
 	// this CAS — reading it before would let a concurrent commit slip
@@ -342,6 +423,20 @@ func (t *Thread[T]) tryLock(o *Object[T], constLock bool) (*version[T], bool) {
 	return v, true
 }
 
+// injectTryLockCAS fires the pre-CAS failpoint. A panic here owns an
+// allocated slot but no object lock yet; pop the slot on the unwind so
+// the log head stays consistent, then let the panic continue — the
+// write set's earlier locks are released by Execute's rollback.
+func (t *Thread[T]) injectTryLockCAS(v *version[T]) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.popSlot(v)
+			panic(r)
+		}
+	}()
+	failpoint.Inject(failpoint.TryLockCAS)
+}
+
 // Free frees the object locked by this critical section (§3.8): after the
 // commit the object is marked freed and stays locked forever, so no later
 // writer can resurrect it. The caller must have unlinked it from the data
@@ -374,6 +469,36 @@ func (t *Thread[T]) commit() {
 		// the chain head has not moved since.
 		v.obj.copy.Store(v)
 	}
+	if failpoint.Enabled() {
+		t.injectCommitPublish()
+	}
+	t.finishCommit()
+}
+
+// injectCommitPublish fires the failpoint between publishing the write
+// set's copies and duplicating the commit timestamp into them. A panic
+// here must not tear the commit: the copies are already reachable from
+// their chains (readers skip them while the header still reads ∞) and
+// the masters are still locked, so abandoning the unwind mid-way would
+// wedge every object in the set. Instead the commit is finished on the
+// unwind — the write set was fully staged and can no longer fail — and
+// the section closed, before the panic continues.
+func (t *Thread[T]) injectCommitPublish() {
+	defer func() {
+		if r := recover(); r != nil {
+			t.finishCommit()
+			t.inCS = false
+			t.pin.localTS.Store(0)
+			panic(r)
+		}
+	}()
+	failpoint.Inject(failpoint.CommitPublish)
+}
+
+// finishCommit is the back half of commit: draw and publish the commit
+// timestamp (the linearization point), duplicate it into the copies,
+// mark superseded predecessors, and unlock the masters.
+func (t *Thread[T]) finishCommit() {
 	cts := t.d.clk.Now() + t.d.boundary
 	t.ws.commitTS.Store(cts)
 	for _, v := range t.wset {
@@ -413,7 +538,7 @@ func (t *Thread[T]) rollback() {
 			t.gcMu.Lock()
 		}
 		t.headC = t.wsStart
-		t.head.Store(t.headC)
+		t.pin.head.Store(t.headC)
 		if t.needsGCMu {
 			t.gcMu.Unlock()
 		}

@@ -1,0 +1,329 @@
+// Package failpoint is a deterministic fault-injection framework for the
+// MV-RLU engine. The engine's schedule-sensitive windows — the ReadLock
+// pin window, the try-lock CAS, the gap between publishing a write set
+// and duplicating its commit timestamp, GC write-back, the allocSlot
+// capacity path, and the detector scan — carry named injection points.
+// Torture harnesses and regression tests arm them with sleep, yield, or
+// panic actions to widen race windows and drive the engine's recovery
+// paths; production builds leave them disarmed.
+//
+// Cost model: the entire framework is gated on one package-level
+// atomic.Bool. When disarmed, an injection site costs exactly one atomic
+// load (Enabled inlines to it), so the points can stay compiled into the
+// hot paths permanently — see BenchmarkEnabledDisarmed.
+//
+// Determinism: each point fires by hit count, not by wall clock or PRNG
+// state shared across goroutines. A point armed with period N fires on
+// the hits whose index is congruent to a seed-derived phase modulo N, so
+// the same spec, seed, and per-thread operation sequence reproduce the
+// same injection pattern.
+package failpoint
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Point names one injection site inside the engine.
+type Point int32
+
+const (
+	// ReadLockPin sits inside ReadLock's conservative-pin window,
+	// between publishing the pin and stamping the real timestamp.
+	ReadLockPin Point = iota
+	// TryLockCAS sits immediately before tryLock's pending CAS, after
+	// the slot allocation.
+	TryLockCAS
+	// CommitPublish sits between pushing the write set's copies to
+	// their chains and duplicating the commit timestamp into them.
+	CommitPublish
+	// Writeback sits between acquiring the write-back sentinel and
+	// copying the chain head into its master.
+	Writeback
+	// AllocSlotCapacity sits on allocSlot's capacity-blocked path,
+	// before the forced watermark refresh.
+	AllocSlotCapacity
+	// DetectorScan sits at the top of the grace-period detector's tick,
+	// before the watermark broadcast.
+	DetectorScan
+
+	// NumPoints is the number of injection points.
+	NumPoints
+)
+
+var names = [NumPoints]string{
+	ReadLockPin:       "readlock-pin",
+	TryLockCAS:        "trylock-cas",
+	CommitPublish:     "commit-publish",
+	Writeback:         "writeback",
+	AllocSlotCapacity: "alloc-capacity",
+	DetectorScan:      "detector-scan",
+}
+
+// Name returns the spec name of a point.
+func (p Point) Name() string {
+	if p < 0 || p >= NumPoints {
+		return fmt.Sprintf("failpoint(%d)", int32(p))
+	}
+	return names[p]
+}
+
+// ByName resolves a spec name to its point.
+func ByName(s string) (Point, bool) {
+	for i, n := range names {
+		if n == s {
+			return Point(i), true
+		}
+	}
+	return 0, false
+}
+
+// Action is what an armed point does when it fires.
+type Action int32
+
+const (
+	// ActNone leaves the point disarmed.
+	ActNone Action = iota
+	// ActYield calls runtime.Gosched, handing the scheduler a chance to
+	// interleave another goroutine inside the window.
+	ActYield
+	// ActSleep blocks for the configured duration, holding the window
+	// open long enough for slow paths (detector ticks, GC passes) to
+	// overlap it.
+	ActSleep
+	// ActPanic panics with *Panic, driving the engine's unwind and
+	// recovery paths exactly as a panicking user transaction would.
+	ActPanic
+)
+
+// Panic is the value thrown by an ActPanic firing. Harnesses recover it,
+// assert invariants still hold, and continue.
+type Panic struct{ Point Point }
+
+func (p *Panic) Error() string {
+	return "failpoint: injected panic at " + p.Point.Name()
+}
+
+// IsInjected reports whether a recovered panic value came from a
+// failpoint, distinguishing injected faults from genuine bugs.
+func IsInjected(r any) bool {
+	_, ok := r.(*Panic)
+	return ok
+}
+
+// pointState is one point's armed configuration and counters. All fields
+// are atomic: Enable may race with sites already executing.
+type pointState struct {
+	action atomic.Int32
+	every  atomic.Uint64 // fire period in hits (≥1 when armed)
+	phase  atomic.Uint64 // seed-derived offset within the period
+	sleep  atomic.Int64  // ActSleep duration, nanoseconds
+	hits   atomic.Uint64
+	fired  atomic.Uint64
+}
+
+var (
+	enabled atomic.Bool
+	points  [NumPoints]pointState
+)
+
+// Enabled reports whether any point is armed. It is the single atomic
+// load that gates every injection site; callers wrap recovery-sensitive
+// sites as
+//
+//	if failpoint.Enabled() { ... guarded Inject ... }
+//
+// so the disarmed path never pays for defer/recover scaffolding.
+func Enabled() bool { return enabled.Load() }
+
+// Inject evaluates one point: counts the hit and, if the point is armed
+// and the hit index matches its period and phase, performs the action.
+// ActPanic panics with *Panic — callers in windows that hold engine
+// state must recover, restore the state, and re-panic.
+func Inject(p Point) {
+	if !enabled.Load() {
+		return
+	}
+	points[p].eval(p)
+}
+
+func (s *pointState) eval(p Point) {
+	h := s.hits.Add(1)
+	act := Action(s.action.Load())
+	if act == ActNone {
+		return
+	}
+	if n := s.every.Load(); n > 1 && (h-1)%n != s.phase.Load() {
+		return
+	}
+	s.fired.Add(1)
+	switch act {
+	case ActYield:
+		runtime.Gosched()
+	case ActSleep:
+		time.Sleep(time.Duration(s.sleep.Load()))
+	case ActPanic:
+		panic(&Panic{Point: p})
+	}
+}
+
+// Hits returns how many times the point was evaluated while the
+// framework was enabled.
+func Hits(p Point) uint64 { return points[p].hits.Load() }
+
+// Fired returns how many times the point's action actually ran.
+func Fired(p Point) uint64 { return points[p].fired.Load() }
+
+// TotalFired sums Fired over all points.
+func TotalFired() uint64 {
+	var n uint64
+	for i := Point(0); i < NumPoints; i++ {
+		n += Fired(i)
+	}
+	return n
+}
+
+// defaultSleep is ActSleep's duration when the spec gives none.
+const defaultSleep = 100 * time.Microsecond
+
+// Enable arms the framework from a spec string and a seed. The spec is a
+// comma-separated list of clauses
+//
+//	point=action[(duration)][/N]
+//
+// where point is a point name or "*" (all points), action is yield,
+// sleep, or panic, duration applies to sleep (default 100us), and N is
+// the fire period in hits (default 1: every hit). The seed chooses each
+// point's phase within its period, so distinct seeds shift which hits
+// fire without changing the rate. Examples:
+//
+//	commit-publish=panic/100            panic on one commit in 100
+//	writeback=sleep(200us)/10           stretch every 10th write-back
+//	*=yield/5                           yield at every 5th hit of every point
+//
+// Enable resets all counters and previous arming before applying the
+// spec; it returns an error (leaving the framework disarmed) on any
+// malformed clause.
+func Enable(spec string, seed int64) error {
+	Reset()
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		if err := arm(clause, seed); err != nil {
+			Reset()
+			return err
+		}
+	}
+	enabled.Store(true)
+	return nil
+}
+
+// Disable disarms every point but keeps the hit and fire counters for
+// post-run inspection.
+func Disable() { enabled.Store(false) }
+
+// Reset disarms the framework and zeroes every point's configuration
+// and counters.
+func Reset() {
+	enabled.Store(false)
+	for i := range points {
+		s := &points[i]
+		s.action.Store(int32(ActNone))
+		s.every.Store(1)
+		s.phase.Store(0)
+		s.sleep.Store(int64(defaultSleep))
+		s.hits.Store(0)
+		s.fired.Store(0)
+	}
+}
+
+func arm(clause string, seed int64) error {
+	name, rhs, ok := strings.Cut(clause, "=")
+	if !ok {
+		return fmt.Errorf("failpoint: clause %q: want point=action[(dur)][/N]", clause)
+	}
+	rhs, period := rhs, uint64(1)
+	if body, n, ok := strings.Cut(rhs, "/"); ok {
+		v, err := strconv.ParseUint(n, 10, 64)
+		if err != nil || v == 0 {
+			return fmt.Errorf("failpoint: clause %q: bad period %q", clause, n)
+		}
+		rhs, period = body, v
+	}
+	actName, sleep := rhs, defaultSleep
+	if open := strings.IndexByte(rhs, '('); open >= 0 {
+		if !strings.HasSuffix(rhs, ")") {
+			return fmt.Errorf("failpoint: clause %q: unclosed duration", clause)
+		}
+		d, err := time.ParseDuration(rhs[open+1 : len(rhs)-1])
+		if err != nil {
+			return fmt.Errorf("failpoint: clause %q: %v", clause, err)
+		}
+		actName, sleep = rhs[:open], d
+	}
+	var act Action
+	switch actName {
+	case "yield":
+		act = ActYield
+	case "sleep":
+		act = ActSleep
+	case "panic":
+		act = ActPanic
+	default:
+		return fmt.Errorf("failpoint: clause %q: unknown action %q (yield, sleep, panic)", clause, actName)
+	}
+	apply := func(p Point) {
+		s := &points[p]
+		s.action.Store(int32(act))
+		s.every.Store(period)
+		s.phase.Store(splitmix(uint64(seed)+uint64(p)) % period)
+		s.sleep.Store(int64(sleep))
+	}
+	if name == "*" {
+		for p := Point(0); p < NumPoints; p++ {
+			apply(p)
+		}
+		return nil
+	}
+	p, ok := ByName(strings.TrimSpace(name))
+	if !ok {
+		return fmt.Errorf("failpoint: clause %q: unknown point %q (have %s)", clause, name, Catalog())
+	}
+	apply(p)
+	return nil
+}
+
+// splitmix is SplitMix64, scrambling the seed into a phase uniformly.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Catalog returns the comma-separated names of all points, for usage
+// strings and error messages.
+func Catalog() string {
+	return strings.Join(names[:], ", ")
+}
+
+// Report formats the per-point hit/fire counters of the last run, for
+// torture-harness summaries. Points that were never hit are omitted.
+func Report() string {
+	var b strings.Builder
+	for p := Point(0); p < NumPoints; p++ {
+		if h := Hits(p); h > 0 {
+			fmt.Fprintf(&b, " %s=%d/%d", p.Name(), Fired(p), h)
+		}
+	}
+	if b.Len() == 0 {
+		return " (no failpoints hit)"
+	}
+	return b.String()
+}

@@ -1,0 +1,155 @@
+package failpoint
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsInert(t *testing.T) {
+	Reset()
+	for p := Point(0); p < NumPoints; p++ {
+		Inject(p) // must not panic, sleep, or count
+		if Hits(p) != 0 {
+			t.Fatalf("disarmed point %s counted a hit", p.Name())
+		}
+	}
+}
+
+func TestEnableParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"bogus",                     // no '='
+		"no-such-point=panic",       // unknown point
+		"trylock-cas=explode",       // unknown action
+		"trylock-cas=panic/0",       // zero period
+		"trylock-cas=panic/x",       // non-numeric period
+		"writeback=sleep(notadur)",  // bad duration
+		"writeback=sleep(10us/3",    // unclosed duration
+		"trylock-cas=panic,bad=one", // error in later clause
+	} {
+		if err := Enable(spec, 1); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+		if Enabled() {
+			t.Errorf("spec %q left framework enabled after error", spec)
+		}
+	}
+	Reset()
+}
+
+func TestPanicActionFiresOnPeriod(t *testing.T) {
+	defer Reset()
+	if err := Enable("commit-publish=panic/3", 0); err != nil {
+		t.Fatal(err)
+	}
+	panics := 0
+	for i := 0; i < 9; i++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if !IsInjected(r) {
+						t.Fatalf("panic value %v not a *Panic", r)
+					}
+					panics++
+				}
+			}()
+			Inject(CommitPublish)
+		}()
+	}
+	if panics != 3 {
+		t.Fatalf("period-3 point fired %d times in 9 hits, want 3", panics)
+	}
+	if Hits(CommitPublish) != 9 || Fired(CommitPublish) != 3 {
+		t.Fatalf("counters hits=%d fired=%d, want 9/3", Hits(CommitPublish), Fired(CommitPublish))
+	}
+}
+
+func TestDeterministicPhase(t *testing.T) {
+	defer Reset()
+	pattern := func(seed int64) string {
+		if err := Enable("trylock-cas=yield/4", seed); err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for i := 0; i < 12; i++ {
+			before := Fired(TryLockCAS)
+			Inject(TryLockCAS)
+			if Fired(TryLockCAS) > before {
+				b.WriteByte('X')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		return b.String()
+	}
+	p1, p2 := pattern(42), pattern(42)
+	if p1 != p2 {
+		t.Fatalf("same seed diverged: %s vs %s", p1, p2)
+	}
+	if strings.Count(p1, "X") != 3 {
+		t.Fatalf("pattern %s: want 3 firings in 12 hits at period 4", p1)
+	}
+}
+
+func TestWildcardAndSleep(t *testing.T) {
+	defer Reset()
+	if err := Enable("*=sleep(1ms)", 7); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	Inject(Writeback)
+	if d := time.Since(start); d < 500*time.Microsecond {
+		t.Fatalf("sleep action returned after %v, want ≥1ms-ish", d)
+	}
+	for p := Point(0); p < NumPoints; p++ {
+		if points[p].action.Load() != int32(ActSleep) {
+			t.Fatalf("wildcard did not arm %s", p.Name())
+		}
+	}
+}
+
+func TestByNameRoundTrip(t *testing.T) {
+	for p := Point(0); p < NumPoints; p++ {
+		got, ok := ByName(p.Name())
+		if !ok || got != p {
+			t.Fatalf("ByName(%q) = %v,%v", p.Name(), got, ok)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("ByName accepted junk")
+	}
+	if !strings.Contains(Catalog(), "commit-publish") {
+		t.Fatalf("catalog %q missing points", Catalog())
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	defer Reset()
+	if err := Enable("detector-scan=yield", 1); err != nil {
+		t.Fatal(err)
+	}
+	Inject(DetectorScan)
+	if r := Report(); !strings.Contains(r, "detector-scan=1/1") {
+		t.Fatalf("report %q missing fired point", r)
+	}
+}
+
+// BenchmarkEnabledDisarmed is the acceptance benchmark for the disabled
+// path: one inlined atomic load, no call, no branch misprediction fodder.
+func BenchmarkEnabledDisarmed(b *testing.B) {
+	Reset()
+	for i := 0; i < b.N; i++ {
+		if Enabled() {
+			b.Fatal("armed during benchmark")
+		}
+	}
+}
+
+// BenchmarkInjectDisarmed measures the full Inject call when disarmed,
+// the cost paid by unguarded sites.
+func BenchmarkInjectDisarmed(b *testing.B) {
+	Reset()
+	for i := 0; i < b.N; i++ {
+		Inject(TryLockCAS)
+	}
+}

@@ -46,6 +46,10 @@ type Options = core.Options
 // Stats is a domain counter snapshot. See core.Stats.
 type Stats = core.Stats
 
+// StallInfo describes a watermark stall reported through Options.OnStall
+// or Domain.Stalled. See core.StallInfo.
+type StallInfo = core.StallInfo
+
 // GCMode selects the garbage-collection strategy.
 type GCMode = core.GCMode
 
