@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-hotpath figures examples torture loc
+.PHONY: all build vet test race bench bench-hotpath figures examples torture loc serve loadtest bench-server
 
 all: build vet test
 
@@ -51,6 +51,20 @@ torture:
 	$(GO) run -race ./cmd/mvtorture -duration 10s -config tiny-log \
 		-faults 'readlock-pin=panic/211,trylock-cas=panic/193,commit-publish=panic/197,alloc-capacity=panic/41,writeback=panic/19,detector-scan=panic/11' \
 		-panicfrac 0.05 -stallpin 25ms
+
+# Run the KV daemon in the foreground (ctrl-C drains gracefully).
+serve:
+	$(GO) run ./cmd/mvkvd -addr 127.0.0.1:6399 -store mvrlu-kv
+
+# Closed-loop load against a running `make serve`.
+loadtest:
+	$(GO) run ./cmd/mvkvload -addr 127.0.0.1:6399 -conns 8 -pipeline 16 \
+		-readpct 90 -duration 5s
+
+# Regenerate BENCH_server.json: daemon + load generator at 1/8/64
+# connections, mvrlu-kv vs vanilla.
+bench-server:
+	./scripts/bench_server.sh
 
 loc:
 	@find . -name '*.go' | xargs wc -l | tail -1

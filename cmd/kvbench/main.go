@@ -27,6 +27,8 @@ func main() {
 		slots    = flag.Int("slots", kvstore.DefaultSlots, "slot count")
 		buckets  = flag.Int("buckets", kvstore.DefaultBucketsPerSlot, "buckets per slot")
 		duration = flag.Duration("duration", 200*time.Millisecond, "measurement duration per cell")
+		only     = flag.String("builds", strings.Join(kvstore.Names(), ","),
+			"comma-separated store builds to run (any of: "+strings.Join(kvstore.Names(), ", ")+")")
 	)
 	flag.Parse()
 
@@ -40,7 +42,23 @@ func main() {
 		th = append(th, n)
 	}
 
-	builds := kvstore.Names()
+	known := kvstore.Names()
+	var builds []string
+	for _, p := range strings.Split(*only, ",") {
+		name := strings.TrimSpace(p)
+		ok := false
+		for _, k := range known {
+			if name == k {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown build %q (have: %s)\n", name, strings.Join(known, ", "))
+			os.Exit(1)
+		}
+		builds = append(builds, name)
+	}
 	for _, u := range []float64{0.02, 0.20} {
 		tab := bench.NewTable(
 			fmt.Sprintf("Figure 10: cache DB, %d records × %dB, %.0f%% update (ops/µs)",

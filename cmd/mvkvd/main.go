@@ -1,0 +1,79 @@
+// mvkvd is the MV-RLU KV daemon: it serves one kvstore build (mvrlu-kv
+// by default) over a minimal RESP2 protocol, multiplexing connections
+// onto a bounded pool of engine thread handles. See internal/server for
+// the protocol and the pooling/drain design, and DESIGN.md §7.
+//
+// Usage:
+//
+//	go run ./cmd/mvkvd -addr 127.0.0.1:6399 -store mvrlu-kv -handles 4
+//
+// Talk to it with cmd/mvkvload, redis-cli, or plain telnet (inline
+// commands are accepted): GET SET DEL EXISTS MGET MSET SCAN PING INFO
+// SHUTDOWN. SIGINT/SIGTERM and the SHUTDOWN command trigger the same
+// ordered graceful drain.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"mvrlu/internal/kvstore"
+	"mvrlu/internal/server"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", "127.0.0.1:6399", "TCP listen address")
+		store = flag.String("store", "mvrlu-kv",
+			"store build: "+strings.Join(kvstore.Names(), ", "))
+		slots    = flag.Int("slots", kvstore.DefaultSlots, "slot count")
+		buckets  = flag.Int("buckets", kvstore.DefaultBucketsPerSlot, "buckets per slot")
+		handles  = flag.Int("handles", 0, "session-pool size (0 = GOMAXPROCS)")
+		maxConns = flag.Int("max-conns", 1024, "max concurrent connections (accept backpressure past it)")
+		readTO   = flag.Duration("read-timeout", 5*time.Second, "per-command read timeout inside a batch")
+		writeTO  = flag.Duration("write-timeout", 5*time.Second, "reply flush timeout")
+		idleTO   = flag.Duration("idle-timeout", 5*time.Minute, "idle connection timeout")
+		drainTO  = flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown drain budget")
+	)
+	flag.Parse()
+
+	st, err := kvstore.New(*store, *slots, *buckets)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	srv := server.New(st, server.Config{
+		Addr:         *addr,
+		Handles:      *handles,
+		MaxConns:     *maxConns,
+		ReadTimeout:  *readTO,
+		WriteTimeout: *writeTO,
+		IdleTimeout:  *idleTO,
+		DrainTimeout: *drainTO,
+		OwnsStore:    true,
+	})
+	if err := srv.Listen(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	log.Printf("mvkvd: %s build listening on %s", st.Name(), srv.Addr())
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		sig := <-sigs
+		log.Printf("mvkvd: %s, draining", sig)
+		srv.Shutdown()
+	}()
+
+	if err := srv.Serve(); err != nil {
+		log.Fatalf("mvkvd: %v", err)
+	}
+	log.Printf("mvkvd: drained, store closed, exiting")
+}

@@ -1,0 +1,263 @@
+// mvkvload is a closed-loop load generator for mvkvd: each connection
+// keeps -pipeline commands in flight (write burst, flush, read the
+// replies back), which is both the throughput shape the server's
+// batch-scoped session checkout is built for and a latency probe —
+// batch round-trip times are recorded per burst.
+//
+// Usage:
+//
+//	go run ./cmd/mvkvload -addr 127.0.0.1:6399 -conns 64 -pipeline 16 \
+//	    -readpct 90 -duration 10s -json BENCH_server_run.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mvrlu/internal/server"
+)
+
+type result struct {
+	Addr      string  `json:"addr"`
+	Build     string  `json:"build"`
+	Conns     int     `json:"conns"`
+	Pipeline  int     `json:"pipeline"`
+	ReadPct   int     `json:"readpct"`
+	Keys      int     `json:"keys"`
+	ValueSize int     `json:"value_size"`
+	DurationS float64 `json:"duration_s"`
+	Ops       uint64  `json:"ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	Batches   int     `json:"batches"`
+	P50us     float64 `json:"batch_p50_us"`
+	P95us     float64 `json:"batch_p95_us"`
+	P99us     float64 `json:"batch_p99_us"`
+	Errors    uint64  `json:"errors"`
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:6399", "server address")
+		conns    = flag.Int("conns", 8, "concurrent connections")
+		pipeline = flag.Int("pipeline", 16, "commands in flight per connection")
+		readpct  = flag.Int("readpct", 90, "percentage of GETs (rest are SETs)")
+		duration = flag.Duration("duration", 5*time.Second, "measurement duration")
+		keys     = flag.Int("keys", 10000, "keyspace size")
+		valsize  = flag.Int("valsize", 64, "value payload bytes")
+		preload  = flag.Bool("preload", true, "MSET the keyspace before measuring")
+		jsonOut  = flag.String("json", "", "write the result as JSON to this file")
+		shutdown = flag.Bool("shutdown", false, "send SHUTDOWN to the server when done")
+	)
+	flag.Parse()
+
+	build, err := probeBuild(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mvkvload: cannot reach %s: %v\n", *addr, err)
+		os.Exit(1)
+	}
+	if *preload {
+		if err := doPreload(*addr, *keys, *valsize); err != nil {
+			fmt.Fprintf(os.Stderr, "mvkvload: preload: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	var (
+		totalOps  atomic.Uint64
+		totalErrs atomic.Uint64
+		wg        sync.WaitGroup
+		lats      = make([][]int64, *conns)
+		stop      = time.Now().Add(*duration)
+		val       = strings.Repeat("v", *valsize)
+	)
+	start := time.Now()
+	for i := 0; i < *conns; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			nc, err := net.Dial("tcp", *addr)
+			if err != nil {
+				totalErrs.Add(1)
+				return
+			}
+			defer nc.Close()
+			br := bufio.NewReaderSize(nc, 64<<10)
+			bw := bufio.NewWriterSize(nc, 64<<10)
+			rng := rand.New(rand.NewSource(int64(id)*2654435761 + 1))
+			for time.Now().Before(stop) {
+				t0 := time.Now()
+				for j := 0; j < *pipeline; j++ {
+					k := fmt.Sprintf("key%08d", rng.Intn(*keys))
+					if rng.Intn(100) < *readpct {
+						server.WriteCommandStrings(bw, "GET", k)
+					} else {
+						server.WriteCommandStrings(bw, "SET", k, val)
+					}
+				}
+				if err := bw.Flush(); err != nil {
+					totalErrs.Add(1)
+					return
+				}
+				bad := false
+				for j := 0; j < *pipeline; j++ {
+					rep, err := server.ReadReply(br)
+					if err != nil {
+						totalErrs.Add(1)
+						return
+					}
+					if rep.IsError() {
+						bad = true
+					}
+				}
+				if bad {
+					totalErrs.Add(1)
+				}
+				lats[id] = append(lats[id], time.Since(t0).Nanoseconds())
+				totalOps.Add(uint64(*pipeline))
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []int64
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	res := result{
+		Addr:      *addr,
+		Build:     build,
+		Conns:     *conns,
+		Pipeline:  *pipeline,
+		ReadPct:   *readpct,
+		Keys:      *keys,
+		ValueSize: *valsize,
+		DurationS: elapsed.Seconds(),
+		Ops:       totalOps.Load(),
+		OpsPerSec: float64(totalOps.Load()) / elapsed.Seconds(),
+		Batches:   len(all),
+		P50us:     pctile(all, 0.50),
+		P95us:     pctile(all, 0.95),
+		P99us:     pctile(all, 0.99),
+		Errors:    totalErrs.Load(),
+	}
+	fmt.Printf("%s conns=%d pipeline=%d read=%d%%: %.0f ops/s, batch p50=%.0fµs p95=%.0fµs p99=%.0fµs (%d ops, %d errors)\n",
+		res.Build, res.Conns, res.Pipeline, res.ReadPct,
+		res.OpsPerSec, res.P50us, res.P95us, res.P99us, res.Ops, res.Errors)
+	if *jsonOut != "" {
+		data, _ := json.MarshalIndent(res, "", "  ")
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "mvkvload: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *shutdown {
+		if err := sendShutdown(*addr); err != nil {
+			fmt.Fprintf(os.Stderr, "mvkvload: shutdown: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if res.Errors > 0 {
+		os.Exit(1)
+	}
+}
+
+// pctile returns the p-quantile of sorted ns latencies, in µs.
+func pctile(sorted []int64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return float64(sorted[i]) / 1e3
+}
+
+// probeBuild PINGs the server and reads the build name from INFO.
+func probeBuild(addr string) (string, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	defer nc.Close()
+	br, bw := bufio.NewReader(nc), bufio.NewWriter(nc)
+	server.WriteCommandStrings(bw, "INFO")
+	if err := bw.Flush(); err != nil {
+		return "", err
+	}
+	rep, err := server.ReadReply(br)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(rep.Str, "\n") {
+		if b, ok := strings.CutPrefix(line, "build:"); ok {
+			return b, nil
+		}
+	}
+	return "unknown", nil
+}
+
+// doPreload MSETs the keyspace in batches so measurement starts against
+// a populated store.
+func doPreload(addr string, keys, valsize int) error {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer nc.Close()
+	br := bufio.NewReaderSize(nc, 64<<10)
+	bw := bufio.NewWriterSize(nc, 1<<20)
+	val := strings.Repeat("v", valsize)
+	const batch = 512
+	for i := 0; i < keys; i += batch {
+		args := []string{"MSET"}
+		for j := i; j < i+batch && j < keys; j++ {
+			args = append(args, fmt.Sprintf("key%08d", j), val)
+		}
+		server.WriteCommandStrings(bw, args...)
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		rep, err := server.ReadReply(br)
+		if err != nil {
+			return err
+		}
+		if rep.IsError() {
+			return fmt.Errorf("MSET: %s", rep.Str)
+		}
+	}
+	return nil
+}
+
+// sendShutdown issues SHUTDOWN and waits for the server to close the
+// connection (the drain completing).
+func sendShutdown(addr string) error {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer nc.Close()
+	br, bw := bufio.NewReader(nc), bufio.NewWriter(nc)
+	server.WriteCommandStrings(bw, "SHUTDOWN")
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	rep, err := server.ReadReply(br)
+	if err != nil {
+		return err
+	}
+	if rep.IsError() {
+		return fmt.Errorf("%s", rep.Str)
+	}
+	server.ReadReply(br) // blocks until the server closes the conn
+	return nil
+}

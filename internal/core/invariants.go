@@ -56,6 +56,29 @@ func (d *Domain[T]) CheckObject(o *Object[T]) error {
 	return nil
 }
 
+// ChainLen returns the number of committed versions chained on o down to
+// the reclamation watermark. The walk deliberately stops at the first
+// version whose commit timestamp is below the watermark: everything
+// older is superseded below the watermark too, hence reclaimable — its
+// log slot may already have been reused, so its older pointer is
+// untrustworthy (readers never walk there either; Lemma 1 stops them at
+// the first visible version). Like CheckObject it must only be called
+// while the caller can rule out concurrent commits and concurrent
+// reclamation of o's versions (quiescent writers, and no
+// single-collector detector): it is a diagnostic for tests and tools
+// that measure how far reclamation lags a pinned watermark.
+func (d *Domain[T]) ChainLen(o *Object[T]) int {
+	w := d.watermark.Load()
+	n := 0
+	for v := o.copy.Load(); v != nil; v = v.older {
+		n++
+		if v.commitTS.Load() < w {
+			break
+		}
+	}
+	return n
+}
+
 // Unregister removes the thread from the domain's watermark scan. The
 // thread must be outside any critical section; the handle is unusable
 // afterwards. Versions still in the departed thread's log stay valid —

@@ -1,7 +1,9 @@
 package kvstore
 
 import (
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"mvrlu/internal/core"
 )
@@ -18,9 +20,10 @@ type kvNode struct {
 // per-slot lock for a fair comparison with the RLU port, exactly as §6.4
 // describes.
 type MVRLUStore struct {
-	d       *core.Domain[kvNode]
-	slots   []mvSlot
-	buckets int
+	d        *core.Domain[kvNode]
+	slots    []mvSlot
+	buckets  int
+	sessions atomic.Int64
 }
 
 type mvSlot struct {
@@ -56,13 +59,83 @@ func (s *MVRLUStore) Stats() core.Stats { return s.d.Stats() }
 
 // Session implements Store.
 func (s *MVRLUStore) Session() Session {
+	s.sessions.Add(1)
 	return &mvrluKVSession{s: s, h: s.d.Register()}
+}
+
+// NumSessions implements Store.
+func (s *MVRLUStore) NumSessions() int { return int(s.sessions.Load()) }
+
+// Stalled exposes the domain's active watermark stall, if any: the
+// engine-level diagnosis (which thread pins reclamation, since when)
+// that the server layer surfaces over INFO.
+func (s *MVRLUStore) Stalled() (core.StallInfo, bool) { return s.d.Stalled() }
+
+// Watermark and Now expose the domain clock so callers can report the
+// watermark's age (now − watermark, in clock units) remotely.
+func (s *MVRLUStore) Watermark() uint64 { return s.d.Watermark() }
+
+// Now reads the domain clock.
+func (s *MVRLUStore) Now() uint64 { return s.d.Now() }
+
+// ChainMetrics walks every tree at quiescence (no concurrent writers, no
+// single-collector detector) and reports the number of records, the total
+// committed versions chained on them above the reclamation watermark, and
+// the longest such chain. It is the observable for reclamation lag: a
+// pinned snapshot reader (long scan) holds the watermark down, so
+// maxChain grows with writer churn while the pin lasts, and falls back
+// once the pin is released and per-thread GC writes chains back. Measure
+// while the pin is still held — once the watermark advances, versions
+// below it no longer count (their slots may already be reused).
+func (s *MVRLUStore) ChainMetrics() (records, versions, maxChain int) {
+	sess := s.Session().(*mvrluKVSession)
+	defer sess.Close()
+	var objs []*core.Object[kvNode]
+	sess.h.ReadLock()
+	for si := range s.slots {
+		for _, root := range s.slots[si].roots {
+			objs = collectObjs(sess.h, sess.h.Deref(root).left, objs)
+		}
+	}
+	sess.h.ReadUnlock()
+	for _, o := range objs {
+		n := s.d.ChainLen(o)
+		records++
+		versions += n
+		if n > maxChain {
+			maxChain = n
+		}
+	}
+	return records, versions, maxChain
+}
+
+func collectObjs(h *core.Thread[kvNode], o *core.Object[kvNode], out []*core.Object[kvNode]) []*core.Object[kvNode] {
+	if o == nil {
+		return out
+	}
+	d := h.Deref(o)
+	out = append(out, o)
+	out = collectObjs(h, d.left, out)
+	return collectObjs(h, d.right, out)
 }
 
 type mvrluKVSession struct {
 	s *MVRLUStore
 	h *core.Thread[kvNode]
 }
+
+// Close implements Session: the engine thread is unregistered, removing
+// it from the watermark scan so a retired pool handle cannot hold
+// reclamation back.
+func (k *mvrluKVSession) Close() {
+	k.h.Unregister()
+	k.s.sessions.Add(-1)
+}
+
+// ThreadID exposes the engine registry id backing this session — the id
+// the stall detector reports when this session's snapshot pins the
+// watermark.
+func (k *mvrluKVSession) ThreadID() int { return k.h.ID() }
 
 func (k *mvrluKVSession) locate(key string) (*mvSlot, *core.Object[kvNode]) {
 	h := hashString(key)
@@ -210,6 +283,17 @@ func (k *mvrluKVSession) ForEach(fn func(key, value string) bool) {
 			}
 		}
 	}
+}
+
+// ForEachPrefix implements Session: a filtered snapshot scan in one
+// MV-RLU critical section, concurrent with writers.
+func (k *mvrluKVSession) ForEachPrefix(prefix string, fn func(key, value string) bool) {
+	k.ForEach(func(key, value string) bool {
+		if !strings.HasPrefix(key, prefix) {
+			return true
+		}
+		return fn(key, value)
+	})
 }
 
 func (k *mvrluKVSession) walk(o *core.Object[kvNode], fn func(key, value string) bool) bool {

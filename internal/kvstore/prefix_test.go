@@ -1,0 +1,85 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestForEachPrefix checks the prefix scan agrees across the three builds:
+// only prefixed keys are visited, the empty prefix visits everything, and
+// early termination is honored.
+func TestForEachPrefix(t *testing.T) {
+	for _, s := range stores(t) {
+		t.Run(s.Name(), func(t *testing.T) {
+			defer s.Close()
+			sess := s.Session()
+			defer sess.Close()
+			want := map[string]string{}
+			for i := 0; i < 64; i++ {
+				k := fmt.Sprintf("user:%03d", i)
+				sess.Set(k, fmt.Sprint(i))
+				want[k] = fmt.Sprint(i)
+			}
+			for i := 0; i < 32; i++ {
+				sess.Set(fmt.Sprintf("job:%03d", i), "x")
+			}
+
+			got := map[string]string{}
+			sess.ForEachPrefix("user:", func(k, v string) bool {
+				got[k] = v
+				return true
+			})
+			if len(got) != len(want) {
+				t.Fatalf("prefix scan saw %d keys, want %d", len(got), len(want))
+			}
+			for k, v := range want {
+				if got[k] != v {
+					t.Fatalf("prefix scan: %s = %q, want %q", k, got[k], v)
+				}
+			}
+
+			all := 0
+			sess.ForEachPrefix("", func(k, v string) bool {
+				all++
+				return true
+			})
+			if all != 96 {
+				t.Fatalf("empty prefix visited %d records, want 96", all)
+			}
+
+			n := 0
+			sess.ForEachPrefix("user:", func(k, v string) bool {
+				n++
+				return n < 10
+			})
+			if n != 10 {
+				t.Fatalf("early stop visited %d, want 10", n)
+			}
+		})
+	}
+}
+
+// TestNumSessions checks the session-count accessor agrees across builds
+// through the open/Close lifecycle.
+func TestNumSessions(t *testing.T) {
+	for _, s := range stores(t) {
+		t.Run(s.Name(), func(t *testing.T) {
+			defer s.Close()
+			if n := s.NumSessions(); n != 0 {
+				t.Fatalf("fresh store has %d sessions", n)
+			}
+			a, b := s.Session(), s.Session()
+			if n := s.NumSessions(); n != 2 {
+				t.Fatalf("after two Session(): %d", n)
+			}
+			a.Close()
+			if n := s.NumSessions(); n != 1 {
+				t.Fatalf("after one Close: %d", n)
+			}
+			b.Close()
+			if n := s.NumSessions(); n != 0 {
+				t.Fatalf("after both Close: %d", n)
+			}
+		})
+	}
+}

@@ -1,7 +1,9 @@
 package kvstore
 
 import (
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"mvrlu/internal/rlu"
 )
@@ -17,9 +19,10 @@ type rkvNode struct {
 // §6.4 reuses: no global readers-writer lock, per-slot locks for writers.
 // MVRLUStore is its drop-in replacement.
 type RLUStore struct {
-	d       *rlu.Domain[rkvNode]
-	slots   []rluSlot
-	buckets int
+	d        *rlu.Domain[rkvNode]
+	slots    []rluSlot
+	buckets  int
+	sessions atomic.Int64
 }
 
 type rluSlot struct {
@@ -55,13 +58,22 @@ func (s *RLUStore) Stats() rlu.Stats { return s.d.Stats() }
 
 // Session implements Store.
 func (s *RLUStore) Session() Session {
+	s.sessions.Add(1)
 	return &rluKVSession{s: s, h: s.d.Register()}
 }
+
+// NumSessions implements Store.
+func (s *RLUStore) NumSessions() int { return int(s.sessions.Load()) }
 
 type rluKVSession struct {
 	s *RLUStore
 	h *rlu.Thread[rkvNode]
 }
+
+// Close implements Session. The RLU registry has no thread removal (the
+// RLU design assumes a fixed thread set), so the handle merely stops
+// being used; only the session count is released.
+func (k *rluKVSession) Close() { k.s.sessions.Add(-1) }
 
 func (k *rluKVSession) locate(key string) (*rluSlot, *rlu.Object[rkvNode]) {
 	h := hashString(key)
@@ -204,6 +216,17 @@ func (k *rluKVSession) ForEach(fn func(key, value string) bool) {
 			}
 		}
 	}
+}
+
+// ForEachPrefix implements Session: a filtered snapshot scan in one RLU
+// critical section.
+func (k *rluKVSession) ForEachPrefix(prefix string, fn func(key, value string) bool) {
+	k.ForEach(func(key, value string) bool {
+		if !strings.HasPrefix(key, prefix) {
+			return true
+		}
+		return fn(key, value)
+	})
 }
 
 func (k *rluKVSession) walk(o *rlu.Object[rkvNode], fn func(key, value string) bool) bool {

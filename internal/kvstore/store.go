@@ -12,7 +12,17 @@
 //   - mvrlu: the same port over MV-RLU, a drop-in replacement for RLU.
 package kvstore
 
-// Session is a per-goroutine handle to the store.
+// Session is a handle to the store.
+//
+// Concurrency contract: a Session may be used by at most one goroutine
+// at a time. The mvrlu and rlu builds back each Session with a
+// registered engine thread handle whose fast-path state is plain
+// (non-atomic) owner-only data; concurrent calls on one Session are a
+// data race. Handing a Session between goroutines is allowed when the
+// hand-off establishes a happens-before edge (channel send, mutex) —
+// exactly the engine's Thread contract — which is what makes a bounded
+// Session pool (connections checked out per command batch, as
+// internal/server does) legal without per-connection registration.
 type Session interface {
 	// Get returns the value for key.
 	Get(key string) (string, bool)
@@ -27,6 +37,23 @@ type Session interface {
 	// their commits wait for the scan in rlu_synchronize; the vanilla
 	// build holds the global read lock, blocking writers outright.
 	ForEach(fn func(key, value string) bool)
+	// ForEachPrefix is ForEach restricted to keys with the given
+	// prefix, in the same single-snapshot critical section. The hashed
+	// slot/bucket layout means a prefix scan still visits every tree
+	// (it is a filter, not an index seek); a long prefix scan is the
+	// canonical snapshot-pinning reader the multi-version GC must ride
+	// out. An empty prefix scans everything.
+	ForEachPrefix(prefix string, fn func(key, value string) bool)
+	// Close releases the handle. The mvrlu build unregisters its engine
+	// thread (removing it from the watermark scan); the rlu build's
+	// registry has no removal, and the vanilla build holds no
+	// per-session state, so both are no-ops there. The Session is
+	// unusable afterwards. Close must not be called while another
+	// goroutine is using the Session, and is not required for program
+	// correctness — dropping an mvrlu Session without Close is flagged
+	// by the engine's leak guard (Stats.HandleLeaks) instead of
+	// corrupting reclamation.
+	Close()
 }
 
 // Store is a cache database build.
@@ -35,6 +62,11 @@ type Store interface {
 	Name() string
 	// Session registers the calling goroutine.
 	Session() Session
+	// NumSessions reports how many sessions are currently open (created
+	// and not yet Closed). Pools size themselves against it and tests
+	// audit handle lifecycles with it; builds whose sessions hold no
+	// engine handle still count so the builds agree.
+	NumSessions() int
 	// Close stops background machinery.
 	Close()
 }

@@ -1,6 +1,10 @@
 package kvstore
 
-import "sync"
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+)
 
 // vNode is a plain BST node (stock build).
 type vNode struct {
@@ -14,9 +18,10 @@ type vNode struct {
 // mutexes for writers — the configuration whose global rwlock the paper
 // identifies as the known scalability bottleneck.
 type Vanilla struct {
-	global  sync.RWMutex
-	slots   []vanillaSlot
-	buckets int
+	global   sync.RWMutex
+	slots    []vanillaSlot
+	buckets  int
+	sessions atomic.Int64
 }
 
 type vanillaSlot struct {
@@ -41,9 +46,18 @@ func (v *Vanilla) Name() string { return "vanilla" }
 func (v *Vanilla) Close() {}
 
 // Session implements Store.
-func (v *Vanilla) Session() Session { return vanillaSession{v} }
+func (v *Vanilla) Session() Session {
+	v.sessions.Add(1)
+	return vanillaSession{v}
+}
+
+// NumSessions implements Store.
+func (v *Vanilla) NumSessions() int { return int(v.sessions.Load()) }
 
 type vanillaSession struct{ v *Vanilla }
+
+// Close implements Session. The stock build holds no per-session state.
+func (s vanillaSession) Close() { s.v.sessions.Add(-1) }
 
 func (s vanillaSession) locate(key string) (*vanillaSlot, int) {
 	h := hashString(key)
@@ -124,6 +138,17 @@ func (s vanillaSession) ForEach(fn func(key, value string) bool) {
 			}
 		}
 	}
+}
+
+// ForEachPrefix implements Session: a filtered scan under the global
+// read lock.
+func (s vanillaSession) ForEachPrefix(prefix string, fn func(key, value string) bool) {
+	s.ForEach(func(key, value string) bool {
+		if !strings.HasPrefix(key, prefix) {
+			return true
+		}
+		return fn(key, value)
+	})
 }
 
 func walkVanilla(n *vNode, fn func(key, value string) bool) bool {

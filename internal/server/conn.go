@@ -1,0 +1,273 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+
+	"mvrlu/internal/kvstore"
+)
+
+// conn is one client connection: a goroutine, two buffers, and no store
+// session of its own — sessions are checked out per batch.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+	br  *bufio.Reader
+	bw  *bufio.Writer
+}
+
+func newConn(s *Server, nc net.Conn) *conn {
+	return &conn{
+		srv: s,
+		nc:  nc,
+		br:  bufio.NewReaderSize(nc, 16<<10),
+		bw:  bufio.NewWriterSize(nc, 16<<10),
+	}
+}
+
+// nudge unblocks a connection parked in a blocking read so it can
+// observe the shutting flag; an in-flight batch is unaffected (it is
+// executing, not reading).
+func (c *conn) nudge() {
+	c.nc.SetReadDeadline(time.Now())
+}
+
+// serve is the connection loop. Panics anywhere below — a codec bug, a
+// store bug the engine's own panic recovery re-raised — are isolated
+// here: counted, reported to the client best-effort, and the connection
+// closed, never the server. The engine side is already safe (Execute
+// rolls a panicking write set back), so the pooled session a panicking
+// batch held remains usable and is returned by runBatch's defer.
+func (c *conn) serve() {
+	defer c.srv.connWG.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			c.srv.panics.Add(1)
+			writeErrorReply(c.bw, fmt.Sprintf("ERR internal error: %v", r))
+		}
+		c.bw.Flush()
+		c.nc.Close()
+		c.srv.removeConn(c)
+		<-c.srv.sem
+	}()
+	for !c.srv.shutting.Load() {
+		c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.IdleTimeout))
+		args, err := ReadCommand(c.br)
+		if err != nil {
+			c.reportReadError(err)
+			return
+		}
+		if len(args) == 0 {
+			continue // blank inline line
+		}
+		if !c.runBatch(args) {
+			return
+		}
+		if !c.flush() {
+			return
+		}
+	}
+}
+
+// runBatch executes one pipelined batch: the command already read plus
+// every further command the client has in flight, on a single pooled
+// session. The session is held across the whole batch (one checkout per
+// burst, not per command) and returned before the connection blocks on
+// the socket again, so a thousand mostly idle connections consume zero
+// engine handles. Reports false when the connection must close.
+func (c *conn) runBatch(first [][]byte) (keep bool) {
+	ps := c.srv.pool.get()
+	defer c.srv.pool.put(ps)
+	keep = c.dispatch(ps, first)
+	for keep && c.br.Buffered() > 0 && !c.srv.shutting.Load() {
+		c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.ReadTimeout))
+		args, err := ReadCommand(c.br)
+		if err != nil {
+			c.reportReadError(err)
+			return false
+		}
+		if len(args) == 0 {
+			continue
+		}
+		keep = c.dispatch(ps, args)
+	}
+	return keep
+}
+
+// flush pushes buffered replies under the write timeout.
+func (c *conn) flush() bool {
+	c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout))
+	return c.bw.Flush() == nil
+}
+
+// reportReadError answers a protocol error before closing; timeouts and
+// EOF close silently.
+func (c *conn) reportReadError(err error) {
+	if errors.Is(err, errProtocol) {
+		writeErrorReply(c.bw, "ERR "+err.Error())
+	}
+}
+
+// dispatch executes one command against the batch's session and writes
+// the reply into the connection's buffer. It reports false when the
+// connection must close (sticky write error, QUIT, SHUTDOWN). Command
+// errors (unknown command, arity) are RESP error replies, not
+// connection errors.
+func (c *conn) dispatch(ps *pooledSession, args [][]byte) bool {
+	c.srv.commands.Add(1)
+	ps.commands.Add(1)
+	name := strings.ToUpper(string(args[0]))
+	ps.lastCmd.Store(&name)
+	sess := ps.sess
+	switch name {
+	case "PING":
+		if len(args) > 1 {
+			return writeBulk(c.bw, args[1]) == nil
+		}
+		return writeSimple(c.bw, "PONG") == nil
+
+	case "GET":
+		if len(args) != 2 {
+			return c.arityErr(name)
+		}
+		if v, ok := sess.Get(string(args[1])); ok {
+			return writeBulkString(c.bw, v) == nil
+		}
+		return writeNull(c.bw) == nil
+
+	case "SET":
+		if len(args) != 3 {
+			return c.arityErr(name)
+		}
+		sess.Set(string(args[1]), string(args[2]))
+		return writeSimple(c.bw, "OK") == nil
+
+	case "DEL":
+		if len(args) < 2 {
+			return c.arityErr(name)
+		}
+		n := int64(0)
+		for _, k := range args[1:] {
+			if sess.Remove(string(k)) {
+				n++
+			}
+		}
+		return writeInt(c.bw, n) == nil
+
+	case "EXISTS":
+		if len(args) < 2 {
+			return c.arityErr(name)
+		}
+		n := int64(0)
+		for _, k := range args[1:] {
+			if _, ok := sess.Get(string(k)); ok {
+				n++
+			}
+		}
+		return writeInt(c.bw, n) == nil
+
+	case "MGET":
+		if len(args) < 2 {
+			return c.arityErr(name)
+		}
+		if writeArrayHeader(c.bw, len(args)-1) != nil {
+			return false
+		}
+		for _, k := range args[1:] {
+			if v, ok := sess.Get(string(k)); ok {
+				if writeBulkString(c.bw, v) != nil {
+					return false
+				}
+			} else if writeNull(c.bw) != nil {
+				return false
+			}
+		}
+		return true
+
+	case "MSET":
+		if len(args) < 3 || len(args)%2 != 1 {
+			return c.arityErr(name)
+		}
+		for i := 1; i < len(args); i += 2 {
+			sess.Set(string(args[i]), string(args[i+1]))
+		}
+		return writeSimple(c.bw, "OK") == nil
+
+	case "SCAN":
+		return c.cmdScan(sess, args)
+
+	case "INFO":
+		// INFO → race-free sections only; INFO ALL → also the full
+		// engine Stats behind a bounded pool quiesce (see infoText).
+		full := len(args) > 1 && strings.EqualFold(string(args[1]), "ALL")
+		return writeBulkString(c.bw, c.srv.infoText(full)) == nil
+
+	case "QUIT":
+		writeSimple(c.bw, "OK")
+		return false
+
+	case "SHUTDOWN":
+		// Acknowledge, then drain the whole server. The reply must be
+		// flushed before this connection participates in the drain.
+		writeSimple(c.bw, "OK")
+		c.flush()
+		go c.srv.Shutdown()
+		return false
+	}
+	return writeErrorReply(c.bw,
+		fmt.Sprintf("ERR unknown command '%s'", strings.ToLower(name))) == nil
+}
+
+// cmdScan implements SCAN <prefix> [LIMIT n]: a consistent snapshot of
+// every record whose key starts with prefix, as a flat key,value,...
+// array. This deliberately diverges from Redis's cursor SCAN — the
+// point here is the opposite of Redis's: ONE snapshot critical section
+// over the whole keyspace, the long-lived reader that pins old versions
+// and exercises the multi-version GC. Results are collected inside the
+// snapshot and written after it, so the pin lasts the walk, not the
+// client's drain of the reply.
+func (c *conn) cmdScan(sess kvstore.Session, args [][]byte) bool {
+	if len(args) != 2 && len(args) != 4 {
+		return c.arityErr("SCAN")
+	}
+	limit := -1
+	if len(args) == 4 {
+		if !strings.EqualFold(string(args[2]), "LIMIT") {
+			return writeErrorReply(c.bw, "ERR syntax error") == nil
+		}
+		n, err := strconv.Atoi(string(args[3]))
+		if err != nil || n < 0 {
+			return writeErrorReply(c.bw, "ERR invalid LIMIT") == nil
+		}
+		limit = n
+	}
+	type kv struct{ k, v string }
+	var out []kv
+	sess.ForEachPrefix(string(args[1]), func(k, v string) bool {
+		if limit >= 0 && len(out) >= limit {
+			return false
+		}
+		out = append(out, kv{k, v})
+		return true
+	})
+	if writeArrayHeader(c.bw, 2*len(out)) != nil {
+		return false
+	}
+	for _, p := range out {
+		if writeBulkString(c.bw, p.k) != nil || writeBulkString(c.bw, p.v) != nil {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *conn) arityErr(name string) bool {
+	return writeErrorReply(c.bw,
+		fmt.Sprintf("ERR wrong number of arguments for '%s' command",
+			strings.ToLower(name))) == nil
+}

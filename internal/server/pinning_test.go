@@ -1,0 +1,198 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mvrlu/internal/core"
+	"mvrlu/internal/kvstore"
+)
+
+// TestServerSlowReaderPinning is the server-level version of the paper's
+// central tension: one slow snapshot reader (a whole-keyspace SCAN) pins
+// the watermark while writers churn, so version chains grow; the stall
+// detector must name the session running the scan; and once the scan's
+// snapshot is released, writer-driven GC writes versions back and the
+// chains shrink again.
+func TestServerSlowReaderPinning(t *testing.T) {
+	// The SCAN's critical section is CPU-bound, so on a single-P
+	// schedule the detector goroutine only runs when the scan is
+	// preempted (~10ms slices) and its ticks cluster outside the pin.
+	// Widen GOMAXPROCS so the detector timeshares at OS granularity and
+	// reliably ticks while the pin is held.
+	old := runtime.GOMAXPROCS(0)
+	if old < 4 {
+		runtime.GOMAXPROCS(4)
+		defer runtime.GOMAXPROCS(old)
+	}
+
+	opts := core.DefaultOptions()
+	opts.LogSlots = 512
+	opts.DynamicLog = true // writers must not livelock behind the pin
+	opts.GPInterval = 200 * time.Microsecond
+	opts.StallThreshold = 1 // declare on the first flat-watermark tick
+	var stallEpisodes atomic.Int64
+	opts.OnStall = func(core.StallInfo) { stallEpisodes.Add(1) }
+	store := kvstore.NewMVRLUStore(8, 64, opts)
+	defer store.Close()
+
+	// Populate enough data that the SCAN's snapshot section lasts tens
+	// of milliseconds: long enough for the detector to tick inside the
+	// pin and for the test to stop the writers and measure chain depth
+	// before the pin is released. Fat values make the walk's collection
+	// phase do real memory work.
+	const seedKeys = 32000
+	seedVal := strings.Repeat("s", 512)
+	sess := store.Session()
+	for i := 0; i < seedKeys; i++ {
+		sess.Set(fmt.Sprintf("p:%06d", i), seedVal)
+	}
+	sess.Close()
+
+	srv, _ := startServer(t, store, Config{Handles: 2})
+	defer srv.Shutdown()
+
+	// Writer connections churn a small hot set so pinned-down version
+	// chains form quickly. Returns a stop function that waits for the
+	// writer to finish its in-flight batch, so after it returns the
+	// engine has no writers.
+	const hotKeys = 64
+	startWriter := func() (stopWriter func()) {
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			nc, err := net.Dial("tcp", srv.Addr().String())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer nc.Close()
+			br := bufio.NewReaderSize(nc, 64<<10)
+			w := bufio.NewWriterSize(nc, 64<<10)
+			seq := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				const depth = 64
+				for d := 0; d < depth; d++ {
+					k := fmt.Sprintf("hot:%03d", seq%hotKeys)
+					seq++
+					WriteCommandStrings(w, "SET", k, fmt.Sprintf("v%d", seq))
+				}
+				if w.Flush() != nil {
+					return
+				}
+				for d := 0; d < depth; d++ {
+					if _, err := ReadReply(br); err != nil {
+						return
+					}
+				}
+			}
+		}()
+		var once sync.Once
+		return func() { once.Do(func() { close(stop) }); wg.Wait() }
+	}
+
+	// attempt runs one full-keyspace SCAN under writer churn. A poller
+	// watches for the stall detector to blame the handle whose last
+	// command is SCAN; the moment it does, the writers are stopped and
+	// chain depth is measured while the scan still holds its snapshot
+	// pin (once released, the watermark advances and versions below it
+	// stop counting).
+	attempt := func() (named bool, maxDuring int) {
+		stopWriter := startWriter()
+		defer stopWriter()
+
+		nc, err := net.Dial("tcp", srv.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer nc.Close()
+		br := bufio.NewReaderSize(nc, 1<<20)
+		bw := bufio.NewWriter(nc)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			WriteCommandStrings(bw, "SCAN", "")
+			if err := bw.Flush(); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := ReadReply(br); err != nil {
+				t.Error(err)
+			}
+		}()
+		for {
+			select {
+			case <-done:
+				return false, 0
+			default:
+			}
+			si, ok := store.Stalled()
+			if !ok {
+				time.Sleep(100 * time.Microsecond)
+				continue
+			}
+			for _, ps := range srv.pool.all {
+				if ps.threadID == si.ThreadID && ps.inUse.Load() &&
+					*ps.lastCmd.Load() == "SCAN" {
+					// The engine's stall diagnosis and the server's
+					// handle bookkeeping agree on who is pinning.
+					// INFO must say the same, remotely visible.
+					info := srv.infoText(false)
+					if !strings.Contains(info, "stalled:1") ||
+						!strings.Contains(info, fmt.Sprintf("stall_thread_id:%d", si.ThreadID)) {
+						t.Errorf("INFO does not surface the stall:\n%s", info)
+					}
+					stopWriter()
+					_, _, maxDuring = store.ChainMetrics()
+					<-done
+					return true, maxDuring
+				}
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+
+	named, maxDuring := false, 0
+	for i := 0; i < 5 && !(named && maxDuring >= 2); i++ {
+		named, maxDuring = attempt()
+		t.Logf("attempt %d: stall named scanner=%v, maxChain during pin=%d (episodes=%d)",
+			i, named, maxDuring, stallEpisodes.Load())
+	}
+	if !named {
+		t.Fatalf("stall detector never named the SCAN session (episodes=%d)",
+			stallEpisodes.Load())
+	}
+	if maxDuring < 2 {
+		t.Fatalf("pinned scan built no chains (maxChain=%d); writer churn ineffective", maxDuring)
+	}
+
+	// Release phase: the pin is gone, so fresh churn on the same keys
+	// advances the watermark past the piled-up versions and
+	// capacity-triggered GC writes them back. Chain depth must fall.
+	maxAfter := maxDuring
+	for round := 0; round < 10 && maxAfter >= maxDuring; round++ {
+		stopWriter := startWriter()
+		time.Sleep(30 * time.Millisecond)
+		stopWriter()
+		_, _, maxAfter = store.ChainMetrics()
+	}
+	t.Logf("released: maxChain %d -> %d", maxDuring, maxAfter)
+	if maxAfter >= maxDuring {
+		t.Fatalf("version chains did not shrink after the scan ended: %d -> %d",
+			maxDuring, maxAfter)
+	}
+}

@@ -1,0 +1,112 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// ReplyKind tags a parsed RESP2 reply.
+type ReplyKind byte
+
+// Reply kinds, named after the RESP2 type prefixes.
+const (
+	SimpleReply ReplyKind = '+'
+	ErrorReply  ReplyKind = '-'
+	IntReply    ReplyKind = ':'
+	BulkReply   ReplyKind = '$'
+	ArrayReply  ReplyKind = '*'
+	NullReply   ReplyKind = '0' // null bulk or null array ($-1 / *-1)
+)
+
+// Reply is one parsed RESP2 reply — the client side of the protocol,
+// used by the load generator and the integration tests.
+type Reply struct {
+	Kind  ReplyKind
+	Str   string  // Simple, Error, Bulk payload
+	Int   int64   // Int payload
+	Elems []Reply // Array elements
+}
+
+// IsError reports whether the reply is a RESP error.
+func (r Reply) IsError() bool { return r.Kind == ErrorReply }
+
+// ReadReply parses one reply from the stream.
+func ReadReply(r *bufio.Reader) (Reply, error) {
+	b, err := r.ReadByte()
+	if err != nil {
+		return Reply{}, err
+	}
+	switch b {
+	case '+', '-':
+		line, err := readLine(r, maxInline)
+		if err != nil {
+			return Reply{}, err
+		}
+		return Reply{Kind: ReplyKind(b), Str: string(line)}, nil
+	case ':':
+		n, err := readInt(r)
+		if err != nil {
+			return Reply{}, err
+		}
+		return Reply{Kind: IntReply, Int: n}, nil
+	case '$':
+		n, err := readInt(r)
+		if err != nil {
+			return Reply{}, err
+		}
+		if n == -1 {
+			return Reply{Kind: NullReply}, nil
+		}
+		if n < 0 || n > MaxBulk {
+			return Reply{}, protoErrf("bulk length %d out of range", n)
+		}
+		buf := make([]byte, n+2)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return Reply{}, err
+		}
+		if buf[n] != '\r' || buf[n+1] != '\n' {
+			return Reply{}, protoErrf("bulk reply missing CRLF")
+		}
+		return Reply{Kind: BulkReply, Str: string(buf[:n])}, nil
+	case '*':
+		n, err := readInt(r)
+		if err != nil {
+			return Reply{}, err
+		}
+		if n == -1 {
+			return Reply{Kind: NullReply}, nil
+		}
+		if n < 0 || n > MaxArgs {
+			return Reply{}, protoErrf("array length %d out of range", n)
+		}
+		elems := make([]Reply, 0, n)
+		for i := int64(0); i < n; i++ {
+			e, err := ReadReply(r)
+			if err != nil {
+				return Reply{}, err
+			}
+			elems = append(elems, e)
+		}
+		return Reply{Kind: ArrayReply, Elems: elems}, nil
+	}
+	return Reply{}, protoErrf("unknown reply prefix %q", b)
+}
+
+func (r Reply) String() string {
+	switch r.Kind {
+	case SimpleReply:
+		return "+" + r.Str
+	case ErrorReply:
+		return "-" + r.Str
+	case IntReply:
+		return fmt.Sprintf(":%d", r.Int)
+	case BulkReply:
+		return fmt.Sprintf("$%q", r.Str)
+	case ArrayReply:
+		return fmt.Sprintf("*%d", len(r.Elems))
+	case NullReply:
+		return "(nil)"
+	}
+	return "(?)"
+}

@@ -1,0 +1,233 @@
+// Package server is the networked front-end over the kvstore builds: a
+// RESP2 (Redis serialization protocol, v2) listener that maps many
+// client connections onto a small bounded pool of store sessions.
+//
+// The design target is the paper's headline workload shape at the wire:
+// read-dominated traffic from many connections, pipelined bursts, and
+// the occasional long snapshot scan from a slow client — exactly the
+// long-lived reader that pins old versions and makes multi-version GC
+// interesting. Connections are cheap (a goroutine and two buffers);
+// engine thread handles are not free to register per connection, so a
+// connection checks a session out of the pool only for the duration of
+// one pipelined command batch and returns it before blocking on the
+// socket again (see pool.go for why that is safe under the Session
+// contract).
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Protocol limits. A decoder that trusts length prefixes is a memory
+// bomb; these caps bound what one command may make the server allocate.
+const (
+	// MaxArgs is the maximum number of arguments in one command array.
+	MaxArgs = 1 << 16
+	// MaxBulk is the maximum size of one bulk-string argument.
+	MaxBulk = 8 << 20
+	// maxInline bounds an inline (non-array) command line.
+	maxInline = 1 << 16
+)
+
+// errProtocol wraps malformed-input errors; the connection replies with
+// an -ERR and closes, since framing is unrecoverable after a bad prefix.
+var errProtocol = errors.New("protocol error")
+
+func protoErrf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", errProtocol, fmt.Sprintf(format, args...))
+}
+
+// ReadCommand reads one client command: a RESP2 array of bulk strings
+// (`*N\r\n` then N × `$len\r\n<bytes>\r\n`), or — when the first byte is
+// not '*' — an inline command (a plain line of space-separated words,
+// the telnet-debugging form real Redis also accepts). It returns the
+// argument list; args[0] is the command name. An empty inline line
+// returns a zero-length slice (the caller skips it).
+func ReadCommand(r *bufio.Reader) ([][]byte, error) {
+	b, err := r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if b != '*' {
+		if err := r.UnreadByte(); err != nil {
+			return nil, err
+		}
+		return readInline(r)
+	}
+	n, err := readInt(r)
+	if err != nil {
+		return nil, err
+	}
+	if n < 0 || n > MaxArgs {
+		return nil, protoErrf("array length %d out of range", n)
+	}
+	args := make([][]byte, 0, n)
+	for i := int64(0); i < n; i++ {
+		b, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		if b != '$' {
+			return nil, protoErrf("expected bulk string, got %q", b)
+		}
+		ln, err := readInt(r)
+		if err != nil {
+			return nil, err
+		}
+		if ln < 0 || ln > MaxBulk {
+			return nil, protoErrf("bulk length %d out of range", ln)
+		}
+		buf := make([]byte, ln+2)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		if buf[ln] != '\r' || buf[ln+1] != '\n' {
+			return nil, protoErrf("bulk string missing CRLF terminator")
+		}
+		args = append(args, buf[:ln])
+	}
+	return args, nil
+}
+
+// readInline parses a space-separated command line.
+func readInline(r *bufio.Reader) ([][]byte, error) {
+	line, err := readLine(r, maxInline)
+	if err != nil {
+		return nil, err
+	}
+	var args [][]byte
+	start := -1
+	for i := 0; i <= len(line); i++ {
+		if i < len(line) && line[i] != ' ' {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			args = append(args, line[start:i])
+			start = -1
+		}
+	}
+	return args, nil
+}
+
+// readInt parses the decimal integer after a type prefix, up to CRLF.
+func readInt(r *bufio.Reader) (int64, error) {
+	line, err := readLine(r, 32)
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.ParseInt(string(line), 10, 64)
+	if err != nil {
+		return 0, protoErrf("bad integer %q", line)
+	}
+	return n, nil
+}
+
+// readLine reads up to CRLF (bare LF tolerated for inline commands),
+// bounded by max.
+func readLine(r *bufio.Reader, max int) ([]byte, error) {
+	var line []byte
+	for {
+		b, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		if b == '\n' {
+			if n := len(line); n > 0 && line[n-1] == '\r' {
+				line = line[:n-1]
+			}
+			return line, nil
+		}
+		line = append(line, b)
+		if len(line) > max {
+			return nil, protoErrf("line exceeds %d bytes", max)
+		}
+	}
+}
+
+// WriteCommand encodes a command as a RESP2 array of bulk strings — the
+// client side of ReadCommand, used by the load generator and tests.
+func WriteCommand(w *bufio.Writer, args ...[]byte) error {
+	if err := writeArrayHeader(w, len(args)); err != nil {
+		return err
+	}
+	for _, a := range args {
+		if err := writeBulk(w, a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCommandStrings is WriteCommand over string arguments.
+func WriteCommandStrings(w *bufio.Writer, args ...string) error {
+	if err := writeArrayHeader(w, len(args)); err != nil {
+		return err
+	}
+	for _, a := range args {
+		if err := writeBulkString(w, a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reply writers (server side). Each returns the first write error;
+// callers treat any error as a dead connection.
+
+func writeSimple(w *bufio.Writer, s string) error {
+	w.WriteByte('+')
+	w.WriteString(s)
+	_, err := w.WriteString("\r\n")
+	return err
+}
+
+func writeErrorReply(w *bufio.Writer, msg string) error {
+	w.WriteByte('-')
+	w.WriteString(msg)
+	_, err := w.WriteString("\r\n")
+	return err
+}
+
+func writeInt(w *bufio.Writer, n int64) error {
+	w.WriteByte(':')
+	w.WriteString(strconv.FormatInt(n, 10))
+	_, err := w.WriteString("\r\n")
+	return err
+}
+
+func writeBulk(w *bufio.Writer, b []byte) error {
+	w.WriteByte('$')
+	w.WriteString(strconv.Itoa(len(b)))
+	w.WriteString("\r\n")
+	w.Write(b)
+	_, err := w.WriteString("\r\n")
+	return err
+}
+
+func writeBulkString(w *bufio.Writer, s string) error {
+	w.WriteByte('$')
+	w.WriteString(strconv.Itoa(len(s)))
+	w.WriteString("\r\n")
+	w.WriteString(s)
+	_, err := w.WriteString("\r\n")
+	return err
+}
+
+func writeNull(w *bufio.Writer) error {
+	_, err := w.WriteString("$-1\r\n")
+	return err
+}
+
+func writeArrayHeader(w *bufio.Writer, n int) error {
+	w.WriteByte('*')
+	w.WriteString(strconv.Itoa(n))
+	_, err := w.WriteString("\r\n")
+	return err
+}

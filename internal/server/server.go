@@ -1,0 +1,249 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mvrlu/internal/kvstore"
+)
+
+// Config configures a Server. The zero value of each field selects the
+// documented default.
+type Config struct {
+	// Addr is the TCP listen address (default "127.0.0.1:6399").
+	Addr string
+	// Handles is the session-pool size: how many store sessions (engine
+	// thread handles, for the mvrlu/rlu builds) the server registers.
+	// Default GOMAXPROCS — more sessions than runnable goroutines can
+	// never execute concurrently, they would only widen the watermark
+	// scan. Connections may vastly exceed Handles.
+	Handles int
+	// MaxConns caps concurrently served connections (default 1024).
+	// At the cap the server stops accepting — backpressure through the
+	// kernel accept backlog — instead of accepting and failing.
+	MaxConns int
+	// ReadTimeout bounds reading one command once its first bytes
+	// arrived, i.e. mid-batch reads (default 5s).
+	ReadTimeout time.Duration
+	// WriteTimeout bounds flushing a batch's replies (default 5s).
+	WriteTimeout time.Duration
+	// IdleTimeout bounds waiting for the next command between batches
+	// (default 5m); an expired idle connection is closed.
+	IdleTimeout time.Duration
+	// DrainTimeout is the graceful-shutdown budget: how long Shutdown
+	// waits for in-flight batches to finish before force-closing the
+	// remaining connections (default 5s).
+	DrainTimeout time.Duration
+	// OwnsStore makes Shutdown close the store (Domain.Close for the
+	// engine-backed builds) after the drain — the daemon configuration.
+	// Embedders that inspect the store after a drain leave it false and
+	// close the store themselves.
+	OwnsStore bool
+}
+
+func (c *Config) sanitize() {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:6399"
+	}
+	if c.Handles <= 0 {
+		c.Handles = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxConns <= 0 {
+		c.MaxConns = 1024
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 5 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 5 * time.Second
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 5 * time.Minute
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+}
+
+// Server serves the RESP protocol over one kvstore build. Lifecycle:
+// New → Listen → Serve (blocks) → Shutdown (any goroutine, or the wire
+// SHUTDOWN command). Shutdown is ordered: stop accepting, drain
+// in-flight batches, release the session pool, then (OwnsStore) close
+// the store — the sequence that makes "acknowledged implies committed"
+// hold all the way through process exit.
+type Server struct {
+	cfg   Config
+	store kvstore.Store
+	pool  *sessionPool
+	ln    net.Listener
+	sem   chan struct{} // MaxConns slots, acquired before Accept
+
+	mu    sync.Mutex
+	conns map[*conn]struct{}
+
+	connWG   sync.WaitGroup
+	shutting atomic.Bool
+	shutOnce sync.Once
+	drained  chan struct{}
+
+	start    time.Time
+	accepted atomic.Uint64
+	commands atomic.Uint64
+	panics   atomic.Uint64
+}
+
+// New creates a server over store. The session pool registers its
+// handles immediately, so engine registration cost is paid once at
+// startup, not per connection.
+func New(store kvstore.Store, cfg Config) *Server {
+	cfg.sanitize()
+	return &Server{
+		cfg:     cfg,
+		store:   store,
+		pool:    newSessionPool(store, cfg.Handles),
+		sem:     make(chan struct{}, cfg.MaxConns),
+		conns:   make(map[*conn]struct{}),
+		drained: make(chan struct{}),
+		start:   time.Now(),
+	}
+}
+
+// Listen binds the configured address. Separate from Serve so callers
+// can learn the bound address (Addr) before serving — tests listen on
+// port 0.
+func (s *Server) Listen() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	return nil
+}
+
+// Addr returns the bound listen address (nil before Listen).
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Serve accepts connections until Shutdown. It returns nil after a
+// graceful shutdown has fully drained, or the accept error otherwise.
+func (s *Server) Serve() error {
+	if s.ln == nil {
+		return fmt.Errorf("server: Serve before Listen")
+	}
+	for {
+		// Acquire a connection slot before accepting: at MaxConns the
+		// listener simply stops calling Accept and excess clients queue
+		// in the kernel backlog (and eventually time out themselves)
+		// rather than being accepted only to be torn down.
+		s.sem <- struct{}{}
+		nc, err := s.ln.Accept()
+		if err != nil {
+			<-s.sem
+			if s.shutting.Load() {
+				<-s.drained
+				return nil
+			}
+			return err
+		}
+		s.accepted.Add(1)
+		c := newConn(s, nc)
+		if !s.addConn(c) {
+			nc.Close()
+			<-s.sem
+			continue
+		}
+		go c.serve()
+	}
+}
+
+// ListenAndServe is Listen followed by Serve.
+func (s *Server) ListenAndServe() error {
+	if err := s.Listen(); err != nil {
+		return err
+	}
+	return s.Serve()
+}
+
+// addConn registers c and claims its WaitGroup slot. The Add happens
+// under mu, which Shutdown acquires after setting the shutting flag and
+// before waiting — so every registered connection is either visible to
+// the drain wait or refused here; the Add can never race a Wait that
+// already observed a zero count.
+func (s *Server) addConn(c *conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.shutting.Load() {
+		return false
+	}
+	s.conns[c] = struct{}{}
+	s.connWG.Add(1)
+	return true
+}
+
+func (s *Server) removeConn(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+func (s *Server) numConns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// Shutdown drains the server gracefully and blocks until done; it is
+// idempotent and safe from any goroutine (the SHUTDOWN command runs it
+// from a connection goroutine). Order:
+//
+//  1. stop accepting (close the listener; late arrivals are refused),
+//  2. nudge idle connections out of their blocking reads and let
+//     in-flight batches finish — every command already acknowledged has
+//     been executed against the store, and each connection flushes its
+//     replies before closing, so no acknowledged write is lost,
+//  3. after DrainTimeout, force-close stragglers,
+//  4. release the session pool (unregistering engine handles),
+//  5. close the store if OwnsStore (Domain.Close: the grace-period
+//     detector is stopped and joined).
+func (s *Server) Shutdown() {
+	s.shutOnce.Do(func() {
+		s.shutting.Store(true)
+		if s.ln != nil {
+			s.ln.Close()
+		}
+		s.mu.Lock()
+		for c := range s.conns {
+			c.nudge()
+		}
+		s.mu.Unlock()
+		done := make(chan struct{})
+		go func() {
+			s.connWG.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(s.cfg.DrainTimeout):
+			s.mu.Lock()
+			for c := range s.conns {
+				c.nc.Close()
+			}
+			s.mu.Unlock()
+			<-done
+		}
+		s.pool.close()
+		if s.cfg.OwnsStore {
+			s.store.Close()
+		}
+		close(s.drained)
+	})
+	<-s.drained
+}

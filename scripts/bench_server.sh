@@ -1,0 +1,37 @@
+#!/bin/sh
+# Regenerates BENCH_server.json: for each store build, start mvkvd, run
+# mvkvload at 1/8/64 connections (pipeline 16, 90% reads), shut the
+# daemon down gracefully, and merge the per-run JSON into one file.
+set -eu
+
+cd "$(dirname "$0")/.."
+ADDR=127.0.0.1:6399
+DUR=${DUR:-5s}
+OUT=BENCH_server.json
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/mvkvd" ./cmd/mvkvd
+go build -o "$TMP/mvkvload" ./cmd/mvkvload
+
+runs=""
+for build in mvrlu-kv vanilla; do
+    for conns in 1 8 64; do
+        "$TMP/mvkvd" -addr "$ADDR" -store "$build" &
+        pid=$!
+        sleep 0.3
+        "$TMP/mvkvload" -addr "$ADDR" -conns "$conns" -pipeline 16 \
+            -readpct 90 -duration "$DUR" -json "$TMP/run.json"
+        "$TMP/mvkvload" -addr "$ADDR" -conns 1 -duration 0s -preload=false \
+            -shutdown >/dev/null
+        wait "$pid"
+        runs="$runs$(cat "$TMP/run.json"),"
+    done
+done
+
+{
+    printf '{\n  "host_note": "measured on %s CPU core(s); the paper'"'"'s multi-core scaling claims need >=4 cores",\n' "$(nproc)"
+    printf '  "config": {"pipeline": 16, "readpct": 90, "duration": "%s"},\n' "$DUR"
+    printf '  "runs": [%s]\n}\n' "${runs%,}"
+} >"$OUT"
+echo "wrote $OUT"
