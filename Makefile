@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-hotpath figures examples torture loc serve loadtest bench-server
+.PHONY: all build vet test race bench bench-hotpath figures examples torture loc serve loadtest bench-server metrics-smoke
 
 all: build vet test
 
@@ -65,6 +65,12 @@ loadtest:
 # connections, mvrlu-kv vs vanilla.
 bench-server:
 	./scripts/bench_server.sh
+
+# Scrape-safety smoke: race-built daemon under load while /metrics,
+# INFO, and METRICS are polled in a loop (fails on any scrape error or
+# a non-monotonic counter).
+metrics-smoke:
+	./scripts/metrics_smoke.sh
 
 loc:
 	@find . -name '*.go' | xargs wc -l | tail -1

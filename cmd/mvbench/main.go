@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/trace"
 	"strconv"
 	"strings"
 	"time"
@@ -38,6 +39,8 @@ func main() {
 		format   = flag.String("format", "text", "output format: text or csv")
 		jsonPath = flag.String("json", "", "also write machine-readable results (JSON) to this file")
 		hotpath  = flag.Bool("hotpath", false, "run the engine hot-path microbenchmarks instead of a figure")
+		traceOut = flag.String("trace", "",
+			"write a runtime execution trace to this file (view with go tool trace); critical sections and GC passes appear as mvrlu.cs/mvrlu.gc regions")
 	)
 	flag.Parse()
 	if *format == "csv" {
@@ -53,6 +56,7 @@ func main() {
 	}
 	th := parseThreads(*threads)
 
+	stopTrace := startTrace(*traceOut)
 	if *hotpath {
 		runHotpath(th, *duration)
 	} else {
@@ -68,16 +72,41 @@ func main() {
 		case 7:
 			fig7(th[len(th)-1], *duration)
 		default:
+			stopTrace()
 			fmt.Fprintf(os.Stderr, "unknown figure %d\n", *fig)
 			os.Exit(1)
 		}
 	}
+	stopTrace()
 
 	if *jsonPath != "" {
 		if err := report.write(*jsonPath); err != nil {
 			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, err)
 			os.Exit(1)
 		}
+	}
+}
+
+// startTrace begins a runtime execution trace into path and returns the
+// stop function. Deliberately not deferred by the caller: main has
+// os.Exit error paths that would skip defers, and an unstopped trace is
+// a truncated, unreadable file.
+func startTrace(path string) func() {
+	if path == "" {
+		return func() {}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+		os.Exit(1)
+	}
+	if err := trace.Start(f); err != nil {
+		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+		os.Exit(1)
+	}
+	return func() {
+		trace.Stop()
+		f.Close()
 	}
 }
 

@@ -9,14 +9,24 @@
 //
 // Talk to it with cmd/mvkvload, redis-cli, or plain telnet (inline
 // commands are accepted): GET SET DEL EXISTS MGET MSET SCAN PING INFO
-// SHUTDOWN. SIGINT/SIGTERM and the SHUTDOWN command trigger the same
-// ordered graceful drain.
+// METRICS SHUTDOWN. SIGINT/SIGTERM and the SHUTDOWN command trigger the
+// same ordered graceful drain.
+//
+// With -metrics-addr the daemon also serves an HTTP observability
+// endpoint: Prometheus text at /metrics, the runtime profiler under
+// /debug/pprof/, and expvar at /debug/vars. Telemetry recording itself
+// is governed by -telemetry (on by default; the disabled record sites
+// cost under a nanosecond, see internal/obs).
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -24,6 +34,7 @@ import (
 	"time"
 
 	"mvrlu/internal/kvstore"
+	"mvrlu/internal/obs"
 	"mvrlu/internal/server"
 )
 
@@ -40,8 +51,13 @@ func main() {
 		writeTO  = flag.Duration("write-timeout", 5*time.Second, "reply flush timeout")
 		idleTO   = flag.Duration("idle-timeout", 5*time.Minute, "idle connection timeout")
 		drainTO  = flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown drain budget")
+		metrics  = flag.String("metrics-addr", "",
+			"HTTP observability listen address (/metrics, /debug/pprof/, /debug/vars); empty = disabled")
+		telemetry = flag.Bool("telemetry", true,
+			"record latency histograms on the engine and server hot paths")
 	)
 	flag.Parse()
+	obs.SetEnabled(*telemetry)
 
 	st, err := kvstore.New(*store, *slots, *buckets)
 	if err != nil {
@@ -64,6 +80,22 @@ func main() {
 	}
 	log.Printf("mvkvd: %s build listening on %s", st.Name(), srv.Addr())
 
+	var msrv *http.Server
+	if *metrics != "" {
+		mln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		msrv = metricsServer(srv)
+		go func() {
+			if err := msrv.Serve(mln); err != nil && err != http.ErrServerClosed {
+				log.Printf("mvkvd: metrics server: %v", err)
+			}
+		}()
+		log.Printf("mvkvd: metrics on http://%s/metrics", mln.Addr())
+	}
+
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
 	go func() {
@@ -75,5 +107,33 @@ func main() {
 	if err := srv.Serve(); err != nil {
 		log.Fatalf("mvkvd: %v", err)
 	}
+	if msrv != nil {
+		// Closed after the drain: a scraper may legitimately want the
+		// final counters of a shutting-down daemon.
+		msrv.Close()
+	}
 	log.Printf("mvkvd: drained, store closed, exiting")
+}
+
+// metricsServer builds the observability mux: Prometheus exposition,
+// pprof, and expvar. A dedicated mux — not http.DefaultServeMux — so the
+// surface is exactly what is registered here.
+func metricsServer(srv *server.Server) *http.Server {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", srv.Metrics().Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	expvar.Publish("mvkvd", expvar.Func(func() any {
+		accepted, commands, panics := srv.Counters()
+		return map[string]uint64{
+			"accepted": accepted,
+			"commands": commands,
+			"panics":   panics,
+		}
+	}))
+	return &http.Server{Handler: mux}
 }

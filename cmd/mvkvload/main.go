@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mvrlu/internal/obs"
 	"mvrlu/internal/server"
 )
 
@@ -43,6 +44,58 @@ type result struct {
 	P95us     float64 `json:"batch_p95_us"`
 	P99us     float64 `json:"batch_p99_us"`
 	Errors    uint64  `json:"errors"`
+	// BatchHist is the full batch round-trip latency distribution in
+	// power-of-two nanosecond buckets — the exact percentiles above
+	// answer "how fast", the histogram answers "what shape": a bimodal
+	// batch time (fast path vs pool-queue wait) is invisible in three
+	// percentiles but obvious in the buckets.
+	BatchHist histJSON `json:"batch_hist"`
+}
+
+// histJSON is the JSON rendering of an obs.Snapshot: cumulative counts
+// over the occupied power-of-two buckets, same shape as the Prometheus
+// exposition so trajectory tooling can diff either source.
+type histJSON struct {
+	Count   uint64       `json:"count"`
+	SumNs   uint64       `json:"sum_ns"`
+	MeanUs  float64      `json:"mean_us"`
+	Buckets []histBucket `json:"buckets"`
+}
+
+type histBucket struct {
+	LeNs     uint64 `json:"le_ns"` // inclusive bucket upper bound
+	CumCount uint64 `json:"cum_count"`
+}
+
+// histFromLatencies folds per-connection latency samples through an
+// obs.Histogram — the same bucketing the server exposes — and renders
+// the occupied prefix.
+func histFromLatencies(lats [][]int64) histJSON {
+	var h obs.Histogram
+	for _, l := range lats {
+		for _, ns := range l {
+			h.Observe(uint64(ns))
+		}
+	}
+	s := h.Snapshot()
+	out := histJSON{
+		Count:  s.Count(),
+		SumNs:  s.Sum,
+		MeanUs: s.Mean() / 1e3,
+	}
+	lo := 0
+	for lo < obs.NumBuckets && s.Buckets[lo] == 0 {
+		lo++
+	}
+	var cum uint64
+	for i := lo; i <= s.MaxBucket(); i++ {
+		cum += s.Buckets[i]
+		out.Buckets = append(out.Buckets, histBucket{
+			LeNs:     obs.BucketUpper(i),
+			CumCount: cum,
+		})
+	}
+	return out
 }
 
 func main() {
@@ -57,8 +110,18 @@ func main() {
 		preload  = flag.Bool("preload", true, "MSET the keyspace before measuring")
 		jsonOut  = flag.String("json", "", "write the result as JSON to this file")
 		shutdown = flag.Bool("shutdown", false, "send SHUTDOWN to the server when done")
+		oneShot  = flag.String("cmd", "",
+			"send one command (space-separated args), print the reply, exit; skips probe/preload/load")
 	)
 	flag.Parse()
+
+	if *oneShot != "" {
+		if err := runOneShot(*addr, strings.Fields(*oneShot)); err != nil {
+			fmt.Fprintf(os.Stderr, "mvkvload: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	build, err := probeBuild(*addr)
 	if err != nil {
@@ -151,6 +214,7 @@ func main() {
 		P95us:     pctile(all, 0.95),
 		P99us:     pctile(all, 0.99),
 		Errors:    totalErrs.Load(),
+		BatchHist: histFromLatencies(lats),
 	}
 	fmt.Printf("%s conns=%d pipeline=%d read=%d%%: %.0f ops/s, batch p50=%.0fµs p95=%.0fµs p99=%.0fµs (%d ops, %d errors)\n",
 		res.Build, res.Conns, res.Pipeline, res.ReadPct,
@@ -170,6 +234,47 @@ func main() {
 	}
 	if res.Errors > 0 {
 		os.Exit(1)
+	}
+}
+
+// runOneShot sends one command and prints its reply — the smoke-test
+// client (curl for RESP): `mvkvload -cmd "INFO ALL"`, `-cmd METRICS`.
+func runOneShot(addr string, args []string) error {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer nc.Close()
+	br, bw := bufio.NewReaderSize(nc, 1<<20), bufio.NewWriter(nc)
+	if err := server.WriteCommandStrings(bw, args...); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	rep, err := server.ReadReply(br)
+	if err != nil {
+		return err
+	}
+	if rep.IsError() {
+		return fmt.Errorf("%s", rep.Str)
+	}
+	printReply(rep)
+	return nil
+}
+
+func printReply(rep server.Reply) {
+	switch rep.Kind {
+	case server.IntReply:
+		fmt.Println(rep.Int)
+	case server.NullReply:
+		fmt.Println("(nil)")
+	case server.ArrayReply:
+		for _, e := range rep.Elems {
+			printReply(e)
+		}
+	default:
+		fmt.Println(rep.Str)
 	}
 }
 

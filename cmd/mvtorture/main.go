@@ -31,6 +31,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/trace"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -104,6 +105,8 @@ func main() {
 		panicfrac = flag.Float64("panicfrac", 0, "fraction of transfers that deliberately panic mid-write-set")
 		stallpin  = flag.Duration("stallpin", 0, "pin a reader this long per cycle; the run fails unless the stall detector fires")
 		watchdog  = flag.Duration("watchdog", 30*time.Second, "abort with a goroutine dump after this long without worker progress")
+		traceOut  = flag.String("trace", "",
+			"write a runtime execution trace to this file (view with go tool trace); critical sections and GC passes appear as mvrlu.cs/mvrlu.gc regions")
 	)
 	flag.Parse()
 
@@ -119,6 +122,7 @@ func main() {
 		}
 		defer failpoint.Reset()
 	}
+	startTorTrace(*traceOut)
 	dom := mvrlu.NewDomain[record](opts)
 	defer dom.Close()
 
@@ -168,6 +172,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "WATCHDOG: no progress for %v (ops=%d); goroutine dump follows\n", *watchdog, last)
 			buf := make([]byte, 1<<20)
 			fmt.Fprintf(os.Stderr, "%s\n", buf[:runtime.Stack(buf, true)])
+			stopTorTrace()
 			os.Exit(3)
 		}
 	}()
@@ -339,11 +344,51 @@ func main() {
 		fmt.Printf("  failpoints: %s\n", failpoint.Report())
 	}
 	if st.StallEvents > 0 {
-		fmt.Printf("  stalls=%d stall-reports=%d\n", st.StallEvents, st.StallReports)
+		fmt.Printf("  stalls=%d stall-reports=%d stall-episodes=%d stall-total=%v\n",
+			st.StallEvents, st.StallReports, st.StallEpisodes, st.StallTotal)
 	}
+	stopTorTrace()
 	if v := violations.Load(); v != 0 {
 		fmt.Fprintf(os.Stderr, "FAIL: %d invariant violations\n", v)
 		os.Exit(1)
 	}
 	fmt.Println("  PASS: all invariants held")
+}
+
+// traceFile is the open -trace output, nil when tracing is off.
+var (
+	traceFile *os.File
+	traceOnce sync.Once
+)
+
+// startTorTrace begins a runtime execution trace into path. Stopping is
+// explicit (stopTorTrace before each os.Exit) rather than deferred: the
+// watchdog and the violation path exit the process directly, which
+// would leave the trace truncated and unreadable.
+func startTorTrace(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+		os.Exit(2)
+	}
+	if err := trace.Start(f); err != nil {
+		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+		os.Exit(2)
+	}
+	traceFile = f
+}
+
+// stopTorTrace flushes and closes the trace; safe to call more than once
+// and from the watchdog goroutine racing the main exit path.
+func stopTorTrace() {
+	if traceFile == nil {
+		return
+	}
+	traceOnce.Do(func() {
+		trace.Stop()
+		traceFile.Close()
+	})
 }

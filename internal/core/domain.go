@@ -7,6 +7,7 @@ import (
 	"weak"
 
 	"mvrlu/internal/clock"
+	"mvrlu/internal/obs"
 )
 
 // Domain is an MV-RLU synchronization domain: a clock, a set of registered
@@ -68,6 +69,14 @@ type Domain[T any] struct {
 	handleLeaks    atomic.Uint64
 	detectorPanics atomic.Uint64
 
+	// Telemetry aggregates (see metrics.go): departedHists folds the
+	// histograms of unregistered/pruned handles (under mu, like
+	// departed); gpAge and stallHist are detector-written. All atomic
+	// inside, scrape-safe at any time; cold on the thread fast path.
+	departedHists threadHists
+	gpAge         obs.Histogram
+	stallHist     obs.Histogram
+
 	// watermark is the broadcast reclamation timestamp: every thread
 	// currently inside a critical section entered at or after it, so
 	// events older than it have no live observers. wmScanAt is the
@@ -109,6 +118,7 @@ type threadEntry[T any] struct {
 	handle  weak.Pointer[Thread[T]]
 	pin     *pinState
 	stats   *threadStats
+	hists   *threadHists
 	cleanup runtime.Cleanup
 	// leaked marks an entry whose handle was collected while its pin
 	// was still published; the entry is retained (safety: the pin must
@@ -202,6 +212,7 @@ func (d *Domain[T]) Register() *Thread[T] {
 		handle: weak.Make(t),
 		pin:    t.pin,
 		stats:  t.stats,
+		hists:  t.hists,
 	}
 	// The leak guard: fires when the runtime proves the handle
 	// unreachable while still registered. The closure must not
@@ -241,6 +252,7 @@ func (d *Domain[T]) handleLeak(id int) {
 			continue
 		}
 		d.departed.add(e.stats)
+		d.departedHists.absorb(e.hists)
 	}
 	d.threads.Store(&next)
 	d.mu.Unlock()

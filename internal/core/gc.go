@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
 	"runtime"
+	"runtime/trace"
 
 	"mvrlu/internal/failpoint"
+	"mvrlu/internal/obs"
 )
 
 // allocSlot claims the next slot at the log head (§3.2: per-thread
@@ -200,10 +203,32 @@ func (t *Thread[T]) refreshWatermark(window uint64) uint64 {
 // tail-blocking version would drain the log one slot per pass and starve
 // writers under workloads with many cold, singly-written objects.
 func (t *Thread[T]) collect() {
+	if !obs.Enabled() && !trace.IsEnabled() {
+		t.collectPass()
+		return
+	}
+	var reg *trace.Region
+	if trace.IsEnabled() {
+		reg = trace.StartRegion(context.Background(), "mvrlu.gc")
+	}
+	start := obs.Now()
+	n := t.collectPass()
+	if obs.Enabled() {
+		t.hists[HistGCPass].Observe(uint64(obs.Now() - start))
+		t.hists[HistGCReclaimed].Observe(n)
+	}
+	if reg != nil {
+		reg.End()
+	}
+}
+
+// collectPass is collect's body, returning the number of slots
+// reclaimed; collect itself is only the telemetry/trace gate.
+func (t *Thread[T]) collectPass() uint64 {
 	t.gcMu.Lock()
 	defer t.gcMu.Unlock()
 	if t.log == nil {
-		return // no write yet: the log is not even allocated
+		return 0 // no write yet: the log is not even allocated
 	}
 	w := t.d.watermark.Load()
 	capU := uint64(len(t.log))
@@ -250,6 +275,7 @@ func (t *Thread[T]) collect() {
 		}
 	}
 	t.stats.gcRuns++
+	return n
 }
 
 // resetDerefCounters folds the dereference-watermark counters into the

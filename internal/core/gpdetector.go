@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"mvrlu/internal/failpoint"
+	"mvrlu/internal/obs"
 )
 
 // gpDetector is the background grace-period detector (§3.7): it broadcasts
@@ -116,6 +117,14 @@ func (g *gpDetector[T]) tick() {
 	}()
 	failpoint.Inject(failpoint.DetectorScan)
 	w := g.d.refreshWatermark()
+	if obs.Enabled() {
+		// Grace-period age: how far reclamation lags the clock, in
+		// clock units, sampled once per tick. The natural place to
+		// watch a straggling reader grow before it becomes a stall.
+		if now := g.d.clk.Now(); now > w {
+			g.d.gpAge.Observe(now - w)
+		}
+	}
 	g.checkStall(w)
 	if g.d.opts.GCMode == GCSingleCollector {
 		for _, e := range *g.d.threads.Load() {
@@ -148,6 +157,17 @@ func (g *gpDetector[T]) checkStall(w uint64) {
 		g.stallTicks = 0
 		if g.inStall {
 			g.inStall = false
+			// Record the completed episode's duration before clearing
+			// the flag: Stalled() only ever shows the stall in
+			// progress, so the histogram is the durable record of past
+			// episodes. Unconditional — once per episode is free, and
+			// a stall that ends while telemetry is toggled off should
+			// not vanish from history.
+			if since := d.stallSince.Load(); since != 0 {
+				if dur := time.Now().UnixNano() - since; dur > 0 {
+					d.stallHist.Observe(uint64(dur))
+				}
+			}
 			d.stallSince.Store(0)
 		}
 		return

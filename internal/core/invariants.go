@@ -112,6 +112,7 @@ func (t *Thread[T]) Unregister() {
 		t.gcMu.Lock()
 		d.departed.add(e.stats)
 		t.gcMu.Unlock()
+		d.departedHists.absorb(e.hists)
 	}
 	d.threads.Store(&next)
 }

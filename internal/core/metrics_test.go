@@ -1,0 +1,197 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"mvrlu/internal/obs"
+)
+
+// runObservedWorkload drives one handle through derefs, try-locks,
+// commits and an abort — every per-thread record site.
+func runObservedWorkload(t *testing.T, h *Thread[payload], o *Object[payload]) {
+	t.Helper()
+	for i := 0; i < 10; i++ {
+		h.Execute(func(h *Thread[payload]) bool {
+			c, ok := h.TryLock(o)
+			if !ok {
+				return false
+			}
+			c.A++
+			return true
+		})
+		h.ReadLock()
+		_ = h.Deref(o)
+		h.ReadUnlock()
+	}
+	h.ReadLock()
+	if _, ok := h.TryLock(o); !ok {
+		t.Fatal("uncontended TryLock failed")
+	}
+	h.Abort()
+}
+
+// TestHistogramsRecordWhenEnabled asserts every per-thread record site
+// fires under obs.Enabled: deref latency and chain steps, section
+// duration, TryLock and commit latency.
+func TestHistogramsRecordWhenEnabled(t *testing.T) {
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+	d := newTestDomain(t, DefaultOptions())
+	h := d.Register()
+	defer h.Unregister()
+	o := NewObject(payload{A: 1})
+	runObservedWorkload(t, h, o)
+
+	for _, k := range []HistKind{HistDeref, HistDerefSteps, HistCS, HistTryLock, HistCommit} {
+		if n := d.HistogramSnapshot(k).Count(); n == 0 {
+			t.Errorf("%s recorded nothing", k.MetricName())
+		}
+	}
+	// Section durations: one per ReadLock pairing — at least the 10
+	// Execute commits, 10 read sections, and the aborted section.
+	if n := d.HistogramSnapshot(HistCS).Count(); n < 21 {
+		t.Errorf("cs_ns count %d, want >= 21", n)
+	}
+	if n := d.HistogramSnapshot(HistCommit).Count(); n != 10 {
+		t.Errorf("commit_ns count %d, want 10", n)
+	}
+}
+
+// TestHistogramsSilentWhenDisabled asserts the gate: the same workload
+// with telemetry off records nothing.
+func TestHistogramsSilentWhenDisabled(t *testing.T) {
+	obs.SetEnabled(false)
+	d := newTestDomain(t, DefaultOptions())
+	h := d.Register()
+	defer h.Unregister()
+	o := NewObject(payload{A: 1})
+	runObservedWorkload(t, h, o)
+
+	for k := HistKind(0); k < numThreadHists; k++ {
+		if n := d.HistogramSnapshot(k).Count(); n != 0 {
+			t.Errorf("%s recorded %d observations while disabled", k.MetricName(), n)
+		}
+	}
+}
+
+// TestDepartedHistogramFold asserts a handle's distributions survive
+// Unregister into the domain aggregate, like threadStats.
+func TestDepartedHistogramFold(t *testing.T) {
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+	d := newTestDomain(t, DefaultOptions())
+	h := d.Register()
+	o := NewObject(payload{A: 1})
+	runObservedWorkload(t, h, o)
+
+	before := d.HistogramSnapshot(HistCommit)
+	h.Unregister()
+	after := d.HistogramSnapshot(HistCommit)
+	if before.Count() == 0 || after != before {
+		t.Fatalf("commit histogram changed across Unregister: %d -> %d observations",
+			before.Count(), after.Count())
+	}
+}
+
+// TestStallEpisodeHistogram pins a reader long enough to declare a
+// stall, releases it, and asserts the completed episode landed in the
+// stall histogram — the durable record Stalled() forgets on recovery.
+func TestStallEpisodeHistogram(t *testing.T) {
+	opts := DefaultOptions()
+	opts.GPInterval = time.Millisecond
+	opts.StallThreshold = 3
+	d := newTestDomain(t, opts)
+	reader := d.Register()
+	reader.ReadLock()
+	eventually(t, 5*time.Second, func() bool {
+		return d.Stats().StallEvents >= 1
+	}, "stall never declared for a pinned reader")
+	reader.ReadUnlock()
+	eventually(t, 5*time.Second, func() bool {
+		_, active := d.Stalled()
+		return !active
+	}, "stall episode did not clear after the reader exited")
+
+	s := d.Stats()
+	if s.StallEpisodes < 1 {
+		t.Fatalf("StallEpisodes = %d after a recovered stall", s.StallEpisodes)
+	}
+	if s.StallTotal <= 0 {
+		t.Fatalf("StallTotal = %v after a recovered stall", s.StallTotal)
+	}
+	if n := d.HistogramSnapshot(HistStall).Count(); n != s.StallEpisodes {
+		t.Fatalf("stall histogram count %d != StallEpisodes %d", n, s.StallEpisodes)
+	}
+}
+
+// TestGPAgeSampled asserts the detector samples grace-period age while
+// telemetry is on.
+func TestGPAgeSampled(t *testing.T) {
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+	opts := DefaultOptions()
+	opts.GPInterval = time.Millisecond
+	d := newTestDomain(t, opts)
+	h := d.Register()
+	defer h.Unregister()
+	h.ReadLock() // a pinned reader guarantees now > watermark
+	defer h.ReadUnlock()
+	eventually(t, 5*time.Second, func() bool {
+		return d.HistogramSnapshot(HistGPAge).Count() > 0
+	}, "detector never sampled grace-period age")
+}
+
+// TestRegisterMetricsScrapeUnderLoad registers the domain's metrics and
+// scrapes the registry while a writer runs full tilt — the discipline
+// /metrics depends on; run under -race this proves scrape safety.
+func TestRegisterMetricsScrapeUnderLoad(t *testing.T) {
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+	d := newTestDomain(t, DefaultOptions())
+	reg := obs.NewRegistry()
+	d.RegisterMetrics(reg, "mvrlu_")
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		h := d.Register()
+		defer h.Unregister()
+		o := NewObject(payload{})
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			h.Execute(func(h *Thread[payload]) bool {
+				c, ok := h.TryLock(o)
+				if !ok {
+					return false
+				}
+				c.A++
+				return true
+			})
+		}
+	}()
+	var last uint64
+	for i := 0; i < 200; i++ {
+		s := d.HistogramSnapshot(HistCommit)
+		if n := s.Count(); n < last {
+			t.Fatalf("scrape went backwards: %d -> %d", last, n)
+		} else {
+			last = n
+		}
+		var sink discardWriter
+		if err := reg.WriteText(&sink); err != nil {
+			t.Fatalf("WriteText: %v", err)
+		}
+	}
+	close(stop)
+	<-done
+}
+
+type discardWriter struct{}
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }

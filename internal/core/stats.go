@@ -93,6 +93,14 @@ type Stats struct {
 	StallReports       uint64
 	HandleLeaks        uint64
 	DetectorRecoveries uint64
+
+	// StallEpisodes counts completed (recovered-from) stall episodes and
+	// StallTotal their cumulative duration, from the domain's stall
+	// histogram — the durable record StalledFor's point-in-time view
+	// forgets as soon as the watermark moves again. An active episode is
+	// in neither until it ends.
+	StallEpisodes uint64
+	StallTotal    time.Duration
 }
 
 // AbortRatio returns aborts / (aborts + commits), the quantity Figure 5
@@ -168,6 +176,9 @@ func (d *Domain[T]) Stats() Stats {
 	if since := d.stallSince.Load(); since != 0 {
 		s.StalledFor = time.Since(time.Unix(0, since))
 	}
+	eps := d.stallHist.Snapshot()
+	s.StallEpisodes = eps.Count()
+	s.StallTotal = time.Duration(eps.Sum)
 	return s
 }
 

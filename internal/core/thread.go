@@ -1,12 +1,15 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/trace"
 	"sync"
 	"sync/atomic"
 
 	"mvrlu/internal/failpoint"
+	"mvrlu/internal/obs"
 )
 
 // Thread is a per-goroutine MV-RLU handle: a local timestamp, a circular
@@ -42,6 +45,15 @@ type Thread[T any] struct {
 	// stats is shared with the registry entry so a departed thread's
 	// counters survive into Domain.Stats.
 	stats *threadStats
+
+	// hists are the per-thread telemetry histograms (see metrics.go),
+	// shared with the registry entry like stats; recorded only while
+	// obs.Enabled. csStart/csRegion carry the open critical section's
+	// start time and trace region from ReadLock to whichever exit path
+	// closes the section (ReadUnlock, Abort, or a panic unwind).
+	hists    *threadHists
+	csStart  int64
+	csRegion *trace.Region
 
 	// log is the circular array of version slots; headC is the owner's
 	// cached head counter (slot = counter mod capacity).
@@ -125,6 +137,7 @@ func newThread[T any](d *Domain[T], id int) *Thread[T] {
 		needsGCMu: d.opts.GCMode == GCSingleCollector,
 		pin:       &pinState{},
 		stats:     &threadStats{},
+		hists:     &threadHists{},
 	}
 	t.highSlots = uint64(d.opts.HighCapacity * float64(d.opts.LogSlots))
 	if t.highSlots == 0 || t.highSlots > uint64(d.opts.LogSlots) {
@@ -185,6 +198,28 @@ func (t *Thread[T]) ReadLock() {
 		t.poolPush(t.wsRetired, ts)
 		t.wsRetired = nil
 	}
+	if obs.Enabled() {
+		t.csStart = obs.Now()
+	}
+	if trace.IsEnabled() {
+		t.csRegion = trace.StartRegion(context.Background(), "mvrlu.cs")
+	}
+}
+
+// obsEndCS closes the critical section's telemetry: record the section
+// duration and end the trace region. Called from every section exit —
+// ReadUnlock, Abort, and the panic unwinds — guarded by the callers on
+// the plain csStart/csRegion fields so the disabled path pays two local
+// loads, no atomics.
+func (t *Thread[T]) obsEndCS() {
+	if t.csRegion != nil {
+		t.csRegion.End()
+		t.csRegion = nil
+	}
+	if t.csStart != 0 {
+		t.hists[HistCS].Observe(uint64(obs.Now() - t.csStart))
+		t.csStart = 0
+	}
 }
 
 // injectReadLockPin fires the pin-window failpoint. A panic here leaves
@@ -209,10 +244,19 @@ func (t *Thread[T]) ReadUnlock() {
 		panic("mvrlu: ReadUnlock outside critical section")
 	}
 	if len(t.wset) > 0 {
-		t.commit()
+		if t.csStart != 0 {
+			start := obs.Now()
+			t.commit()
+			t.hists[HistCommit].Observe(uint64(obs.Now() - start))
+		} else {
+			t.commit()
+		}
 	}
 	t.inCS = false
 	t.pin.localTS.Store(0)
+	if t.csStart != 0 || t.csRegion != nil {
+		t.obsEndCS()
+	}
 	t.maybeGC()
 }
 
@@ -227,6 +271,9 @@ func (t *Thread[T]) Abort() {
 	t.inCS = false
 	t.pin.localTS.Store(0)
 	t.stats.aborts++
+	if t.csStart != 0 || t.csRegion != nil {
+		t.obsEndCS()
+	}
 	t.maybeGC()
 }
 
@@ -270,6 +317,7 @@ func (t *Thread[T]) protectedApply(fn func(*Thread[T]) bool) (done bool) {
 				t.pin.localTS.Store(0)
 				t.stats.panicAborts++
 			}
+			t.obsEndCS()
 			panic(r)
 		}
 	}()
@@ -287,6 +335,28 @@ func (t *Thread[T]) protectedApply(fn func(*Thread[T]) bool) (done bool) {
 // read-only (use TryLock to write). Deref(nil) returns nil so pointer
 // chains terminate naturally.
 func (t *Thread[T]) Deref(o *Object[T]) *T {
+	if obs.Enabled() {
+		return t.derefObserved(o)
+	}
+	return t.derefWalk(o)
+}
+
+// derefObserved is Deref with telemetry: latency into HistDeref and the
+// chain length into HistDerefSteps. The step count is recovered from the
+// owner-written chainSteps counter rather than re-counting, so the walk
+// itself stays identical to the untimed path.
+func (t *Thread[T]) derefObserved(o *Object[T]) *T {
+	steps := t.stats.chainSteps
+	start := obs.Now()
+	p := t.derefWalk(o)
+	t.hists[HistDeref].Observe(uint64(obs.Now() - start))
+	t.hists[HistDerefSteps].Observe(t.stats.chainSteps - steps)
+	return p
+}
+
+// derefWalk is Deref's body; Deref itself is only the telemetry gate, so
+// the disabled path costs one atomic load and a branch on top of this.
+func (t *Thread[T]) derefWalk(o *Object[T]) *T {
 	if o == nil {
 		return nil
 	}
@@ -344,6 +414,19 @@ func (t *Thread[T]) TryLockConst(o *Object[T]) bool {
 }
 
 func (t *Thread[T]) tryLock(o *Object[T], constLock bool) (*version[T], bool) {
+	if !obs.Enabled() {
+		return t.tryLockWalk(o, constLock)
+	}
+	start := obs.Now()
+	v, ok := t.tryLockWalk(o, constLock)
+	t.hists[HistTryLock].Observe(uint64(obs.Now() - start))
+	return v, ok
+}
+
+// tryLockWalk is tryLock's body; tryLock itself is only the telemetry
+// gate (both success and failure latencies are recorded — a lock-fail
+// spike under contention is exactly what the histogram is for).
+func (t *Thread[T]) tryLockWalk(o *Object[T], constLock bool) (*version[T], bool) {
 	if !t.inCS {
 		panic("mvrlu: TryLock outside critical section")
 	}
@@ -489,6 +572,7 @@ func (t *Thread[T]) injectCommitPublish() {
 			t.finishCommit()
 			t.inCS = false
 			t.pin.localTS.Store(0)
+			t.obsEndCS()
 			panic(r)
 		}
 	}()

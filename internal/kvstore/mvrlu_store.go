@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"mvrlu/internal/core"
+	"mvrlu/internal/obs"
 )
 
 // kvNode is a record tree node under MV-RLU.
@@ -65,6 +66,15 @@ func (s *MVRLUStore) Session() Session {
 
 // NumSessions implements Store.
 func (s *MVRLUStore) NumSessions() int { return int(s.sessions.Load()) }
+
+// RegisterMetrics registers the domain's telemetry (histograms plus the
+// always-safe atomic counters and gauges) under the "mvrlu_" prefix —
+// the hook the server's /metrics endpoint and METRICS command discover
+// through a type assertion, so the vanilla and rlu builds expose only
+// the server-level series.
+func (s *MVRLUStore) RegisterMetrics(reg *obs.Registry) {
+	s.d.RegisterMetrics(reg, "mvrlu_")
+}
 
 // Stalled exposes the domain's active watermark stall, if any: the
 // engine-level diagnosis (which thread pins reclamation, since when)

@@ -1,0 +1,50 @@
+package obs
+
+import "testing"
+
+// BenchmarkRecordSiteDisabled measures the shape every hot-path record
+// site compiles to when telemetry is off: one atomic.Bool load and a
+// skipped branch. The acceptance bound (≤ 5 ns, 0 allocs) is asserted by
+// TestDisabledRecordSiteCost; this benchmark exists so the number shows
+// up in `go test -bench` sweeps next to the failpoint baseline.
+func BenchmarkRecordSiteDisabled(b *testing.B) {
+	SetEnabled(false)
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if Enabled() {
+			h.Observe(uint64(i))
+		}
+	}
+	if h.Snapshot().Count() != 0 {
+		b.Fatal("disabled site recorded")
+	}
+}
+
+// BenchmarkObserveEnabled measures the enabled record path: gate load +
+// bits.Len64 + two uncontended atomic adds.
+func BenchmarkObserveEnabled(b *testing.B) {
+	SetEnabled(true)
+	defer SetEnabled(false)
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if Enabled() {
+			h.Observe(uint64(i))
+		}
+	}
+}
+
+// BenchmarkSnapshotMerge measures scrape cost per thread: snapshot one
+// histogram and fold it into an aggregate.
+func BenchmarkSnapshotMerge(b *testing.B) {
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Observe(uint64(i * i))
+	}
+	var agg Snapshot
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		agg.Add(h.Snapshot())
+	}
+}

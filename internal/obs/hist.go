@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// NumBuckets is the fixed bucket count of every Histogram: bucket i
+// holds values v with bits.Len64(v) == i, i.e. bucket 0 holds {0},
+// bucket i (i ≥ 1) holds [2^(i-1), 2^i). Powers of two trade bucket
+// resolution (~2× relative error on quantiles) for a record path that is
+// one bits.Len64 — a single hardware instruction — and a fixed layout
+// that makes merging two histograms a bucket-wise add, associatively and
+// commutatively (see TestMergeAssociative).
+const NumBuckets = 65
+
+// Histogram is a lock-free, fixed-layout latency/size histogram. The
+// intended discipline is owner-written: each engine thread records into
+// its own histogram so the atomic adds never contend, and scrapes merge
+// across threads. Concurrent writers are still correct (the buckets are
+// atomics), merely slower; scrapes are safe at any time.
+//
+// The zero value is ready to use.
+type Histogram struct {
+	buckets [NumBuckets]atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// Observe records one value: one atomic add into the value's bucket and
+// one into the running sum. No locks, no allocation.
+func (h *Histogram) Observe(v uint64) {
+	h.buckets[bits.Len64(v)].Add(1)
+	h.sum.Add(v)
+}
+
+// Snapshot returns a point-in-time copy of the histogram. Loads are
+// per-bucket atomic, so a snapshot taken under concurrent recording may
+// split a logically single Observe between count and sum — bounded skew,
+// never a torn number — and every field is monotone across snapshots.
+func (h *Histogram) Snapshot() Snapshot {
+	var s Snapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// Absorb folds a snapshot into the histogram (bucket-wise atomic adds):
+// the departed-thread fold, mirroring threadStats.add.
+func (h *Histogram) Absorb(s Snapshot) {
+	for i, n := range s.Buckets {
+		if n != 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	if s.Sum != 0 {
+		h.sum.Add(s.Sum)
+	}
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i: 0, 1, 3, 7,
+// …, 2^i − 1 (MaxUint64 for the last bucket).
+func BucketUpper(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 64 {
+		return math.MaxUint64
+	}
+	return 1<<uint(i) - 1
+}
+
+// Snapshot is a plain-value copy of a Histogram, the unit the registry
+// exposes and callers merge.
+type Snapshot struct {
+	Buckets [NumBuckets]uint64
+	Sum     uint64
+}
+
+// Add merges o into s bucket-wise. Because the bucket layout is fixed,
+// Add is associative and commutative: folding threads in any order (or
+// any grouping — live, departed, leaked) yields the same aggregate.
+func (s *Snapshot) Add(o Snapshot) {
+	for i, n := range o.Buckets {
+		s.Buckets[i] += n
+	}
+	s.Sum += o.Sum
+}
+
+// Count returns the total number of observations.
+func (s Snapshot) Count() uint64 {
+	var n uint64
+	for _, c := range s.Buckets {
+		n += c
+	}
+	return n
+}
+
+// Mean returns the average observed value, 0 when empty.
+func (s Snapshot) Mean() float64 {
+	n := s.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(n)
+}
+
+// Quantile returns an upper bound for the p-quantile (0 ≤ p ≤ 1): the
+// inclusive upper edge of the first bucket at which the cumulative count
+// reaches p·Count. Power-of-two buckets make this a ≤2× overestimate —
+// the right shape for "did p99 regress by an order of magnitude", which
+// is what the bench trajectory diffs.
+func (s Snapshot) Quantile(p float64) uint64 {
+	total := s.Count()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(p * float64(total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range s.Buckets {
+		cum += c
+		if cum >= target {
+			return BucketUpper(i)
+		}
+	}
+	return BucketUpper(NumBuckets - 1)
+}
+
+// MaxBucket returns the index of the highest non-empty bucket, -1 when
+// the snapshot is empty. The registry uses it to trim exposition output.
+func (s Snapshot) MaxBucket() int {
+	for i := NumBuckets - 1; i >= 0; i-- {
+		if s.Buckets[i] != 0 {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,277 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestBucketBoundaries pins the power-of-two bucketing: each value lands
+// in the bucket whose [lower, upper] range contains it, where upper =
+// BucketUpper(i) and lower = BucketUpper(i-1)+1 (0 for bucket 0).
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v      uint64
+		bucket int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 2}, {3, 2},
+		{4, 3}, {7, 3},
+		{8, 4}, {15, 4},
+		{1 << 10, 11}, {1<<10 - 1, 10}, {1<<10 + 1, 11},
+		{1 << 62, 63}, {1<<63 - 1, 63},
+		{1 << 63, 64}, {math.MaxUint64, 64},
+	}
+	for _, c := range cases {
+		var h Histogram
+		h.Observe(c.v)
+		s := h.Snapshot()
+		if s.Buckets[c.bucket] != 1 {
+			t.Errorf("Observe(%d): want bucket %d, got snapshot %v", c.v, c.bucket, nonEmpty(s))
+		}
+		if s.Sum != c.v {
+			t.Errorf("Observe(%d): sum %d", c.v, s.Sum)
+		}
+		if got := s.Count(); got != 1 {
+			t.Errorf("Observe(%d): count %d", c.v, got)
+		}
+		// The bucket's bounds must bracket the value.
+		if up := BucketUpper(c.bucket); c.v > up {
+			t.Errorf("value %d above bucket %d upper %d", c.v, c.bucket, up)
+		}
+		if c.bucket > 0 {
+			if lo := BucketUpper(c.bucket-1) + 1; c.v < lo {
+				t.Errorf("value %d below bucket %d lower %d", c.v, c.bucket, lo)
+			}
+		}
+	}
+}
+
+func nonEmpty(s Snapshot) map[int]uint64 {
+	out := map[int]uint64{}
+	for i, n := range s.Buckets {
+		if n != 0 {
+			out[i] = n
+		}
+	}
+	return out
+}
+
+// TestMergeAssociative verifies that folding snapshots is associative
+// and commutative — the property that makes the scrape-time merge order
+// (live threads, departed aggregate, leaked entries) irrelevant.
+func TestMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mk := func() Snapshot {
+		var h Histogram
+		for i := 0; i < 1000; i++ {
+			h.Observe(uint64(rng.Int63n(1 << 40)))
+		}
+		return h.Snapshot()
+	}
+	a, b, c := mk(), mk(), mk()
+
+	left := a // (a+b)+c
+	left.Add(b)
+	left.Add(c)
+	right := b // a+(b+c)
+	right.Add(c)
+	rev := right // commuted: (b+c)+a
+	rev.Add(a)
+	right2 := a
+	right2.Add(right)
+
+	if left != right2 {
+		t.Fatalf("merge not associative:\n%v\n%v", left, right2)
+	}
+	if left != rev {
+		t.Fatalf("merge not commutative:\n%v\n%v", left, rev)
+	}
+	if want := a.Count() + b.Count() + c.Count(); left.Count() != want {
+		t.Fatalf("merged count %d, want %d", left.Count(), want)
+	}
+}
+
+// TestQuantile pins the quantile estimator's contract: an upper bound
+// within one power-of-two bucket of the true quantile.
+func TestQuantile(t *testing.T) {
+	var h Histogram
+	for v := uint64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); got < 500 || got > 1023 {
+		t.Errorf("p50 of 1..1000: %d, want in [500,1023]", got)
+	}
+	if got := s.Quantile(1.0); got < 1000 || got > 1023 {
+		t.Errorf("p100 of 1..1000: %d, want in [1000,1023]", got)
+	}
+	if got := s.Quantile(0.0); got > 1 {
+		t.Errorf("p0 of 1..1000: %d, want <= 1", got)
+	}
+	var empty Snapshot
+	if got := empty.Quantile(0.99); got != 0 {
+		t.Errorf("empty p99: %d", got)
+	}
+	if got := s.Mean(); got < 500 || got > 501 {
+		t.Errorf("mean of 1..1000: %f", got)
+	}
+}
+
+// TestConcurrentRecordScrape hammers one histogram from writer
+// goroutines while a reader snapshots continuously, asserting snapshot
+// monotonicity throughout and exact totals at the end. Run under -race
+// this is the scrape-safety proof the /metrics endpoint relies on.
+func TestConcurrentRecordScrape(t *testing.T) {
+	const (
+		writers = 4
+		perW    = 20000
+	)
+	var h Histogram
+	stop := make(chan struct{})
+	var scraper sync.WaitGroup
+	scraper.Add(1)
+	go func() {
+		defer scraper.Done()
+		var last uint64
+		for {
+			if n := h.Snapshot().Count(); n < last {
+				t.Errorf("count went backwards: %d -> %d", last, n)
+				return
+			} else {
+				last = n
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perW; i++ {
+				h.Observe(uint64(rng.Int63n(1 << 30)))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(stop)
+	scraper.Wait()
+	if n := h.Snapshot().Count(); n != uint64(writers*perW) {
+		t.Fatalf("final count %d, want %d", n, writers*perW)
+	}
+}
+
+// TestRegistryText renders one of each metric kind and checks the
+// Prometheus text format line by line.
+func TestRegistryText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_ops_total", "operations", func() uint64 { return 42 })
+	r.Gauge("test_temp", "temperature", func() float64 { return 1.5 })
+	var h Histogram
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(5)
+	r.Histogram("test_lat_ns", "latency", func() Snapshot { return h.Snapshot() })
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP test_ops_total operations\n",
+		"# TYPE test_ops_total counter\n",
+		"test_ops_total 42\n",
+		"# TYPE test_temp gauge\n",
+		"test_temp 1.5\n",
+		"# TYPE test_lat_ns histogram\n",
+		"test_lat_ns_bucket{le=\"0\"} 1\n",
+		"test_lat_ns_bucket{le=\"1\"} 2\n",
+		"test_lat_ns_bucket{le=\"3\"} 2\n",
+		"test_lat_ns_bucket{le=\"7\"} 3\n",
+		"test_lat_ns_bucket{le=\"+Inf\"} 3\n",
+		"test_lat_ns_sum 6\n",
+		"test_lat_ns_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Every non-comment line must be "name[{label}] value".
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup", "x", func() uint64 { return 0 })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("dup", "x", func() uint64 { return 0 })
+}
+
+// TestEnableToggle pins the gate contract record sites rely on.
+func TestEnableToggle(t *testing.T) {
+	defer SetEnabled(false)
+	if Enabled() {
+		t.Fatal("telemetry enabled by default")
+	}
+	SetEnabled(true)
+	if !Enabled() {
+		t.Fatal("SetEnabled(true) not observed")
+	}
+	if a, b := Now(), Now(); b < a {
+		t.Fatalf("Now not monotone: %d then %d", a, b)
+	}
+}
+
+// TestDisabledRecordSiteCost asserts the acceptance bound for the
+// tentpole: a disabled record site (Enabled check guarding an Observe)
+// costs ≤ 5 ns and 0 allocs. The timing half is skipped under -race,
+// where instrumented atomics are an order of magnitude slower by design.
+func TestDisabledRecordSiteCost(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	SetEnabled(false)
+	var h Histogram
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if Enabled() {
+				h.Observe(uint64(i))
+			}
+		}
+	})
+	if res.AllocsPerOp() != 0 {
+		t.Fatalf("disabled record site allocates: %d allocs/op", res.AllocsPerOp())
+	}
+	if RaceEnabled {
+		t.Logf("disabled record site: %v/op (race build, bound not enforced)", res.NsPerOp())
+		return
+	}
+	if ns := res.NsPerOp(); ns > 5 {
+		t.Fatalf("disabled record site costs %d ns/op, want <= 5", ns)
+	}
+	if h.Snapshot().Count() != 0 {
+		t.Fatal("disabled site recorded")
+	}
+}

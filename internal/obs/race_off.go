@@ -1,0 +1,8 @@
+//go:build !race
+
+package obs
+
+// RaceEnabled reports whether the race detector is compiled in; timing
+// assertions (the disabled-record-site cost bound) are skipped under it
+// because instrumented atomic loads cost an order of magnitude more.
+const RaceEnabled = false

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// Registry is an ordered set of named metrics rendered in Prometheus
+// text exposition format (version 0.0.4). Metrics are registered as
+// callbacks so the registry holds no state of its own: a scrape invokes
+// each callback, and the scrape-safety rule is the callback's — every
+// callback registered by this repo reads only atomics (histogram
+// snapshots, padded domain atomics), which is what makes /metrics and
+// the METRICS command safe under full load where Stats() is not.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []metric
+}
+
+type metricKind int
+
+const (
+	counterKind metricKind = iota
+	gaugeKind
+	histogramKind
+)
+
+type metric struct {
+	kind    metricKind
+	name    string
+	help    string
+	counter func() uint64
+	gauge   func() float64
+	hist    func() Snapshot
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter registers a monotone counter. f must be safe to call from any
+// goroutine at any time (read atomics only) and must never decrease —
+// the metrics-smoke CI job asserts monotonicity across scrapes.
+func (r *Registry) Counter(name, help string, f func() uint64) {
+	r.add(metric{kind: counterKind, name: name, help: help, counter: f})
+}
+
+// Gauge registers an instantaneous value. Same safety rule as Counter,
+// without monotonicity.
+func (r *Registry) Gauge(name, help string, f func() float64) {
+	r.add(metric{kind: gaugeKind, name: name, help: help, gauge: f})
+}
+
+// Histogram registers a merged-at-scrape histogram; f typically folds
+// per-thread histograms into one Snapshot.
+func (r *Registry) Histogram(name, help string, f func() Snapshot) {
+	r.add(metric{kind: histogramKind, name: name, help: help, hist: f})
+}
+
+func (r *Registry) add(m metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, ex := range r.metrics {
+		if ex.name == m.name {
+			panic("obs: duplicate metric " + m.name)
+		}
+	}
+	r.metrics = append(r.metrics, m)
+}
+
+// WriteText renders every metric in Prometheus text format, in
+// registration order. Callbacks run outside the registry lock so a slow
+// callback cannot block concurrent registration, and a callback that
+// itself registers metrics cannot deadlock.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	ms := make([]metric, len(r.metrics))
+	copy(ms, r.metrics)
+	r.mu.Unlock()
+	var buf bytes.Buffer
+	for _, m := range ms {
+		buf.Reset()
+		m.render(&buf)
+		if _, err := w.Write(buf.Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *metric) render(b *bytes.Buffer) {
+	fmt.Fprintf(b, "# HELP %s %s\n", m.name, m.help)
+	switch m.kind {
+	case counterKind:
+		fmt.Fprintf(b, "# TYPE %s counter\n", m.name)
+		fmt.Fprintf(b, "%s %d\n", m.name, m.counter())
+	case gaugeKind:
+		fmt.Fprintf(b, "# TYPE %s gauge\n", m.name)
+		fmt.Fprintf(b, "%s %s\n", m.name,
+			strconv.FormatFloat(m.gauge(), 'g', -1, 64))
+	case histogramKind:
+		fmt.Fprintf(b, "# TYPE %s histogram\n", m.name)
+		s := m.hist()
+		// Trim the fixed 65-bucket layout to the occupied prefix: the
+		// cumulative counts stay correct under any per-scrape bucket
+		// set (Prometheus merges on le values), and an idle histogram
+		// costs two lines, not sixty-seven.
+		hi := s.MaxBucket()
+		var cum uint64
+		for i := 0; i <= hi; i++ {
+			cum += s.Buckets[i]
+			fmt.Fprintf(b, "%s_bucket{le=\"%d\"} %d\n",
+				m.name, BucketUpper(i), cum)
+		}
+		fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", m.name, cum)
+		fmt.Fprintf(b, "%s_sum %d\n", m.name, s.Sum)
+		fmt.Fprintf(b, "%s_count %d\n", m.name, cum)
+	}
+}
+
+// Handler returns an http.Handler serving WriteText — the /metrics
+// endpoint. The reply is buffered first so a slow client never holds a
+// half-rendered scrape open.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		var buf bytes.Buffer
+		if err := r.WriteText(&buf); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write(buf.Bytes())
+	})
+}

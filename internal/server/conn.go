@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"net"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"mvrlu/internal/kvstore"
+	"mvrlu/internal/obs"
 )
 
 // conn is one client connection: a goroutine, two buffers, and no store
@@ -83,6 +85,13 @@ func (c *conn) serve() {
 func (c *conn) runBatch(first [][]byte) (keep bool) {
 	ps := c.srv.pool.get()
 	defer c.srv.pool.put(ps)
+	if obs.Enabled() {
+		// Batch service time = how long the session is held; observed
+		// before the pool return (LIFO defers) so the histogram matches
+		// what a queued batch actually waits behind.
+		start := obs.Now()
+		defer func() { c.srv.batchHist.Observe(uint64(obs.Now() - start)) }()
+	}
 	keep = c.dispatch(ps, first)
 	for keep && c.br.Buffered() > 0 && !c.srv.shutting.Load() {
 		c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.ReadTimeout))
@@ -206,6 +215,17 @@ func (c *conn) dispatch(ps *pooledSession, args [][]byte) bool {
 		// engine Stats behind a bounded pool quiesce (see infoText).
 		full := len(args) > 1 && strings.EqualFold(string(args[1]), "ALL")
 		return writeBulkString(c.bw, c.srv.infoText(full)) == nil
+
+	case "METRICS":
+		// The full Prometheus exposition over RESP — same registry the
+		// /metrics endpoint serves, same always-safe atomic-read
+		// discipline, so it never quiesces or blocks traffic. For
+		// deployments without the HTTP listener.
+		var buf bytes.Buffer
+		if err := c.srv.reg.WriteText(&buf); err != nil {
+			return writeErrorReply(c.bw, "ERR metrics: "+err.Error()) == nil
+		}
+		return writeBulkString(c.bw, buf.String()) == nil
 
 	case "QUIT":
 		writeSimple(c.bw, "OK")

@@ -101,6 +101,8 @@ func (s *Server) infoText(full bool) string {
 				fmt.Fprintf(&b, "stall_events:%d\n", stats.StallEvents)
 				fmt.Fprintf(&b, "stall_reports:%d\n", stats.StallReports)
 				fmt.Fprintf(&b, "stalled_for_us:%d\n", stats.StalledFor.Microseconds())
+				fmt.Fprintf(&b, "stall_episodes:%d\n", stats.StallEpisodes)
+				fmt.Fprintf(&b, "stall_total_us:%d\n", stats.StallTotal.Microseconds())
 			} else {
 				fmt.Fprintf(&b, "\n# engine\nengine_stats:busy\n")
 			}

@@ -1,0 +1,56 @@
+package server
+
+import (
+	"time"
+
+	"mvrlu/internal/obs"
+)
+
+// metricser is the optional store capability the server's metrics
+// registry discovers: the mvrlu build contributes the engine's
+// histograms and counters; vanilla and rlu expose server series only.
+type metricser interface{ RegisterMetrics(*obs.Registry) }
+
+// registerMetrics builds the server's metric registry at New time:
+// server-level series first, then whatever the store contributes. Every
+// callback reads atomics only — the same always-safe discipline as the
+// default INFO sections — so the registry may be scraped (over HTTP or
+// the METRICS command) at any moment under full load.
+func (s *Server) registerMetrics() {
+	s.reg = obs.NewRegistry()
+	s.reg.Gauge("server_uptime_seconds",
+		"seconds since the server was created",
+		func() float64 { return time.Since(s.start).Seconds() })
+	s.reg.Counter("server_accepted_total",
+		"TCP connections accepted",
+		s.accepted.Load)
+	s.reg.Counter("server_commands_total",
+		"commands dispatched",
+		s.commands.Load)
+	s.reg.Counter("server_panics_total",
+		"connection-goroutine panics isolated",
+		s.panics.Load)
+	s.reg.Gauge("server_conns",
+		"connections currently served",
+		func() float64 { return float64(s.numConns()) })
+	s.reg.Gauge("server_sessions",
+		"store sessions in the pool",
+		func() float64 { return float64(s.store.NumSessions()) })
+	s.reg.Histogram("server_batch_ns",
+		"per-batch service time (session checkout to return) in nanoseconds",
+		s.batchHist.Snapshot)
+	if m, ok := s.store.(metricser); ok {
+		m.RegisterMetrics(s.reg)
+	}
+}
+
+// Metrics returns the server's metric registry — the daemon mounts its
+// Handler at /metrics.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// Counters returns the server's wire counters (accepted connections,
+// dispatched commands, isolated panics); the daemon publishes them over
+// expvar next to the Prometheus endpoint.
+func (s *Server) Counters() (accepted, commands, panics uint64) {
+	return s.accepted.Load(), s.commands.Load(), s.panics.Load()
+}

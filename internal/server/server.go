@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"mvrlu/internal/kvstore"
+	"mvrlu/internal/obs"
 )
 
 // Config configures a Server. The zero value of each field selects the
@@ -94,6 +95,11 @@ type Server struct {
 	accepted atomic.Uint64
 	commands atomic.Uint64
 	panics   atomic.Uint64
+
+	// reg is the metric registry (see metrics.go); batchHist records
+	// per-batch service time behind obs.Enabled.
+	reg       *obs.Registry
+	batchHist obs.Histogram
 }
 
 // New creates a server over store. The session pool registers its
@@ -101,7 +107,7 @@ type Server struct {
 // startup, not per connection.
 func New(store kvstore.Store, cfg Config) *Server {
 	cfg.sanitize()
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		store:   store,
 		pool:    newSessionPool(store, cfg.Handles),
@@ -110,6 +116,8 @@ func New(store kvstore.Store, cfg Config) *Server {
 		drained: make(chan struct{}),
 		start:   time.Now(),
 	}
+	s.registerMetrics()
+	return s
 }
 
 // Listen binds the configured address. Separate from Serve so callers
