@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-hotpath figures examples torture loc serve loadtest bench-server metrics-smoke
+.PHONY: all build vet test race bench bench-hotpath figures examples torture loc serve loadtest bench-server metrics-smoke check-si
 
 all: build vet test
 
@@ -71,6 +71,24 @@ bench-server:
 # a non-monotonic counter).
 metrics-smoke:
 	./scripts/metrics_smoke.sh
+
+# Snapshot-isolation checker gate: race-built replay runs on all three
+# engines (with and without injected clock skew), a checker-attached
+# torture pass, and a mutation run — a build with -tags mvrlu_mutate
+# plants known engine bugs, so the checker MUST flag it; the gate goes
+# red if the mutated run comes back clean.
+check-si:
+	$(GO) run -race ./cmd/mvcheck -engine mvrlu -ops 5000
+	$(GO) run -race ./cmd/mvcheck -engine mvrlu -ops 5000 -skew 20us
+	$(GO) run -race ./cmd/mvcheck -engine rlu -ops 5000
+	$(GO) run -race ./cmd/mvcheck -engine rcu -ops 5000
+	$(GO) run -race ./cmd/mvtorture -duration 5s -config tiny-log -check
+	@echo "mutation run (must FAIL):"
+	@if $(GO) run -tags mvrlu_mutate ./cmd/mvcheck -engine mvrlu -ops 5000 -skew 20us >/dev/null 2>&1; then \
+		echo "FAIL: checker did not flag the mutated engine"; exit 1; \
+	else \
+		echo "ok: checker flagged the mutated engine"; \
+	fi
 
 loc:
 	@find . -name '*.go' | xargs wc -l | tail -1

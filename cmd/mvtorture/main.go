@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mvrlu/internal/check"
 	"mvrlu/internal/failpoint"
 	"mvrlu/mvrlu"
 )
@@ -107,6 +108,8 @@ func main() {
 		watchdog  = flag.Duration("watchdog", 30*time.Second, "abort with a goroutine dump after this long without worker progress")
 		traceOut  = flag.String("trace", "",
 			"write a runtime execution trace to this file (view with go tool trace); critical sections and GC passes appear as mvrlu.cs/mvrlu.gc regions")
+		checkHist   = flag.Bool("check", false, "record an execution history and run the snapshot-isolation checker (internal/check) at the end; violations fail the run")
+		checkEvents = flag.Int("checkevents", 0, "history event cap per stream for -check (0 = default; hitting the cap relaxes completeness-dependent rules)")
 	)
 	flag.Parse()
 
@@ -123,6 +126,14 @@ func main() {
 		defer failpoint.Reset()
 	}
 	startTorTrace(*traceOut)
+	var hist *check.History
+	if *checkHist {
+		hist = check.NewHistory(*checkEvents)
+		opts.Check = hist
+		// Recording must cover every commit from the first one, or later
+		// observations would look like unknown versions to the checker.
+		check.SetEnabled(true)
+	}
 	dom := mvrlu.NewDomain[record](opts)
 	defer dom.Close()
 
@@ -154,7 +165,8 @@ func main() {
 	// across a full interval, the run is wedged — dump every goroutine's
 	// stack and exit non-zero rather than hang CI.
 	watchdogDone := make(chan struct{})
-	defer close(watchdogDone)
+	stopWatchdog := sync.OnceFunc(func() { close(watchdogDone) })
+	defer stopWatchdog()
 	go func() {
 		last := int64(-1)
 		ticker := time.NewTicker(*watchdog)
@@ -187,18 +199,23 @@ func main() {
 			h := dom.Register()
 			defer h.Unregister()
 			for !stop.Load() {
-				h.ReadLock()
-				sum := 0
-				for _, holder := range registry {
-					sum += h.Deref(h.Deref(holder).Acct).Balance
-				}
-				if sum != total {
-					violations.Add(1)
-					fmt.Fprintf(os.Stderr, "pinned snapshot broken: total %d, want %d\n", sum, total)
-				}
-				time.Sleep(*stallpin)
-				h.ReadUnlock()
-				audits.Add(1)
+				// guard like the workers: the readlock-pin failpoint can
+				// just as well fire on this thread's ReadLock, and an
+				// unrecovered injected panic here kills the whole run.
+				guard(&injected, &panicked, func() {
+					h.ReadLock()
+					sum := 0
+					for _, holder := range registry {
+						sum += h.Deref(h.Deref(holder).Acct).Balance
+					}
+					if sum != total {
+						violations.Add(1)
+						fmt.Fprintf(os.Stderr, "pinned snapshot broken: total %d, want %d\n", sum, total)
+					}
+					time.Sleep(*stallpin)
+					h.ReadUnlock()
+					audits.Add(1)
+				})
 				time.Sleep(*stallpin / 4)
 			}
 		}()
@@ -346,6 +363,22 @@ func main() {
 	if st.StallEvents > 0 {
 		fmt.Printf("  stalls=%d stall-reports=%d stall-episodes=%d stall-total=%v\n",
 			st.StallEvents, st.StallReports, st.StallEpisodes, st.StallTotal)
+	}
+	if hist != nil {
+		// Workers have joined, so op counters are final; the watchdog
+		// would read the offline analysis below as "no progress" and kill
+		// the run, so retire it first.
+		stopWatchdog()
+		// All workers have joined and the final audit is done, so the
+		// domain is quiescent; close it to stop the detector before
+		// disabling recording, then check the full history.
+		dom.Close()
+		check.SetEnabled(false)
+		rep := check.Check(hist, check.Opts{Boundary: dom.Boundary()})
+		fmt.Printf("  %s\n", rep)
+		if !rep.Ok() {
+			violations.Add(int64(rep.Total))
+		}
 	}
 	stopTorTrace()
 	if v := violations.Load(); v != 0 {

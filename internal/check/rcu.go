@@ -1,0 +1,90 @@
+package check
+
+import "sort"
+
+// rcuSpan is one reader section or one synchronize episode, bracketed
+// by its tickets.
+type rcuSpan struct {
+	thread     int
+	begin, end uint64 // end == 0: stream ended inside the span
+}
+
+// CheckRCU validates an RCU history: no Synchronize may return while a
+// read-side section that was active when it started is still active.
+// internal/rcu has no timestamps, so the rule works purely on tickets,
+// whose stamp placement makes it sound: a reader's begin ticket is
+// drawn after its run counter goes odd and a synchronize's start ticket
+// before the scan, so begin < syncStart proves the scan had to see the
+// odd counter; the reader's end ticket is drawn before the counter goes
+// even and the synchronize's end ticket after the scan returns, so
+// end > syncEnd proves the counter was still odd when the scan gave up
+// waiting. Both orders together are a grace-period violation.
+func CheckRCU(h *History) *Report {
+	threads, global, truncSeq := h.snapshot()
+	r := &Report{Truncated: truncSeq != 0, max: 100}
+	for _, e := range global {
+		r.add("structure", "unexpected %v in RCU history", e)
+	}
+
+	var readers, syncs []rcuSpan
+	for ti, ev := range threads {
+		var curR, curS *rcuSpan
+		for _, e := range ev {
+			switch e.Kind {
+			case EvRCUBegin:
+				if curR != nil {
+					r.add("structure", "thread %d: nested rcu begin (%v)", ti, e)
+					readers = append(readers, *curR)
+				}
+				readers = append(readers, rcuSpan{thread: ti, begin: e.Seq})
+				curR = &readers[len(readers)-1]
+			case EvRCUEnd:
+				if curR == nil {
+					r.add("structure", "thread %d: rcu end without begin (%v)", ti, e)
+					continue
+				}
+				curR.end = e.Seq
+				curR = nil
+			case EvRCUSyncStart:
+				if curS != nil {
+					r.add("structure", "thread %d: nested synchronize (%v)", ti, e)
+					syncs = append(syncs, *curS)
+				}
+				if curR != nil {
+					r.add("structure", "thread %d: synchronize inside read section (%v)", ti, e)
+				}
+				syncs = append(syncs, rcuSpan{thread: ti, begin: e.Seq})
+				curS = &syncs[len(syncs)-1]
+			case EvRCUSyncEnd:
+				if curS == nil {
+					r.add("structure", "thread %d: synchronize end without start (%v)", ti, e)
+					continue
+				}
+				curS.end = e.Seq
+				curS = nil
+			default:
+				r.add("structure", "thread %d: unexpected %v in RCU history", ti, e)
+			}
+		}
+	}
+	r.Sections = len(readers)
+
+	sort.Slice(readers, func(i, j int) bool { return readers[i].begin < readers[j].begin })
+	for _, s := range syncs {
+		if s.end == 0 {
+			continue // stream ended mid-scan: outcome unknown
+		}
+		for _, rd := range readers {
+			if rd.begin >= s.begin {
+				break // readers sorted; later ones began after the scan started
+			}
+			// A reader with no recorded end may simply have outlived
+			// recording, so only fully bracketed sections count.
+			if rd.end > s.end && rd.thread != s.thread {
+				r.add("grace-period", "synchronize #%d..#%d on thread %d returned while thread %d section #%d..#%d was active",
+					s.begin, s.end, s.thread, rd.thread, rd.begin, rd.end)
+			}
+		}
+	}
+	return r
+}

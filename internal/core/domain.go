@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"weak"
 
+	"mvrlu/internal/check"
 	"mvrlu/internal/clock"
 	"mvrlu/internal/obs"
 )
@@ -52,6 +53,11 @@ type Domain[T any] struct {
 
 	// sentinel occupies Object.pending during GC write-back.
 	sentinel *version[T]
+
+	// chk is the attached history recorder (Options.Check), nil in
+	// normal operation; threads registered while it is set record into
+	// per-thread streams, GC and the detector into its global stream.
+	chk *check.History
 
 	gp     *gpDetector[T]
 	closed atomic.Bool
@@ -152,6 +158,7 @@ func NewDomain[T any](opts Options) *Domain[T] {
 		}
 	}
 	d.sentinel = &version[T]{owner: -1}
+	d.chk = opts.Check
 	empty := make([]threadEntry[T], 0)
 	d.threads.Store(&empty)
 	d.gp = newGPDetector(d)
@@ -207,6 +214,9 @@ func (d *Domain[T]) Register() *Thread[T] {
 	}
 	t := newThread(d, d.nextID)
 	d.nextID++
+	if d.chk != nil {
+		t.crec = d.chk.ThreadRec()
+	}
 	e := threadEntry[T]{
 		id:     t.id,
 		handle: weak.Make(t),
@@ -312,10 +322,19 @@ func (d *Domain[T]) refreshWatermark() uint64 {
 			minTS = ts
 		}
 	}
-	if minTS > d.boundary {
-		minTS -= d.boundary
-	} else {
-		minTS = 0
+	raw := minTS
+	if !mutateSkipWatermarkBoundary {
+		if minTS > d.boundary {
+			minTS -= d.boundary
+		} else {
+			minTS = 0
+		}
+	}
+	if d.chk != nil && check.Enabled() {
+		// Recorded before the publish CAS: any collector that loads
+		// the published value is then guaranteed to find this
+		// broadcast ticketed before its own reclaim events.
+		d.chk.Watermark(raw, minTS, d.boundary)
 	}
 	w := d.watermark.Load()
 	for minTS > w {
@@ -334,6 +353,10 @@ func (d *Domain[T]) refreshWatermark() uint64 {
 
 // Watermark returns the last broadcast reclamation watermark.
 func (d *Domain[T]) Watermark() uint64 { return d.watermark.Load() }
+
+// Boundary returns the clock's ORDO uncertainty window — what the
+// history checker (internal/check) must be configured with.
+func (d *Domain[T]) Boundary() uint64 { return d.boundary }
 
 // Now exposes the domain clock (examples and tests).
 func (d *Domain[T]) Now() uint64 { return d.clk.Now() }

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"runtime/trace"
 
+	"mvrlu/internal/check"
 	"mvrlu/internal/failpoint"
 	"mvrlu/internal/obs"
 )
@@ -234,11 +235,35 @@ func (t *Thread[T]) collectPass() uint64 {
 	capU := uint64(len(t.log))
 	head := t.pin.head.Load()
 	tail := t.pin.tail.Load()
+	chk := t.d.chk
+	if chk != nil && !check.Enabled() {
+		chk = nil
+	}
 	n := uint64(0)
 	for tail+n < head {
 		v := &t.log[(tail+n)%capU]
 		if !t.reclaimable(v, w) {
 			break
+		}
+		if chk != nil {
+			// Recorded before the tail advance releases the slot for
+			// reuse, so an observation of this version ticketed after
+			// this event is a genuine use-after-reclaim. The global
+			// stream is used because in single-collector mode this
+			// pass runs on the detector goroutine, not the owner.
+			var fl uint8
+			if v.constLock {
+				fl |= check.FlagConst
+			}
+			if v.freeing {
+				fl |= check.FlagFree
+			}
+			pts := v.prunedTS.Load()
+			if pts != 0 {
+				fl |= check.FlagPruned
+			}
+			chk.Reclaim(check.ObjID(&v.obj.oid), v.commitTS.Load(),
+				v.supersededTS.Load(), pts, w, fl)
 		}
 		n++
 	}
@@ -341,8 +366,12 @@ func (t *Thread[T]) writeback(v *version[T]) {
 		o.copy.Store(nil)
 		// Stamp the prune after unlinking: any reader that can
 		// still reach v loaded the chain before this timestamp.
-		v.prunedTS.Store(t.d.clk.Now() + t.d.boundary)
+		pts := t.d.clk.Now() + t.d.boundary
+		v.prunedTS.Store(pts)
 		t.stats.writebacks++
+		if chk := t.d.chk; chk != nil && check.Enabled() {
+			chk.Writeback(check.ObjID(&o.oid), v.commitTS.Load(), pts)
+		}
 	}
 	o.pending.Store(nil)
 }

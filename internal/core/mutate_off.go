@@ -1,0 +1,26 @@
+//go:build !mvrlu_mutate
+
+package core
+
+// Mutation mode is OFF: this is the correct engine. The constants below
+// are compile-time false, so the mutated branches vanish entirely from
+// the generated code.
+//
+// Building with -tags mvrlu_mutate swaps in mutate_on.go, which weakens
+// the engine in two targeted, deterministic ways; the history checker
+// (internal/check) must flag both. CI runs the mutated build and fails
+// if the checker stays green — proving the net can actually catch the
+// class of bug it exists for.
+const (
+	// mutateAmbiguousDeref drops the ORDO-window guard from the deref
+	// version pick: a version whose commit timestamp lies inside the
+	// uncertainty window of the reader's entry timestamp is returned as
+	// if unambiguously committed (the pre-fix `<=` comparison). Caught
+	// by the checker's snapshot rule.
+	mutateAmbiguousDeref = false
+	// mutateSkipWatermarkBoundary publishes the reclamation watermark
+	// without retarding it by the ORDO boundary, the Theorem 2
+	// violation that lets reclamation overtake a reader whose clock
+	// runs behind. Caught by the checker's watermark rule.
+	mutateSkipWatermarkBoundary = false
+)

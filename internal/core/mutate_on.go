@@ -1,0 +1,13 @@
+//go:build mvrlu_mutate
+
+package core
+
+// Mutation mode is ON: the engine is deliberately broken in two
+// deterministic ways (see mutate_off.go for what each constant weakens).
+// This build exists only to prove the history checker fires; it must
+// never ship. CI builds it, runs a checker-enabled torture pass with an
+// injected ORDO window, and asserts a non-zero verdict.
+const (
+	mutateAmbiguousDeref        = true
+	mutateSkipWatermarkBoundary = true
+)

@@ -20,6 +20,13 @@ type Object[T any] struct {
 	// freed is set once a Free committed; the object can never be
 	// locked again (§3.8).
 	freed atomic.Bool
+	// oid is the object's history-checker identity (internal/check),
+	// lazily assigned on the first recorded event that touches the
+	// object. A dedicated field rather than the object's address: freed
+	// objects' memory can be reused by the runtime mid-history, which
+	// would fuse two unrelated version chains in the record. Never
+	// touched unless recording is enabled.
+	oid atomic.Uint64
 	// master is the master copy of the payload. It is read by
 	// dereferences that find no applicable version and written only
 	// during GC write-back, when the watermark proves no reader can be

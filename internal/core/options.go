@@ -1,6 +1,10 @@
 package core
 
-import "time"
+import (
+	"time"
+
+	"mvrlu/internal/check"
+)
 
 // GCMode selects who reclaims per-thread logs. The modes form the middle
 // rungs of the paper's factor analysis (§6.3).
@@ -90,6 +94,17 @@ type Options struct {
 	// ~13ms at the default GPInterval); negative disables stall
 	// detection entirely.
 	StallThreshold int
+
+	// Check, when non-nil, attaches a history recorder (internal/check)
+	// to the domain: every thread registered afterwards records its
+	// critical sections, dereferences, and commits into a per-thread
+	// stream, and GC reclamation / write-backs / watermark broadcasts
+	// into the history's global stream — but only while
+	// check.SetEnabled(true) is in effect. With recording disabled (the
+	// default) each record site costs a nil test on an owner-local
+	// pointer; with Check nil it costs the same and can never enable.
+	// Hand the history to check.Check for the verdict.
+	Check *check.History
 
 	// OnStall, when non-nil, is invoked once per stall episode by the
 	// grace-period detector (BlockedWriter = -1) and once per episode by

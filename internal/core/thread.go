@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"mvrlu/internal/check"
 	"mvrlu/internal/failpoint"
 	"mvrlu/internal/obs"
 )
@@ -54,6 +55,12 @@ type Thread[T any] struct {
 	hists    *threadHists
 	csStart  int64
 	csRegion *trace.Region
+
+	// crec is this thread's history-checker stream, nil unless the
+	// domain was built with Options.Check. Every record site tests the
+	// pointer first (an owner-local load) and only then the package
+	// enable gate, so the common nil case costs no atomics at all.
+	crec *check.ThreadRec
 
 	// log is the circular array of version slots; headC is the owner's
 	// cached head counter (slot = counter mod capacity).
@@ -190,6 +197,12 @@ func (t *Thread[T]) ReadLock() {
 	t.ts = ts
 	t.pin.localTS.Store(ts)
 	t.inCS = true
+	if t.crec != nil && check.Enabled() {
+		// Stamped after the pin and entry timestamp are published, so
+		// the recorded order never claims a pin earlier than the scan
+		// machinery could have seen it.
+		t.crec.Begin(ts)
+	}
 	if t.wsRetired != nil {
 		// Stamp the header the last commit retired. This clock read
 		// postdates that commit's duplicate stores (same goroutine),
@@ -253,6 +266,12 @@ func (t *Thread[T]) ReadUnlock() {
 		}
 	}
 	t.inCS = false
+	if t.crec != nil && check.Enabled() {
+		// Stamped while the pin is still held: an exit ticket drawn
+		// after a watermark broadcast's then proves the scan had to
+		// count this section.
+		t.crec.End()
+	}
 	t.pin.localTS.Store(0)
 	if t.csStart != 0 || t.csRegion != nil {
 		t.obsEndCS()
@@ -269,6 +288,9 @@ func (t *Thread[T]) Abort() {
 	}
 	t.rollback()
 	t.inCS = false
+	if t.crec != nil && check.Enabled() {
+		t.crec.Abort() // before the pin release, like ReadUnlock's End
+	}
 	t.pin.localTS.Store(0)
 	t.stats.aborts++
 	if t.csStart != 0 || t.csRegion != nil {
@@ -314,6 +336,9 @@ func (t *Thread[T]) protectedApply(fn func(*Thread[T]) bool) (done bool) {
 			if t.inCS {
 				t.rollback()
 				t.inCS = false
+				if t.crec != nil && check.Enabled() {
+					t.crec.Abort()
+				}
 				t.pin.localTS.Store(0)
 				t.stats.panicAborts++
 			}
@@ -335,6 +360,9 @@ func (t *Thread[T]) protectedApply(fn func(*Thread[T]) bool) (done bool) {
 // read-only (use TryLock to write). Deref(nil) returns nil so pointer
 // chains terminate naturally.
 func (t *Thread[T]) Deref(o *Object[T]) *T {
+	if t.crec != nil && check.Enabled() {
+		return t.derefChecked(o)
+	}
 	if obs.Enabled() {
 		return t.derefObserved(o)
 	}
@@ -370,6 +398,7 @@ func (t *Thread[T]) derefWalk(o *Object[T]) *T {
 		return &o.master
 	}
 	ts := t.ts
+	bd := t.d.boundary
 	for v != nil {
 		t.stats.chainSteps++
 		// resolveTS folded inline: the common hop — a committed
@@ -382,13 +411,61 @@ func (t *Thread[T]) derefWalk(o *Object[T]) *T {
 				cts = h.commitTS.Load()
 			}
 		}
-		if cts <= ts {
+		// Window-conservative pick (§3.9): a commit timestamp inside
+		// the ORDO uncertainty window of the entry timestamp is
+		// ambiguous — the commit may have happened after the reader
+		// entered — so it must not be selected, mirroring the
+		// writer-side `ts < hts+boundary` ordering check in tryLock.
+		// The two-part form avoids uint64 underflow when ts < cts;
+		// with a zero boundary it reduces to the plain `cts <= ts`.
+		if cts <= ts && (mutateAmbiguousDeref || ts-cts >= bd) {
 			t.derefCopy++
 			return &v.data
 		}
 		v = v.older
 	}
 	t.derefMaster++
+	return &o.master
+}
+
+// derefChecked is Deref's history-recording path: the same walk as
+// derefWalk, plus one event per observation carrying the object id, the
+// observed commit timestamp (0 for the master), and the hops walked.
+// Kept as a separate copy of the walk so the unchecked hot path stays
+// byte-identical; any change to the walk must be made in both.
+func (t *Thread[T]) derefChecked(o *Object[T]) *T {
+	if o == nil {
+		return nil
+	}
+	oid := check.ObjID(&o.oid)
+	tk := t.crec.DerefTicket() // before the first load; see DerefTicket
+	v := o.copy.Load()
+	if v == nil {
+		t.derefMaster++
+		t.crec.DerefAt(tk, oid, 0, 0, check.FlagFromMaster)
+		return &o.master
+	}
+	ts := t.ts
+	bd := t.d.boundary
+	hops := uint64(0)
+	for v != nil {
+		t.stats.chainSteps++
+		hops++
+		cts := v.commitTS.Load()
+		if cts == infinity {
+			if h := v.ws; h != nil {
+				cts = h.commitTS.Load()
+			}
+		}
+		if cts <= ts && (mutateAmbiguousDeref || ts-cts >= bd) {
+			t.derefCopy++
+			t.crec.DerefAt(tk, oid, cts, hops, 0)
+			return &v.data
+		}
+		v = v.older
+	}
+	t.derefMaster++
+	t.crec.DerefAt(tk, oid, 0, hops, check.FlagFromMaster)
 	return &o.master
 }
 
@@ -526,13 +603,16 @@ func (t *Thread[T]) injectTryLockCAS(v *version[T]) {
 // structure in the same critical section (that is what makes it invisible
 // to new readers); old snapshots keep reading its versions until the
 // grace period expires. Returns false if o is not locked by this thread
-// in this critical section.
+// in this critical section, or only const-locked: a TryLockConst copy is
+// validation-only and its commit path drops the version without ever
+// consulting the freeing flag, so accepting the call here would silently
+// discard the free while reporting success. Upgrade with TryLock first.
 func (t *Thread[T]) Free(o *Object[T]) bool {
 	if !t.inCS || o == nil {
 		return false
 	}
 	p := o.pending.Load()
-	if p == nil || p.owner != t.id || p.ws != t.ws || t.ws == nil {
+	if p == nil || p.owner != t.id || p.ws != t.ws || t.ws == nil || p.constLock {
 		return false
 	}
 	p.freeing = true
@@ -571,6 +651,9 @@ func (t *Thread[T]) injectCommitPublish() {
 		if r := recover(); r != nil {
 			t.finishCommit()
 			t.inCS = false
+			if t.crec != nil && check.Enabled() {
+				t.crec.End() // the commit went through: a clean exit
+			}
 			t.pin.localTS.Store(0)
 			t.obsEndCS()
 			panic(r)
@@ -603,6 +686,27 @@ func (t *Thread[T]) finishCommit() {
 			continue
 		}
 		v.obj.pending.Store(nil)
+	}
+	if t.crec != nil && check.Enabled() {
+		// One event per write-set entry, after the set is fully
+		// published (the records are bookkeeping, not part of the
+		// commit protocol) and before endWriteSet clears it.
+		for _, v := range t.wset {
+			var fl uint8
+			basedOn := uint64(0)
+			if v.constLock {
+				fl |= check.FlagConst
+			}
+			if v.freeing {
+				fl |= check.FlagFree
+			}
+			if v.older != nil {
+				basedOn = v.olderTS
+			} else {
+				fl |= check.FlagFromMaster
+			}
+			t.crec.Write(check.ObjID(&v.obj.oid), cts, basedOn, fl)
+		}
 	}
 	t.stats.commits++
 	t.endWriteSet(true)

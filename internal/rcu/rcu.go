@@ -18,13 +18,22 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"mvrlu/internal/check"
 )
 
 // Domain tracks registered reader threads for grace-period detection.
 type Domain struct {
 	threads atomic.Pointer[[]*Thread]
 	mu      sync.Mutex
+	// chk is the attached history recorder, nil in normal operation.
+	chk *check.History
 }
+
+// AttachHistory attaches a history recorder: threads registered
+// afterwards record read-side sections and Synchronize episodes while
+// check recording is enabled, for check.CheckRCU's grace-period rule.
+func (d *Domain) AttachHistory(h *check.History) { d.chk = h }
 
 // NewDomain creates an RCU domain.
 func NewDomain() *Domain {
@@ -40,6 +49,9 @@ func (d *Domain) Register() *Thread {
 	defer d.mu.Unlock()
 	old := *d.threads.Load()
 	t := &Thread{d: d}
+	if d.chk != nil {
+		t.crec = d.chk.ThreadRec()
+	}
 	next := make([]*Thread, len(old)+1)
 	copy(next, old)
 	next[len(old)] = t
@@ -54,15 +66,32 @@ type Thread struct {
 	runCnt atomic.Uint64
 	// callbacks are deferred reclamation callbacks (call_rcu).
 	callbacks []func()
+	// crec is the history-checker stream, nil unless attached.
+	crec *check.ThreadRec
 	// SyncSpins counts grace-period polling iterations (stats).
 	SyncSpins uint64
 }
 
 // ReadLock enters a read-side critical section. Sections may not nest.
-func (t *Thread) ReadLock() { t.runCnt.Add(1) }
+func (t *Thread) ReadLock() {
+	t.runCnt.Add(1)
+	if t.crec != nil && check.Enabled() {
+		// Ticketed after the counter goes odd: a begin ticket before a
+		// synchronize's start ticket proves the scan saw this section.
+		t.crec.RCUBegin()
+	}
+}
 
 // ReadUnlock leaves the read-side critical section.
-func (t *Thread) ReadUnlock() { t.runCnt.Add(1) }
+func (t *Thread) ReadUnlock() {
+	if t.crec != nil && check.Enabled() {
+		// Ticketed before the counter goes even: an end ticket after a
+		// synchronize's end ticket proves the scan returned while this
+		// section was still active.
+		t.crec.RCUEnd()
+	}
+	t.runCnt.Add(1)
+}
 
 // InCS reports whether the handle is inside a read-side section.
 func (t *Thread) InCS() bool { return t.runCnt.Load()%2 == 1 }
@@ -73,6 +102,10 @@ func (t *Thread) InCS() bool { return t.runCnt.Load()%2 == 1 }
 func (t *Thread) Synchronize() {
 	if t.InCS() {
 		panic("rcu: Synchronize inside read-side critical section")
+	}
+	rec := t.crec != nil && check.Enabled()
+	if rec {
+		t.crec.RCUSyncStart() // ticketed before the scan begins
 	}
 	threads := *t.d.threads.Load()
 	type obs struct {
@@ -94,6 +127,9 @@ func (t *Thread) Synchronize() {
 			t.SyncSpins++
 			runtime.Gosched()
 		}
+	}
+	if rec {
+		t.crec.RCUSyncEnd() // ticketed after every waited reader left
 	}
 }
 

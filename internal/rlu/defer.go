@@ -1,5 +1,7 @@
 package rlu
 
+import "mvrlu/internal/check"
+
 // Deferred write-back ("RLU defer", RLU paper §3.5; the MV-RLU paper
 // evaluated both and reports no noticeable difference — §6.1). In
 // deferring mode a committing thread skips rlu_synchronize: its copies
@@ -47,6 +49,18 @@ func (t *Thread[T]) Flush() {
 func (t *Thread[T]) flush() {
 	wc := t.d.writeClock()
 	t.writeC.Store(wc)
+	rec := t.crec != nil && check.Enabled()
+	if rec {
+		// Every RLU commit copies from the master (TryLock has no
+		// chain to base on) and carries the flush's write clock.
+		for _, e := range t.wlog {
+			fl := check.FlagFromMaster
+			if e.freeing {
+				fl |= check.FlagFree
+			}
+			t.crec.Write(check.ObjID(&e.obj.oid), wc, 0, fl)
+		}
+	}
 	t.synchronize(wc)
 	for _, e := range t.wlog {
 		if e.freeing {
@@ -56,6 +70,12 @@ func (t *Thread[T]) flush() {
 		}
 	}
 	for _, e := range t.wlog {
+		if rec && !e.freeing {
+			// The master-write above is this commit's write-back.
+			// Recorded before the unlock below so a successor that
+			// locks the master can only be ticketed after it.
+			t.d.chk.Writeback(check.ObjID(&e.obj.oid), wc, 0)
+		}
 		e.obj.copy.Store(nil)
 	}
 	t.writeC.Store(infinity)

@@ -23,6 +23,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"mvrlu/internal/check"
 	"mvrlu/internal/clock"
 )
 
@@ -43,7 +44,10 @@ const (
 type Object[T any] struct {
 	copy  atomic.Pointer[entry[T]] // lock word and copy pointer in one
 	freed atomic.Bool
-	data  T // master
+	// oid is the history-checker identity (internal/check), lazily
+	// assigned on first recorded event; untouched otherwise.
+	oid  atomic.Uint64
+	data T // master
 }
 
 // NewObject allocates a master object.
@@ -74,6 +78,23 @@ type Domain[T any] struct {
 	// deferred enables RLU's deferred write-back mode (see defer.go).
 	deferred bool
 	deferCap int
+	// chk is the attached history recorder, nil in normal operation.
+	chk *check.History
+}
+
+// AttachHistory attaches a history recorder: threads registered
+// afterwards record sections, dereferences, and flush write-backs while
+// check recording is enabled. RLU maps onto the checker's multi-version
+// model directly: every TryLock copies from the master (from-master
+// commits) and every flush is the write-back of its write clock.
+// Deferred domains are rejected — a deferred flush runs outside any
+// critical section, which the section-structured event model cannot
+// express.
+func (d *Domain[T]) AttachHistory(h *check.History) {
+	if d.deferred {
+		panic("rlu: AttachHistory on a deferred domain")
+	}
+	d.chk = h
 }
 
 // NewDomain creates an RLU domain.
@@ -114,6 +135,9 @@ func (d *Domain[T]) Register() *Thread[T] {
 	old := *d.threads.Load()
 	t := &Thread[T]{d: d, id: len(old)}
 	t.writeC.Store(infinity)
+	if d.chk != nil {
+		t.crec = d.chk.ThreadRec()
+	}
 	next := make([]*Thread[T], len(old)+1)
 	copy(next, old)
 	next[len(old)] = t
@@ -142,6 +166,10 @@ type Thread[T any] struct {
 	inCS    bool
 	// syncReq asks a deferring thread to flush at its next boundary.
 	syncReq atomic.Bool
+
+	// crec is the history-checker stream, nil unless the domain had a
+	// History attached at registration time.
+	crec *check.ThreadRec
 
 	stats Stats
 }
@@ -187,7 +215,11 @@ func (t *Thread[T]) ReadLock() {
 	}
 	t.inCS = true
 	t.runCnt.Add(1) // odd: active
-	t.localC.Store(t.d.readClock())
+	lc := t.d.readClock()
+	t.localC.Store(lc)
+	if t.crec != nil && check.Enabled() {
+		t.crec.Begin(lc)
+	}
 }
 
 // Deref returns the view of o for this critical section: the master, the
@@ -197,16 +229,35 @@ func (t *Thread[T]) Deref(o *Object[T]) *T {
 	if o == nil {
 		return nil
 	}
+	var tk uint64
+	rec := t.crec != nil && check.Enabled()
+	if rec {
+		tk = t.crec.DerefTicket() // before the first load; see DerefTicket
+	}
 	e := o.copy.Load()
 	if e == nil {
+		if rec {
+			t.crec.DerefAt(tk, check.ObjID(&o.oid), 0, 0, check.FlagFromMaster)
+		}
 		return &o.data
 	}
 	if e.thr == t {
+		if rec {
+			t.crec.DerefAt(tk, check.ObjID(&o.oid), 0, 1, check.FlagOwn)
+		}
 		return &e.data
 	}
-	if e.thr.writeC.Load() <= t.localC.Load() {
+	if wc := e.thr.writeC.Load(); wc <= t.localC.Load() {
 		t.stats.Steals++
+		if rec {
+			// A stolen copy is an observation of the commit at the
+			// writer's advertised write clock.
+			t.crec.DerefAt(tk, check.ObjID(&o.oid), wc, 1, 0)
+		}
 		return &e.data
+	}
+	if rec {
+		t.crec.DerefAt(tk, check.ObjID(&o.oid), 0, 1, check.FlagFromMaster)
 	}
 	return &o.data
 }
@@ -270,6 +321,9 @@ func (t *Thread[T]) ReadUnlock() {
 		t.commit()
 	}
 	t.inCS = false
+	if t.crec != nil && check.Enabled() {
+		t.crec.End() // before the quiescent transition, like core's End
+	}
 	t.runCnt.Add(1) // even: quiescent
 	if t.d.deferred && len(t.wlog) > 0 &&
 		(t.syncReq.Load() || len(t.wlog) >= t.d.deferCap) {
@@ -290,6 +344,9 @@ func (t *Thread[T]) Abort() {
 	}
 	t.wlog = t.wlog[:t.wsStart]
 	t.inCS = false
+	if t.crec != nil && check.Enabled() {
+		t.crec.Abort()
+	}
 	t.runCnt.Add(1)
 	t.stats.Aborts++
 }

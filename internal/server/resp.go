@@ -93,7 +93,7 @@ func ReadCommand(r *bufio.Reader) ([][]byte, error) {
 	return args, nil
 }
 
-// readInline parses a space-separated command line.
+// readInline parses a whitespace-separated command line.
 func readInline(r *bufio.Reader) ([][]byte, error) {
 	line, err := readLine(r, maxInline)
 	if err != nil {
@@ -102,7 +102,7 @@ func readInline(r *bufio.Reader) ([][]byte, error) {
 	var args [][]byte
 	start := -1
 	for i := 0; i <= len(line); i++ {
-		if i < len(line) && line[i] != ' ' {
+		if i < len(line) && !inlineSep(line[i]) {
 			if start < 0 {
 				start = i
 			}
@@ -114,6 +114,18 @@ func readInline(r *bufio.Reader) ([][]byte, error) {
 		}
 	}
 	return args, nil
+}
+
+// inlineSep reports an inline-command word separator. Redis splits
+// inline commands on any isspace() byte, not just ' '; in particular a
+// bare CR (one not part of the terminating CRLF) separates words rather
+// than being smuggled into an argument.
+func inlineSep(b byte) bool {
+	switch b {
+	case ' ', '\t', '\r', '\v', '\f':
+		return true
+	}
+	return false
 }
 
 // readInt parses the decimal integer after a type prefix, up to CRLF.
@@ -130,7 +142,11 @@ func readInt(r *bufio.Reader) (int64, error) {
 }
 
 // readLine reads up to CRLF (bare LF tolerated for inline commands),
-// bounded by max.
+// bounded by max CONTENT bytes: the cap is on the line after the
+// terminator is stripped, so the max+1'th raw byte is allowed only when
+// it is the CR of the trailing CRLF. (Capping the raw bytes instead
+// rejected max-length CRLF-terminated lines while accepting the same
+// content LF-terminated.)
 func readLine(r *bufio.Reader, max int) ([]byte, error) {
 	var line []byte
 	for {
@@ -142,10 +158,13 @@ func readLine(r *bufio.Reader, max int) ([]byte, error) {
 			if n := len(line); n > 0 && line[n-1] == '\r' {
 				line = line[:n-1]
 			}
+			if len(line) > max {
+				return nil, protoErrf("line exceeds %d bytes", max)
+			}
 			return line, nil
 		}
 		line = append(line, b)
-		if len(line) > max {
+		if len(line) > max+1 || (len(line) == max+1 && b != '\r') {
 			return nil, protoErrf("line exceeds %d bytes", max)
 		}
 	}

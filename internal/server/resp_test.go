@@ -139,6 +139,72 @@ func TestReplyRoundTrip(t *testing.T) {
 	}
 }
 
+// TestNullBulkAsymmetry pins the intended $-1 asymmetry: a null bulk is
+// a legal *reply* (ReadReply yields NullReply, the GET-miss answer) but
+// has no meaning inside a *command* array — an argument is a byte
+// string, possibly empty, never null — so ReadCommand must reject it
+// rather than invent an empty arg.
+func TestNullBulkAsymmetry(t *testing.T) {
+	r := bufio.NewReader(strings.NewReader("*1\r\n$-1\r\n"))
+	if _, err := ReadCommand(r); err == nil {
+		t.Fatal("ReadCommand accepted a null bulk argument")
+	}
+	p, err := ReadReply(bufio.NewReader(strings.NewReader("$-1\r\n")))
+	if err != nil || p.Kind != NullReply {
+		t.Fatalf("null bulk reply: %v, %v", p, err)
+	}
+	p, err = ReadReply(bufio.NewReader(strings.NewReader("*-1\r\n")))
+	if err != nil || p.Kind != NullReply {
+		t.Fatalf("null array reply: %v, %v", p, err)
+	}
+}
+
+// TestInlineWhitespace: inline commands split on any whitespace byte —
+// in particular a bare CR is a separator, not argument content.
+func TestInlineWhitespace(t *testing.T) {
+	r := bufio.NewReader(strings.NewReader("SET\tfoo\rbar\v\fbaz\n"))
+	args, err := ReadCommand(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"SET", "foo", "bar", "baz"}
+	if len(args) != len(want) {
+		t.Fatalf("args = %q, want %q", args, want)
+	}
+	for i, w := range want {
+		if string(args[i]) != w {
+			t.Fatalf("arg %d = %q, want %q", i, args[i], w)
+		}
+	}
+	// All-whitespace line: zero args, not an error.
+	args, err = ReadCommand(bufio.NewReader(strings.NewReader(" \t \r\n")))
+	if err != nil || len(args) != 0 {
+		t.Fatalf("blank line: %q, %v", args, err)
+	}
+}
+
+// TestReadLineCapBoundary: the inline cap counts content bytes, so a
+// maxInline-byte line is accepted with either terminator and one more
+// byte is rejected with either terminator.
+func TestReadLineCapBoundary(t *testing.T) {
+	atCap := strings.Repeat("a", maxInline)
+	for _, raw := range []string{atCap + "\r\n", atCap + "\n"} {
+		args, err := ReadCommand(bufio.NewReader(strings.NewReader(raw)))
+		if err != nil {
+			t.Fatalf("rejected %d-byte line (terminator %q): %v", maxInline, raw[len(raw)-2:], err)
+		}
+		if len(args) != 1 || len(args[0]) != maxInline {
+			t.Fatalf("parsed %d args, arg0 len %d", len(args), len(args[0]))
+		}
+	}
+	over := strings.Repeat("a", maxInline+1)
+	for _, raw := range []string{over + "\r\n", over + "\n", over} {
+		if _, err := ReadCommand(bufio.NewReader(strings.NewReader(raw))); err == nil {
+			t.Fatalf("accepted %d-byte line", maxInline+1)
+		}
+	}
+}
+
 // FuzzRESPDecode round-trips the codec: any byte stream the decoder
 // accepts must re-encode (as a canonical array of bulk strings) to a
 // form the decoder parses back to the identical argument list.
@@ -148,6 +214,11 @@ func FuzzRESPDecode(f *testing.F) {
 	f.Add([]byte("GET foo\r\n"))
 	f.Add([]byte("*0\r\n"))
 	f.Add([]byte("*2\r\n$0\r\n\r\n$5\r\nab\r\nc\r\n"))
+	f.Add([]byte("*1\r\n$-1\r\n"))
+	f.Add([]byte("GET\tfoo\rbar\v\fbaz\n"))
+	f.Add([]byte("*-1\r\n"))
+	f.Add([]byte("$-1\r\n"))
+	f.Add([]byte(strings.Repeat("a", maxInline) + "\r\n"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		args, err := ReadCommand(bufio.NewReader(bytes.NewReader(data)))
 		if err != nil {

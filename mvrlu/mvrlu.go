@@ -29,7 +29,10 @@
 //	h.ReadUnlock()
 package mvrlu
 
-import "mvrlu/internal/core"
+import (
+	"mvrlu/internal/check"
+	"mvrlu/internal/core"
+)
 
 // Domain is an MV-RLU synchronization domain. See core.Domain.
 type Domain[T any] = core.Domain[T]
@@ -75,3 +78,34 @@ func NewObject[T any](data T) *Object[T] { return core.NewObject(data) }
 
 // DefaultOptions mirror the paper's configuration (§6.1).
 func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Execution checking (see DESIGN.md §9 and internal/check): attach a
+// History via Options.Check, enable recording before the first commit
+// with SetCheckEnabled, and run CheckHistory over the quiesced domain's
+// record to verify snapshot isolation, lost-update freedom, write-skew
+// prevention, and GC safety offline. Without these aliases the
+// Options.Check field would name a type external importers cannot
+// reach.
+
+// History records an execution for offline checking. See check.History.
+type History = check.History
+
+// CheckOpts configures CheckHistory. See check.Opts.
+type CheckOpts = check.Opts
+
+// CheckReport is a checker verdict. See check.Report.
+type CheckReport = check.Report
+
+// NewHistory allocates a recording buffer; maxEvents bounds each event
+// stream (0 means the package default).
+func NewHistory(maxEvents int) *History { return check.NewHistory(maxEvents) }
+
+// SetCheckEnabled toggles the global record gate. Enable it before the
+// domain's first commit and disable only while quiescent; a partially
+// recorded history is reported as violations by design.
+func SetCheckEnabled(on bool) { check.SetEnabled(on) }
+
+// CheckHistory runs the offline checker. Pass the domain's Boundary()
+// as CheckOpts.Boundary so ORDO-ambiguous observations are not
+// misreported.
+func CheckHistory(h *History, o CheckOpts) *CheckReport { return check.Check(h, o) }
