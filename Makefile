@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-hotpath figures examples torture loc serve loadtest bench-server metrics-smoke check-si
+.PHONY: all build vet test race bench bench-hotpath figures examples torture loc serve loadtest bench-server bench-server-sharded metrics-smoke check-si
 
 all: build vet test
 
@@ -48,6 +48,7 @@ torture:
 	$(GO) run ./cmd/mvtorture -duration 10s -threads 8
 	$(GO) run ./cmd/mvtorture -duration 10s -config tiny-log
 	$(GO) run ./cmd/mvtorture -duration 10s -config dynamic-log
+	$(GO) run ./cmd/mvtorture -duration 10s -shards 4 -threads 2
 	$(GO) run -race ./cmd/mvtorture -duration 10s -config tiny-log \
 		-faults 'readlock-pin=panic/211,trylock-cas=panic/193,commit-publish=panic/197,alloc-capacity=panic/41,writeback=panic/19,detector-scan=panic/11' \
 		-panicfrac 0.05 -stallpin 25ms
@@ -62,9 +63,15 @@ loadtest:
 		-readpct 90 -duration 5s
 
 # Regenerate BENCH_server.json: daemon + load generator at 1/8/64
-# connections, mvrlu-kv vs vanilla.
+# connections, mvrlu-kv vs vanilla, plus a sharded mvrlu-kv cell
+# (shards=GOMAXPROCS; forced to 4 on a 1-core host).
 bench-server:
 	./scripts/bench_server.sh
+
+# The sharded cell alone, forced to 4 shards regardless of core count —
+# quick check of the batch router's cost/benefit.
+bench-server-sharded:
+	SHARDS=4 ./scripts/bench_server.sh
 
 # Scrape-safety smoke: race-built daemon under load while /metrics,
 # INFO, and METRICS are polled in a loop (fails on any scrape error or
@@ -80,6 +87,7 @@ metrics-smoke:
 check-si:
 	$(GO) run -race ./cmd/mvcheck -engine mvrlu -ops 5000
 	$(GO) run -race ./cmd/mvcheck -engine mvrlu -ops 5000 -skew 20us
+	$(GO) run -race ./cmd/mvcheck -engine mvrlu -ops 5000 -shards 4
 	$(GO) run -race ./cmd/mvcheck -engine rlu -ops 5000
 	$(GO) run -race ./cmd/mvcheck -engine rcu -ops 5000
 	$(GO) run -race ./cmd/mvtorture -duration 5s -config tiny-log -check

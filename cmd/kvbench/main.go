@@ -27,6 +27,8 @@ func main() {
 		slots    = flag.Int("slots", kvstore.DefaultSlots, "slot count")
 		buckets  = flag.Int("buckets", kvstore.DefaultBucketsPerSlot, "buckets per slot")
 		duration = flag.Duration("duration", 200*time.Millisecond, "measurement duration per cell")
+		shards   = flag.Int("shards", 1,
+			"hash-partitioned store shards, each its own engine domain (1 = unsharded)")
 		only     = flag.String("builds", strings.Join(kvstore.Names(), ","),
 			"comma-separated store builds to run (any of: "+strings.Join(kvstore.Names(), ", ")+")")
 	)
@@ -60,13 +62,15 @@ func main() {
 		builds = append(builds, name)
 	}
 	for _, u := range []float64{0.02, 0.20} {
-		tab := bench.NewTable(
-			fmt.Sprintf("Figure 10: cache DB, %d records × %dB, %.0f%% update (ops/µs)",
-				*records, *value, u*100),
-			"threads", builds...)
+		title := fmt.Sprintf("Figure 10: cache DB, %d records × %dB, %.0f%% update (ops/µs)",
+			*records, *value, u*100)
+		if *shards > 1 {
+			title += fmt.Sprintf(" [%d shards]", *shards)
+		}
+		tab := bench.NewTable(title, "threads", builds...)
 		for _, t := range th {
 			for _, name := range builds {
-				s, err := kvstore.New(name, *slots, *buckets)
+				s, err := kvstore.NewSharded(name, *shards, *slots, *buckets)
 				if err != nil {
 					panic(err)
 				}

@@ -43,7 +43,9 @@ func main() {
 	var (
 		engine  = flag.String("engine", "mvrlu", "engine to check: mvrlu, rlu, rcu")
 		seed    = flag.Int64("seed", 1, "base RNG seed; the whole workload derives from it")
-		threads = flag.Int("threads", 4, "worker goroutines")
+		shards  = flag.Int("shards", 1,
+			"independent mvrlu domains checked concurrently, one history each (mvrlu engine only)")
+		threads = flag.Int("threads", 4, "worker goroutines (per shard when -shards > 1)")
 		objects = flag.Int("objects", 16, "shared objects")
 		ops     = flag.Int("ops", 20000, "operations per worker")
 		skew    = flag.Duration("skew", 0, "injected ORDO uncertainty window (mvrlu engine only)")
@@ -51,6 +53,51 @@ func main() {
 		verbose = flag.Bool("v", false, "print the per-rule event counts even on success")
 	)
 	flag.Parse()
+
+	if *shards > 1 && *engine != "mvrlu" {
+		fmt.Fprintf(os.Stderr, "-shards applies to the mvrlu engine only\n")
+		os.Exit(2)
+	}
+
+	// The recording gate is global, so it is toggled here — once, around
+	// every run — rather than inside the run functions, where concurrent
+	// shard runs would race each other's enable/disable.
+	check.SetEnabled(true)
+	if *shards > 1 {
+		// N independent domains, each with its own history, validated
+		// against its own ORDO boundary — the same per-shard attachment
+		// the sharded server uses. The workloads run concurrently; a
+		// violation on any shard fails the whole run.
+		hists := make([]*check.History, *shards)
+		reps := make([]*check.Report, *shards)
+		var wg sync.WaitGroup
+		for s := 0; s < *shards; s++ {
+			hists[s] = check.NewHistory(*events)
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				reps[s] = runMVRLU(hists[s], *seed+int64(s)*1_000_003,
+					*threads, *objects, *ops, *skew)
+			}(s)
+		}
+		wg.Wait()
+		check.SetEnabled(false)
+		bad := false
+		for s, rep := range reps {
+			if rep.Ok() && !*verbose {
+				fmt.Printf("mvcheck engine=mvrlu shard=%d/%d seed=%d: %s\n",
+					s, *shards, *seed, rep)
+				continue
+			}
+			fmt.Printf("mvcheck engine=mvrlu shard=%d/%d seed=%d:\n%s\n",
+				s, *shards, *seed, rep)
+			bad = bad || !rep.Ok()
+		}
+		if bad {
+			os.Exit(1)
+		}
+		return
+	}
 
 	hist := check.NewHistory(*events)
 	var rep *check.Report
@@ -65,6 +112,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown engine %q (mvrlu, rlu, rcu)\n", *engine)
 		os.Exit(2)
 	}
+	check.SetEnabled(false)
 
 	if rep.Ok() && !*verbose {
 		fmt.Printf("mvcheck engine=%s seed=%d: %s\n", *engine, *seed, rep)
@@ -85,7 +133,6 @@ func runMVRLU(hist *check.History, seed int64, threads, objects, ops int, skew t
 	opts.OrdoWindow = uint64(skew)
 	opts.Check = hist
 
-	check.SetEnabled(true)
 	dom := mvrlu.NewDomain[account](opts)
 
 	const unit = 1000
@@ -160,7 +207,6 @@ func runMVRLU(hist *check.History, seed int64, threads, objects, ops int, skew t
 	}
 	wg.Wait()
 	dom.Close()
-	check.SetEnabled(false)
 
 	rep := check.Check(hist, check.Opts{Boundary: dom.Boundary()})
 	if n := bad.Load(); n != 0 {
@@ -178,7 +224,6 @@ func runMVRLU(hist *check.History, seed int64, threads, objects, ops int, skew t
 func runRLU(hist *check.History, seed int64, threads, objects, ops int) *check.Report {
 	d := rlu.NewDomain[account](rlu.ClockGlobal)
 	d.AttachHistory(hist)
-	check.SetEnabled(true)
 
 	const unit = 1000
 	registry := make([]*rlu.Object[account], objects)
@@ -229,7 +274,6 @@ func runRLU(hist *check.History, seed int64, threads, objects, ops int) *check.R
 		}(g)
 	}
 	wg.Wait()
-	check.SetEnabled(false)
 
 	rep := check.Check(hist, check.Opts{})
 	if n := bad.Load(); n != 0 {
@@ -245,7 +289,6 @@ func runRLU(hist *check.History, seed int64, threads, objects, ops int) *check.R
 func runRCU(hist *check.History, seed int64, threads, ops int) *check.Report {
 	d := rcu.NewDomain()
 	d.AttachHistory(hist)
-	check.SetEnabled(true)
 
 	type box struct{ gen, a, b uint64 }
 	var cur atomic.Pointer[box]
@@ -284,7 +327,6 @@ func runRCU(hist *check.History, seed int64, threads, ops int) *check.Report {
 		}
 	}()
 	wg.Wait()
-	check.SetEnabled(false)
 
 	rep := check.CheckRCU(hist)
 	_ = seed // readers are uniform; the flag is kept for interface symmetry

@@ -29,6 +29,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -43,9 +44,11 @@ func main() {
 		addr  = flag.String("addr", "127.0.0.1:6399", "TCP listen address")
 		store = flag.String("store", "mvrlu-kv",
 			"store build: "+strings.Join(kvstore.Names(), ", "))
-		slots    = flag.Int("slots", kvstore.DefaultSlots, "slot count")
-		buckets  = flag.Int("buckets", kvstore.DefaultBucketsPerSlot, "buckets per slot")
-		handles  = flag.Int("handles", 0, "session-pool size (0 = GOMAXPROCS)")
+		slots   = flag.Int("slots", kvstore.DefaultSlots, "slot count")
+		buckets = flag.Int("buckets", kvstore.DefaultBucketsPerSlot, "buckets per slot")
+		shards  = flag.Int("shards", 0,
+			"independent store shards, each its own engine domain with its own watermark and GC (0 = GOMAXPROCS, 1 = unsharded)")
+		handles  = flag.Int("handles", 0, "total session-pool size, split across shards (0 = GOMAXPROCS)")
 		maxConns = flag.Int("max-conns", 1024, "max concurrent connections (accept backpressure past it)")
 		readTO   = flag.Duration("read-timeout", 5*time.Second, "per-command read timeout inside a batch")
 		writeTO  = flag.Duration("write-timeout", 5*time.Second, "reply flush timeout")
@@ -59,7 +62,10 @@ func main() {
 	flag.Parse()
 	obs.SetEnabled(*telemetry)
 
-	st, err := kvstore.New(*store, *slots, *buckets)
+	if *shards <= 0 {
+		*shards = runtime.GOMAXPROCS(0)
+	}
+	st, err := kvstore.NewSharded(*store, *shards, *slots, *buckets)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -78,7 +84,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	log.Printf("mvkvd: %s build listening on %s", st.Name(), srv.Addr())
+	log.Printf("mvkvd: %s build (%d shard(s)) listening on %s", st.Name(), *shards, srv.Addr())
 
 	var msrv *http.Server
 	if *metrics != "" {

@@ -19,6 +19,7 @@ import (
 	"net"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -31,6 +32,7 @@ import (
 type result struct {
 	Addr      string  `json:"addr"`
 	Build     string  `json:"build"`
+	Shards    int     `json:"shards"`
 	Conns     int     `json:"conns"`
 	Pipeline  int     `json:"pipeline"`
 	ReadPct   int     `json:"readpct"`
@@ -50,6 +52,12 @@ type result struct {
 	// batch time (fast path vs pool-queue wait) is invisible in three
 	// percentiles but obvious in the buckets.
 	BatchHist histJSON `json:"batch_hist"`
+	// ShardOps is the per-shard command count over the measured window
+	// (difference of the server's server_shard_commands_total counters),
+	// present when the server exposes shard counters over METRICS. It is
+	// the routing-balance observable: a skewed distribution here means
+	// the hash is not spreading this workload's keys.
+	ShardOps []uint64 `json:"shard_ops,omitempty"`
 }
 
 // histJSON is the JSON rendering of an obs.Snapshot: cumulative counts
@@ -123,7 +131,7 @@ func main() {
 		return
 	}
 
-	build, err := probeBuild(*addr)
+	build, shards, err := probeServer(*addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mvkvload: cannot reach %s: %v\n", *addr, err)
 		os.Exit(1)
@@ -134,6 +142,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	preShardOps, _ := scrapeShardOps(*addr)
 
 	var (
 		totalOps  atomic.Uint64
@@ -192,6 +201,16 @@ func main() {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	var shardOps []uint64
+	if post, err := scrapeShardOps(*addr); err == nil && len(post) > 0 {
+		shardOps = make([]uint64, len(post))
+		for i, v := range post {
+			shardOps[i] = v
+			if i < len(preShardOps) && preShardOps[i] <= v {
+				shardOps[i] = v - preShardOps[i]
+			}
+		}
+	}
 
 	var all []int64
 	for _, l := range lats {
@@ -201,6 +220,7 @@ func main() {
 	res := result{
 		Addr:      *addr,
 		Build:     build,
+		Shards:    shards,
 		Conns:     *conns,
 		Pipeline:  *pipeline,
 		ReadPct:   *readpct,
@@ -215,10 +235,14 @@ func main() {
 		P99us:     pctile(all, 0.99),
 		Errors:    totalErrs.Load(),
 		BatchHist: histFromLatencies(lats),
+		ShardOps:  shardOps,
 	}
-	fmt.Printf("%s conns=%d pipeline=%d read=%d%%: %.0f ops/s, batch p50=%.0fµs p95=%.0fµs p99=%.0fµs (%d ops, %d errors)\n",
-		res.Build, res.Conns, res.Pipeline, res.ReadPct,
+	fmt.Printf("%s shards=%d conns=%d pipeline=%d read=%d%%: %.0f ops/s, batch p50=%.0fµs p95=%.0fµs p99=%.0fµs (%d ops, %d errors)\n",
+		res.Build, res.Shards, res.Conns, res.Pipeline, res.ReadPct,
 		res.OpsPerSec, res.P50us, res.P95us, res.P99us, res.Ops, res.Errors)
+	if len(shardOps) > 1 {
+		fmt.Printf("  shard ops: %v\n", shardOps)
+	}
 	if *jsonOut != "" {
 		data, _ := json.MarshalIndent(res, "", "  ")
 		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
@@ -287,28 +311,84 @@ func pctile(sorted []int64, p float64) float64 {
 	return float64(sorted[i]) / 1e3
 }
 
-// probeBuild PINGs the server and reads the build name from INFO.
-func probeBuild(addr string) (string, error) {
+// probeServer reads the build name and shard count from INFO.
+func probeServer(addr string) (build string, shards int, err error) {
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
-		return "", err
+		return "", 0, err
 	}
 	defer nc.Close()
 	br, bw := bufio.NewReader(nc), bufio.NewWriter(nc)
 	server.WriteCommandStrings(bw, "INFO")
 	if err := bw.Flush(); err != nil {
-		return "", err
+		return "", 0, err
 	}
 	rep, err := server.ReadReply(br)
 	if err != nil {
-		return "", err
+		return "", 0, err
 	}
+	build, shards = "unknown", 1
 	for _, line := range strings.Split(rep.Str, "\n") {
 		if b, ok := strings.CutPrefix(line, "build:"); ok {
-			return b, nil
+			build = b
+		}
+		if s, ok := strings.CutPrefix(line, "shards:"); ok {
+			if n, err := strconv.Atoi(strings.TrimSpace(s)); err == nil && n > 0 {
+				shards = n
+			}
 		}
 	}
-	return "unknown", nil
+	return build, shards, nil
+}
+
+// scrapeShardOps reads the per-shard command counters from the METRICS
+// exposition: server_shard_commands_total{shard="i"} lines, returned
+// indexed by shard. An empty slice means the server predates shard
+// counters.
+func scrapeShardOps(addr string) ([]uint64, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer nc.Close()
+	br, bw := bufio.NewReaderSize(nc, 1<<20), bufio.NewWriter(nc)
+	server.WriteCommandStrings(bw, "METRICS")
+	if err := bw.Flush(); err != nil {
+		return nil, err
+	}
+	rep, err := server.ReadReply(br)
+	if err != nil {
+		return nil, err
+	}
+	if rep.IsError() {
+		return nil, fmt.Errorf("%s", rep.Str)
+	}
+	byShard := map[int]uint64{}
+	maxShard := -1
+	for _, line := range strings.Split(rep.Str, "\n") {
+		rest, ok := strings.CutPrefix(line, `server_shard_commands_total{shard="`)
+		if !ok {
+			continue
+		}
+		idStr, valStr, ok := strings.Cut(rest, `"} `)
+		if !ok {
+			continue
+		}
+		id, err1 := strconv.Atoi(idStr)
+		val, err2 := strconv.ParseFloat(strings.TrimSpace(valStr), 64)
+		if err1 != nil || err2 != nil || id < 0 {
+			continue
+		}
+		byShard[id] = uint64(val)
+		if id > maxShard {
+			maxShard = id
+		}
+	}
+	out := make([]uint64, maxShard+1)
+	for id, v := range byShard {
+		out[id] = v
+	}
+	return out, nil
 }
 
 // doPreload MSETs the keyspace in batches so measurement starts against

@@ -97,9 +97,11 @@ func guard(injected, deliberate *atomic.Int64, op func()) {
 
 func main() {
 	var (
-		duration  = flag.Duration("duration", 5*time.Second, "stress duration")
-		threads   = flag.Int("threads", 8, "worker goroutines")
-		objects   = flag.Int("objects", 32, "account objects")
+		duration = flag.Duration("duration", 5*time.Second, "stress duration")
+		shards   = flag.Int("shards", 1,
+			"independent engine domains tortured concurrently (threads and objects are per shard; -stallpin pins shard 0)")
+		threads   = flag.Int("threads", 8, "worker goroutines (per shard)")
+		objects   = flag.Int("objects", 32, "account objects (per shard)")
 		config    = flag.String("config", "default", "engine configuration")
 		seed      = flag.Int64("seed", 1, "base RNG seed")
 		faults    = flag.String("faults", "", "failpoint spec, e.g. 'trylock-cas=panic/193,writeback=sleep(50us)/7' (points: "+failpoint.Catalog()+")")
@@ -125,25 +127,45 @@ func main() {
 		}
 		defer failpoint.Reset()
 	}
+	if *shards < 1 {
+		*shards = 1
+	}
 	startTorTrace(*traceOut)
-	var hist *check.History
 	if *checkHist {
-		hist = check.NewHistory(*checkEvents)
-		opts.Check = hist
 		// Recording must cover every commit from the first one, or later
 		// observations would look like unknown versions to the checker.
 		check.SetEnabled(true)
 	}
-	dom := mvrlu.NewDomain[record](opts)
-	defer dom.Close()
 
-	const unit = 1000
-	registry := make([]*mvrlu.Object[record], *objects)
-	for i := range registry {
-		acct := mvrlu.NewObject(record{Balance: unit, ID: i})
-		registry[i] = mvrlu.NewObject(record{Acct: acct})
+	// Each shard is a fully independent engine domain with its own
+	// registry of accounts, its own invariant total, and (with -check)
+	// its own history — the same per-shard isolation the sharded KV
+	// server runs with. Workers, the final audit, and the checker all
+	// operate per shard; counters and the watchdog are shared.
+	type shard struct {
+		dom      *mvrlu.Domain[record]
+		registry []*mvrlu.Object[record]
+		hist     *check.History
 	}
+	const unit = 1000
 	total := *objects * unit
+	shs := make([]*shard, *shards)
+	for s := range shs {
+		o := opts
+		sh := &shard{}
+		if *checkHist {
+			sh.hist = check.NewHistory(*checkEvents)
+			o.Check = sh.hist
+		}
+		sh.dom = mvrlu.NewDomain[record](o)
+		sh.registry = make([]*mvrlu.Object[record], *objects)
+		for i := range sh.registry {
+			acct := mvrlu.NewObject(record{Balance: unit, ID: i})
+			sh.registry[i] = mvrlu.NewObject(record{Acct: acct})
+		}
+		shs[s] = sh
+		defer sh.dom.Close()
+	}
 
 	var (
 		stop       atomic.Bool
@@ -189,13 +211,16 @@ func main() {
 		}
 	}()
 
-	// Deliberately pinned reader: holds a critical section long enough
-	// that the grace-period detector must declare a watermark stall and
-	// name this thread. Its snapshot must stay consistent throughout.
+	// Deliberately pinned reader on shard 0: holds a critical section
+	// long enough that that shard's grace-period detector must declare a
+	// watermark stall and name this thread. Its snapshot must stay
+	// consistent throughout. With -shards > 1 the other shards run
+	// unpinned — their reclamation must be unaffected.
 	if *stallpin > 0 {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			dom, registry := shs[0].dom, shs[0].registry
 			h := dom.Register()
 			defer h.Unregister()
 			for !stop.Load() {
@@ -221,93 +246,96 @@ func main() {
 		}()
 	}
 
-	for g := 0; g < *threads; g++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			h := dom.Register()
-			defer h.Unregister()
-			rng := rand.New(rand.NewSource(*seed + int64(id)*7919))
-			for !stop.Load() {
-				switch rng.Intn(10) {
-				case 0, 1, 2, 3:
-					guard(&injected, &panicked, func() {
-						h.ReadLock()
-						sum := 0
-						for _, holder := range registry {
-							sum += h.Deref(h.Deref(holder).Acct).Balance
-						}
-						h.ReadUnlock()
-						if sum != total {
-							violations.Add(1)
-						}
-						audits.Add(1)
-					})
-				case 4, 5, 6, 7:
-					i, j := rng.Intn(*objects), rng.Intn(*objects)
-					if i == j {
-						continue
-					}
-					amt := rng.Intn(100) + 1
-					die := rng.Float64() < *panicfrac
-					guard(&injected, &panicked, func() {
-						h.Execute(func(h *mvrlu.Thread[record]) bool {
-							ci, ok := h.TryLock(h.Deref(registry[i]).Acct)
-							if !ok {
-								return false
+	for s := range shs {
+		for g := 0; g < *threads; g++ {
+			wg.Add(1)
+			go func(sh *shard, id int) {
+				defer wg.Done()
+				registry := sh.registry
+				h := sh.dom.Register()
+				defer h.Unregister()
+				rng := rand.New(rand.NewSource(*seed + int64(id)*7919))
+				for !stop.Load() {
+					switch rng.Intn(10) {
+					case 0, 1, 2, 3:
+						guard(&injected, &panicked, func() {
+							h.ReadLock()
+							sum := 0
+							for _, holder := range registry {
+								sum += h.Deref(h.Deref(holder).Acct).Balance
 							}
-							cj, ok := h.TryLock(h.Deref(registry[j]).Acct)
-							if !ok {
-								return false
-							}
-							ci.Balance -= amt
-							cj.Balance += amt
-							if die {
-								// Mid-write-set, both copies dirty: the
-								// rollback must discard both sides or
-								// conservation breaks.
-								panic(deliberatePanic)
-							}
-							return true
-						})
-						transfers.Add(1)
-					})
-				case 8:
-					i := rng.Intn(*objects)
-					guard(&injected, &panicked, func() {
-						h.Execute(func(h *mvrlu.Thread[record]) bool {
-							holder := registry[i]
-							old := h.Deref(holder).Acct
-							co, ok := h.TryLock(old)
-							if !ok {
-								return false
-							}
-							ch, ok := h.TryLock(holder)
-							if !ok {
-								return false
-							}
-							ch.Acct = mvrlu.NewObject(record{Balance: co.Balance, ID: co.ID})
-							h.Free(old)
-							return true
-						})
-						frees.Add(1)
-					})
-				default:
-					guard(&injected, &panicked, func() {
-						h.ReadLock()
-						acct := h.Deref(registry[rng.Intn(*objects)]).Acct
-						first := h.Deref(acct).Balance
-						for k := 0; k < 64; k++ {
-							if h.Deref(acct).Balance != first {
+							h.ReadUnlock()
+							if sum != total {
 								violations.Add(1)
 							}
+							audits.Add(1)
+						})
+					case 4, 5, 6, 7:
+						i, j := rng.Intn(*objects), rng.Intn(*objects)
+						if i == j {
+							continue
 						}
-						h.ReadUnlock()
-						reads.Add(1)
-					})
+						amt := rng.Intn(100) + 1
+						die := rng.Float64() < *panicfrac
+						guard(&injected, &panicked, func() {
+							h.Execute(func(h *mvrlu.Thread[record]) bool {
+								ci, ok := h.TryLock(h.Deref(registry[i]).Acct)
+								if !ok {
+									return false
+								}
+								cj, ok := h.TryLock(h.Deref(registry[j]).Acct)
+								if !ok {
+									return false
+								}
+								ci.Balance -= amt
+								cj.Balance += amt
+								if die {
+									// Mid-write-set, both copies dirty: the
+									// rollback must discard both sides or
+									// conservation breaks.
+									panic(deliberatePanic)
+								}
+								return true
+							})
+							transfers.Add(1)
+						})
+					case 8:
+						i := rng.Intn(*objects)
+						guard(&injected, &panicked, func() {
+							h.Execute(func(h *mvrlu.Thread[record]) bool {
+								holder := registry[i]
+								old := h.Deref(holder).Acct
+								co, ok := h.TryLock(old)
+								if !ok {
+									return false
+								}
+								ch, ok := h.TryLock(holder)
+								if !ok {
+									return false
+								}
+								ch.Acct = mvrlu.NewObject(record{Balance: co.Balance, ID: co.ID})
+								h.Free(old)
+								return true
+							})
+							frees.Add(1)
+						})
+					default:
+						guard(&injected, &panicked, func() {
+							h.ReadLock()
+							acct := h.Deref(registry[rng.Intn(*objects)]).Acct
+							first := h.Deref(acct).Balance
+							for k := 0; k < 64; k++ {
+								if h.Deref(acct).Balance != first {
+									violations.Add(1)
+								}
+							}
+							h.ReadUnlock()
+							reads.Add(1)
+						})
+					}
 				}
-			}
-		}(g)
+			}(shs[s], s**threads+g)
+		}
 	}
 
 	start := time.Now()
@@ -319,40 +347,58 @@ func main() {
 		failpoint.Disable()
 	}
 
-	// Final ground truth and structural invariants.
-	h := dom.Register()
-	h.ReadLock()
-	sum := 0
-	for i, holder := range registry {
-		acct := h.Deref(holder).Acct
-		r := h.Deref(acct)
-		sum += r.Balance
-		if r.ID != i {
-			violations.Add(1)
-			fmt.Fprintf(os.Stderr, "identity corrupted: slot %d holds ID %d\n", i, r.ID)
+	// Final ground truth and structural invariants, per shard.
+	for s, sh := range shs {
+		dom, registry := sh.dom, sh.registry
+		h := dom.Register()
+		h.ReadLock()
+		sum := 0
+		for i, holder := range registry {
+			acct := h.Deref(holder).Acct
+			r := h.Deref(acct)
+			sum += r.Balance
+			if r.ID != i {
+				violations.Add(1)
+				fmt.Fprintf(os.Stderr, "shard %d: identity corrupted: slot %d holds ID %d\n", s, i, r.ID)
+			}
 		}
-	}
-	h.ReadUnlock()
-	if sum != total {
-		violations.Add(1)
-		fmt.Fprintf(os.Stderr, "conservation broken: total %d, want %d\n", sum, total)
-	}
-	for _, holder := range registry {
-		if err := dom.CheckObject(holder); err != nil {
+		h.ReadUnlock()
+		if sum != total {
 			violations.Add(1)
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintf(os.Stderr, "shard %d: conservation broken: total %d, want %d\n", s, sum, total)
+		}
+		for _, holder := range registry {
+			if err := dom.CheckObject(holder); err != nil {
+				violations.Add(1)
+				fmt.Fprintln(os.Stderr, err)
+			}
 		}
 	}
 
-	st := dom.Stats()
-	if *stallpin > 0 && st.StallEvents == 0 {
+	// Aggregate engine stats; the stall assertion is against shard 0,
+	// the one the pinned reader ran on — and with -shards > 1 the other
+	// shards must NOT have been stalled by it.
+	var st mvrlu.Stats
+	sts := make([]mvrlu.Stats, len(shs))
+	for s, sh := range shs {
+		sts[s] = sh.dom.Stats()
+		st = st.Add(sts[s])
+	}
+	if *stallpin > 0 && sts[0].StallEvents == 0 {
 		violations.Add(1)
 		fmt.Fprintf(os.Stderr, "stall detector never fired despite -stallpin %v\n", *stallpin)
 	}
-	fmt.Printf("mvtorture config=%s threads=%d objects=%d elapsed=%v\n", *config, *threads, *objects, elapsed)
+	fmt.Printf("mvtorture config=%s shards=%d threads=%d objects=%d elapsed=%v\n",
+		*config, *shards, *threads, *objects, elapsed)
 	fmt.Printf("  audits=%d transfers=%d frees=%d reads=%d\n", audits.Load(), transfers.Load(), frees.Load(), reads.Load())
 	fmt.Printf("  commits=%d aborts=%d reclaimed=%d writebacks=%d overflow=%d\n",
 		st.Commits, st.Aborts, st.Reclaimed, st.Writebacks, st.OverflowAllocs)
+	if *shards > 1 {
+		for s := range sts {
+			fmt.Printf("  shard %d: commits=%d reclaimed=%d stalls=%d\n",
+				s, sts[s].Commits, sts[s].Reclaimed, sts[s].StallEvents)
+		}
+	}
 	if *faults != "" || *panicfrac > 0 {
 		fmt.Printf("  injected=%d deliberate-panics=%d panic-aborts=%d detector-recoveries=%d\n",
 			injected.Load(), panicked.Load(), st.PanicAborts, st.DetectorRecoveries)
@@ -364,20 +410,29 @@ func main() {
 		fmt.Printf("  stalls=%d stall-reports=%d stall-episodes=%d stall-total=%v\n",
 			st.StallEvents, st.StallReports, st.StallEpisodes, st.StallTotal)
 	}
-	if hist != nil {
+	if *checkHist {
 		// Workers have joined, so op counters are final; the watchdog
 		// would read the offline analysis below as "no progress" and kill
 		// the run, so retire it first.
 		stopWatchdog()
-		// All workers have joined and the final audit is done, so the
-		// domain is quiescent; close it to stop the detector before
-		// disabling recording, then check the full history.
-		dom.Close()
+		// All workers have joined and the final audits are done, so the
+		// domains are quiescent; close them to stop the detectors before
+		// disabling recording, then check each shard's full history
+		// against its own boundary.
+		for _, sh := range shs {
+			sh.dom.Close()
+		}
 		check.SetEnabled(false)
-		rep := check.Check(hist, check.Opts{Boundary: dom.Boundary()})
-		fmt.Printf("  %s\n", rep)
-		if !rep.Ok() {
-			violations.Add(int64(rep.Total))
+		for s, sh := range shs {
+			rep := check.Check(sh.hist, check.Opts{Boundary: sh.dom.Boundary()})
+			if *shards > 1 {
+				fmt.Printf("  shard %d: %s\n", s, rep)
+			} else {
+				fmt.Printf("  %s\n", rep)
+			}
+			if !rep.Ok() {
+				violations.Add(int64(rep.Total))
+			}
 		}
 	}
 	stopTorTrace()

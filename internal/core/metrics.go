@@ -116,41 +116,47 @@ func (d *Domain[T]) HistogramSnapshot(k HistKind) obs.Snapshot {
 
 // RegisterMetrics registers the domain's telemetry — every histogram
 // kind plus the always-safe atomic counters and gauges — under the given
-// name prefix (e.g. "mvrlu_"). Counters derived from plain owner-written
-// threadStats fields are deliberately absent: those require quiescence
-// (Domain.Stats) and would race a scrape under load. Commit, abort and
-// deref rates are recovered from the histogram _count series instead.
-func (d *Domain[T]) RegisterMetrics(reg *obs.Registry, prefix string) {
+// name prefix (e.g. "mvrlu_") and Prometheus label set (e.g. `shard="2"`;
+// empty for unlabeled series). Labels are how a sharded deployment
+// exposes N domains side by side: same family names, one sample per
+// shard. Counters derived from plain owner-written threadStats fields
+// are deliberately absent: those require quiescence (Domain.Stats) and
+// would race a scrape under load. Commit, abort and deref rates are
+// recovered from the histogram _count series instead.
+func (d *Domain[T]) RegisterMetrics(reg *obs.Registry, prefix, labels string) {
 	for k := HistKind(0); k < NumHistKinds; k++ {
 		if k == numThreadHists {
 			continue
 		}
 		kind := k
-		reg.Histogram(prefix+histMeta[kind].name, histMeta[kind].help,
+		reg.HistogramWith(prefix+histMeta[kind].name, labels, histMeta[kind].help,
 			func() obs.Snapshot { return d.HistogramSnapshot(kind) })
 	}
-	reg.Counter(prefix+"watermark_scans_total",
+	reg.CounterWith(prefix+"watermark_scans_total", labels,
 		"full O(threads) watermark scans",
 		d.wmScans.Load)
-	reg.Counter(prefix+"watermark_coalesced_total",
+	reg.CounterWith(prefix+"watermark_coalesced_total", labels,
 		"domain-side watermark refreshes served by the broadcast value",
 		d.wmCoalesced.Load)
-	reg.Counter(prefix+"stall_events_total",
+	reg.CounterWith(prefix+"stall_events_total", labels,
 		"declared watermark-stall episodes",
 		d.stallEvents.Load)
-	reg.Counter(prefix+"handle_leaks_total",
+	reg.CounterWith(prefix+"handle_leaks_total", labels,
 		"handles collected by the runtime while still registered",
 		d.handleLeaks.Load)
-	reg.Counter(prefix+"detector_recoveries_total",
+	reg.CounterWith(prefix+"detector_recoveries_total", labels,
 		"panics the grace-period detector recovered from",
 		d.detectorPanics.Load)
-	reg.Gauge(prefix+"watermark",
+	reg.GaugeWith(prefix+"watermark", labels,
 		"broadcast reclamation watermark in clock units",
 		func() float64 { return float64(d.watermark.Load()) })
-	reg.Gauge(prefix+"threads",
+	reg.GaugeWith(prefix+"watermark_age", labels,
+		"domain clock minus the broadcast watermark, in clock units; a growing age means a pinned reader is holding reclamation back",
+		func() float64 { return float64(d.clk.Now() - d.watermark.Load()) })
+	reg.GaugeWith(prefix+"threads", labels,
 		"registered thread handles (including leaked-while-pinned entries)",
 		func() float64 { return float64(len(*d.threads.Load())) })
-	reg.Gauge(prefix+"stalled_for_seconds",
+	reg.GaugeWith(prefix+"stalled_for_seconds", labels,
 		"age of the active watermark-stall episode, 0 when none",
 		func() float64 {
 			since := d.stallSince.Load()

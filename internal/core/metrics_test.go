@@ -150,7 +150,7 @@ func TestRegisterMetricsScrapeUnderLoad(t *testing.T) {
 	defer obs.SetEnabled(false)
 	d := newTestDomain(t, DefaultOptions())
 	reg := obs.NewRegistry()
-	d.RegisterMetrics(reg, "mvrlu_")
+	d.RegisterMetrics(reg, "mvrlu_", "")
 
 	stop := make(chan struct{})
 	done := make(chan struct{})

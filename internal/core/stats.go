@@ -103,6 +103,39 @@ type Stats struct {
 	StallTotal    time.Duration
 }
 
+// Add returns the field-wise sum of two Stats — the aggregation a
+// sharded deployment needs to report N independent domains as one
+// total. Duration fields sum; derived ratios (AbortRatio,
+// ReadAmplification) remain meaningful on the sum because they are
+// recomputed from the summed counters.
+func (s Stats) Add(o Stats) Stats {
+	s.Commits += o.Commits
+	s.Aborts += o.Aborts
+	s.PanicAborts += o.PanicAborts
+	s.LockFails += o.LockFails
+	s.OrderFails += o.OrderFails
+	s.LogFails += o.LogFails
+	s.CapacityBlocks += o.CapacityBlocks
+	s.DerefTriggers += o.DerefTriggers
+	s.GCRuns += o.GCRuns
+	s.Reclaimed += o.Reclaimed
+	s.Writebacks += o.Writebacks
+	s.Derefs += o.Derefs
+	s.ChainSteps += o.ChainSteps
+	s.OverflowAllocs += o.OverflowAllocs
+	s.WatermarkScans += o.WatermarkScans
+	s.WatermarkCoalesced += o.WatermarkCoalesced
+	s.WSHeaderAllocs += o.WSHeaderAllocs
+	s.StallEvents += o.StallEvents
+	s.StalledFor += o.StalledFor
+	s.StallReports += o.StallReports
+	s.HandleLeaks += o.HandleLeaks
+	s.DetectorRecoveries += o.DetectorRecoveries
+	s.StallEpisodes += o.StallEpisodes
+	s.StallTotal += o.StallTotal
+	return s
+}
+
 // AbortRatio returns aborts / (aborts + commits), the quantity Figure 5
 // plots. Read-only sections count as neither.
 func (s Stats) AbortRatio() float64 {

@@ -73,8 +73,20 @@ func (s *MVRLUStore) NumSessions() int { return int(s.sessions.Load()) }
 // through a type assertion, so the vanilla and rlu builds expose only
 // the server-level series.
 func (s *MVRLUStore) RegisterMetrics(reg *obs.Registry) {
-	s.d.RegisterMetrics(reg, "mvrlu_")
+	s.d.RegisterMetrics(reg, "mvrlu_", "")
 }
+
+// RegisterMetricsLabeled is RegisterMetrics under a Prometheus label set
+// (e.g. `shard="2"`) — how a Sharded composite exposes N domains as one
+// labeled family per series instead of N renamed ones.
+func (s *MVRLUStore) RegisterMetricsLabeled(reg *obs.Registry, labels string) {
+	s.d.RegisterMetrics(reg, "mvrlu_", labels)
+}
+
+// Boundary exposes the domain's ORDO uncertainty window — the checker
+// needs it (check.Opts.Boundary) to validate a recorded history, and a
+// sharded run checks each shard's history against its own boundary.
+func (s *MVRLUStore) Boundary() uint64 { return s.d.Boundary() }
 
 // Stalled exposes the domain's active watermark stall, if any: the
 // engine-level diagnosis (which thread pins reclamation, since when)

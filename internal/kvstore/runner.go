@@ -117,5 +117,33 @@ func New(name string, slots, bucketsPerSlot int) (Store, error) {
 	return nil, fmt.Errorf("kvstore: unknown build %q (vanilla, rlu-kv, mvrlu-kv)", name)
 }
 
+// NewSharded constructs a store build partitioned over shards
+// independent instances (for the mvrlu build: shards independent
+// core.Domains, each with its own watermark, detector, and GC). The slot
+// count is divided across shards (minimum 1 per shard) so the total
+// writer-lock and bucket budget stays comparable to the unsharded
+// layout. shards <= 1 returns the plain single-domain build.
+func NewSharded(name string, shards, slots, bucketsPerSlot int) (Store, error) {
+	if shards <= 1 {
+		return New(name, slots, bucketsPerSlot)
+	}
+	if slots <= 0 {
+		slots = DefaultSlots
+	}
+	perSlots := slots / shards
+	if perSlots < 1 {
+		perSlots = 1
+	}
+	stores := make([]Store, shards)
+	for i := range stores {
+		st, err := New(name, perSlots, bucketsPerSlot)
+		if err != nil {
+			return nil, err
+		}
+		stores[i] = st
+	}
+	return NewShardedStore(stores), nil
+}
+
 // Names lists the available builds.
 func Names() []string { return []string{"vanilla", "rlu-kv", "mvrlu-kv"} }

@@ -1,0 +1,121 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestNewShardedDegeneratesToPlain(t *testing.T) {
+	st, err := NewSharded("mvrlu-kv", 1, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, ok := st.(*Sharded); ok {
+		t.Fatal("shards=1 should return the plain build, not a composite")
+	}
+}
+
+func TestShardedRoutingAndOwnership(t *testing.T) {
+	st, err := NewSharded("mvrlu-kv", 4, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	sh := st.(*Sharded)
+	if sh.NumShards() != 4 || sh.Name() != "mvrlu-kv" {
+		t.Fatalf("NumShards=%d Name=%q", sh.NumShards(), sh.Name())
+	}
+
+	sess := st.Session()
+	defer sess.Close()
+	const n = 400
+	for i := 0; i < n; i++ {
+		sess.Set(fmt.Sprintf("own:%04d", i), fmt.Sprintf("v%d", i))
+	}
+	// Every key must live on exactly the shard ShardFor names — on that
+	// shard's own store directly, and on no other.
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("own:%04d", i)
+		owner := sh.ShardFor(k)
+		for s := 0; s < sh.NumShards(); s++ {
+			direct := sh.Shard(s).Session()
+			_, ok := direct.Get(k)
+			direct.Close()
+			if want := s == owner; ok != want {
+				t.Fatalf("key %s on shard %d: present=%v, owner=%d", k, s, ok, owner)
+			}
+		}
+		if v, ok := sess.Get(k); !ok || v != fmt.Sprintf("v%d", i) {
+			t.Fatalf("composite Get %s = %q,%v", k, v, ok)
+		}
+	}
+
+	// The hash must spread keys over every shard (no degenerate
+	// partition from correlated slot/shard bits).
+	counts := make([]int, sh.NumShards())
+	for i := 0; i < 10000; i++ {
+		counts[sh.ShardFor(fmt.Sprintf("spread:%06d", i))]++
+	}
+	for s, c := range counts {
+		if c < 1500 { // fair share is 2500
+			t.Fatalf("shard %d got %d/10000 keys; distribution skewed: %v", s, c, counts)
+		}
+	}
+}
+
+func TestShardedForEachAndRemove(t *testing.T) {
+	st, err := NewSharded("mvrlu-kv", 3, 6, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	sess := st.Session()
+	defer sess.Close()
+	want := map[string]string{}
+	for i := 0; i < 120; i++ {
+		k, v := fmt.Sprintf("fe:%03d", i), fmt.Sprintf("v%d", i)
+		sess.Set(k, v)
+		want[k] = v
+	}
+	got := map[string]string{}
+	sess.ForEach(func(k, v string) bool {
+		if _, dup := got[k]; dup {
+			t.Fatalf("ForEach visited %s twice", k)
+		}
+		got[k] = v
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("ForEach saw %d keys, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("ForEach %s = %q, want %q", k, got[k], v)
+		}
+	}
+
+	// Early stop must not continue into later shards.
+	seen := 0
+	sess.ForEachPrefix("fe:", func(k, v string) bool {
+		seen++
+		return seen < 10
+	})
+	if seen != 10 {
+		t.Fatalf("early stop visited %d keys, want 10", seen)
+	}
+
+	for k := range want {
+		if !sess.Remove(k) {
+			t.Fatalf("Remove %s reported absent", k)
+		}
+	}
+	if sess.Remove("fe:000") {
+		t.Fatal("Remove of removed key reported present")
+	}
+	left := 0
+	sess.ForEach(func(string, string) bool { left++; return true })
+	if left != 0 {
+		t.Fatalf("%d keys left after removing all", left)
+	}
+}

@@ -97,3 +97,15 @@ const (
 
 func slotOf(h uint64, slots int) int     { return int(h % uint64(slots)) }
 func bucketOf(h uint64, buckets int) int { return int((h >> 32) % uint64(buckets)) }
+
+// shardOf maps a key hash to one of n shards. The hash is re-mixed with
+// the splitmix64 finalizer first so the shard choice is decorrelated
+// from the slot (low bits, h % slots) and bucket (h>>32 % buckets) bit
+// ranges — without it, shards == slots would alias shard and slot and
+// leave every shard's other slots empty.
+func shardOf(h uint64, n int) int {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccb
+	h ^= h >> 33
+	return int(h % uint64(n))
+}

@@ -30,8 +30,13 @@ const (
 )
 
 type metric struct {
-	kind    metricKind
-	name    string
+	kind metricKind
+	name string
+	// labels is a pre-rendered Prometheus label pair list without the
+	// braces, e.g. `shard="3"`; empty for unlabeled series. Metrics
+	// sharing a name but differing in labels form one family: HELP/TYPE
+	// are emitted once, one sample line per label set.
+	labels  string
 	help    string
 	counter func() uint64
 	gauge   func() float64
@@ -48,10 +53,21 @@ func (r *Registry) Counter(name, help string, f func() uint64) {
 	r.add(metric{kind: counterKind, name: name, help: help, counter: f})
 }
 
+// CounterWith is Counter with a label set, e.g. `shard="0"`. Several
+// label sets may share one name; they render as one metric family.
+func (r *Registry) CounterWith(name, labels, help string, f func() uint64) {
+	r.add(metric{kind: counterKind, name: name, labels: labels, help: help, counter: f})
+}
+
 // Gauge registers an instantaneous value. Same safety rule as Counter,
 // without monotonicity.
 func (r *Registry) Gauge(name, help string, f func() float64) {
 	r.add(metric{kind: gaugeKind, name: name, help: help, gauge: f})
+}
+
+// GaugeWith is Gauge with a label set.
+func (r *Registry) GaugeWith(name, labels, help string, f func() float64) {
+	r.add(metric{kind: gaugeKind, name: name, labels: labels, help: help, gauge: f})
 }
 
 // Histogram registers a merged-at-scrape histogram; f typically folds
@@ -60,30 +76,51 @@ func (r *Registry) Histogram(name, help string, f func() Snapshot) {
 	r.add(metric{kind: histogramKind, name: name, help: help, hist: f})
 }
 
+// HistogramWith is Histogram with a label set; the label is merged into
+// each _bucket line ahead of le.
+func (r *Registry) HistogramWith(name, labels, help string, f func() Snapshot) {
+	r.add(metric{kind: histogramKind, name: name, labels: labels, help: help, hist: f})
+}
+
 func (r *Registry) add(m metric) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for _, ex := range r.metrics {
-		if ex.name == m.name {
-			panic("obs: duplicate metric " + m.name)
+		if ex.name == m.name && ex.labels == m.labels {
+			panic("obs: duplicate metric " + m.name + "{" + m.labels + "}")
+		}
+		if ex.name == m.name && ex.kind != m.kind {
+			panic("obs: metric family " + m.name + " registered with two kinds")
 		}
 	}
 	r.metrics = append(r.metrics, m)
 }
 
-// WriteText renders every metric in Prometheus text format, in
-// registration order. Callbacks run outside the registry lock so a slow
-// callback cannot block concurrent registration, and a callback that
-// itself registers metrics cannot deadlock.
+// WriteText renders every metric in Prometheus text format. Families
+// (metrics sharing a name across label sets) are grouped: HELP and TYPE
+// once, then every label set's samples, in registration order of the
+// family's first member. Callbacks run outside the registry lock so a
+// slow callback cannot block concurrent registration, and a callback
+// that itself registers metrics cannot deadlock.
 func (r *Registry) WriteText(w io.Writer) error {
 	r.mu.Lock()
 	ms := make([]metric, len(r.metrics))
 	copy(ms, r.metrics)
 	r.mu.Unlock()
 	var buf bytes.Buffer
-	for _, m := range ms {
+	done := make(map[string]bool, len(ms))
+	for i := range ms {
+		if done[ms[i].name] {
+			continue
+		}
+		done[ms[i].name] = true
 		buf.Reset()
-		m.render(&buf)
+		ms[i].renderHeader(&buf)
+		for j := i; j < len(ms); j++ {
+			if ms[j].name == ms[i].name {
+				ms[j].renderSamples(&buf)
+			}
+		}
 		if _, err := w.Write(buf.Bytes()); err != nil {
 			return err
 		}
@@ -91,34 +128,64 @@ func (r *Registry) WriteText(w io.Writer) error {
 	return nil
 }
 
-func (m *metric) render(b *bytes.Buffer) {
+func (m *metric) renderHeader(b *bytes.Buffer) {
 	fmt.Fprintf(b, "# HELP %s %s\n", m.name, m.help)
 	switch m.kind {
 	case counterKind:
 		fmt.Fprintf(b, "# TYPE %s counter\n", m.name)
-		fmt.Fprintf(b, "%s %d\n", m.name, m.counter())
 	case gaugeKind:
 		fmt.Fprintf(b, "# TYPE %s gauge\n", m.name)
-		fmt.Fprintf(b, "%s %s\n", m.name,
-			strconv.FormatFloat(m.gauge(), 'g', -1, 64))
 	case histogramKind:
 		fmt.Fprintf(b, "# TYPE %s histogram\n", m.name)
+	}
+}
+
+// series renders the sample name with the metric's label set, e.g.
+// `server_shard_commands_total{shard="0"}`.
+func (m *metric) series() string {
+	if m.labels == "" {
+		return m.name
+	}
+	return m.name + "{" + m.labels + "}"
+}
+
+func (m *metric) renderSamples(b *bytes.Buffer) {
+	switch m.kind {
+	case counterKind:
+		fmt.Fprintf(b, "%s %d\n", m.series(), m.counter())
+	case gaugeKind:
+		fmt.Fprintf(b, "%s %s\n", m.series(),
+			strconv.FormatFloat(m.gauge(), 'g', -1, 64))
+	case histogramKind:
 		s := m.hist()
 		// Trim the fixed 65-bucket layout to the occupied prefix: the
 		// cumulative counts stay correct under any per-scrape bucket
 		// set (Prometheus merges on le values), and an idle histogram
 		// costs two lines, not sixty-seven.
+		lePrefix := "le="
+		if m.labels != "" {
+			lePrefix = m.labels + ",le="
+		}
 		hi := s.MaxBucket()
 		var cum uint64
 		for i := 0; i <= hi; i++ {
 			cum += s.Buckets[i]
-			fmt.Fprintf(b, "%s_bucket{le=\"%d\"} %d\n",
-				m.name, BucketUpper(i), cum)
+			fmt.Fprintf(b, "%s_bucket{%s\"%d\"} %d\n",
+				m.name, lePrefix, BucketUpper(i), cum)
 		}
-		fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", m.name, cum)
-		fmt.Fprintf(b, "%s_sum %d\n", m.name, s.Sum)
-		fmt.Fprintf(b, "%s_count %d\n", m.name, cum)
+		fmt.Fprintf(b, "%s_bucket{%s\"+Inf\"} %d\n", m.name, lePrefix, cum)
+		fmt.Fprintf(b, "%s_sum%s %d\n", m.name, m.braced(), s.Sum)
+		fmt.Fprintf(b, "%s_count%s %d\n", m.name, m.braced(), cum)
 	}
+}
+
+// braced returns the label set wrapped in braces, or "" when unlabeled —
+// the suffix form _sum/_count lines need.
+func (m *metric) braced() string {
+	if m.labels == "" {
+		return ""
+	}
+	return "{" + m.labels + "}"
 }
 
 // Handler returns an http.Handler serving WriteText — the /metrics

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -77,14 +78,20 @@ func (c *conn) serve() {
 }
 
 // runBatch executes one pipelined batch: the command already read plus
-// every further command the client has in flight, on a single pooled
-// session. The session is held across the whole batch (one checkout per
-// burst, not per command) and returned before the connection blocks on
-// the socket again, so a thousand mostly idle connections consume zero
+// every further command the client has in flight. Over a sharded store
+// the batch goes through the router (split by key hash, executed
+// per-shard concurrently, replies reassembled in submission order — see
+// router.go); over a single domain it runs here on one pooled session.
+// The session is held across the whole batch (one checkout per burst,
+// not per command) and returned before the connection blocks on the
+// socket again, so a thousand mostly idle connections consume zero
 // engine handles. Reports false when the connection must close.
 func (c *conn) runBatch(first [][]byte) (keep bool) {
-	ps := c.srv.pool.get()
-	defer c.srv.pool.put(ps)
+	if c.srv.routed() {
+		return c.runRoutedBatch(first)
+	}
+	ps := c.srv.pools[0].get()
+	defer c.srv.pools[0].put(ps)
 	if obs.Enabled() {
 		// Batch service time = how long the session is held; observed
 		// before the pool return (LIFO defers) so the histogram matches
@@ -129,6 +136,7 @@ func (c *conn) reportReadError(err error) {
 // connection errors.
 func (c *conn) dispatch(ps *pooledSession, args [][]byte) bool {
 	c.srv.commands.Add(1)
+	c.srv.shardCmds[0].n.Add(1)
 	ps.commands.Add(1)
 	name := strings.ToUpper(string(args[0]))
 	ps.lastCmd.Store(&name)
@@ -213,8 +221,9 @@ func (c *conn) dispatch(ps *pooledSession, args [][]byte) bool {
 	case "INFO":
 		// INFO → race-free sections only; INFO ALL → also the full
 		// engine Stats behind a bounded pool quiesce (see infoText).
+		// held=1: this goroutine holds one of pool 0's sessions.
 		full := len(args) > 1 && strings.EqualFold(string(args[1]), "ALL")
-		return writeBulkString(c.bw, c.srv.infoText(full)) == nil
+		return writeBulkString(c.bw, c.srv.infoText(full, 1)) == nil
 
 	case "METRICS":
 		// The full Prometheus exposition over RESP — same registry the
@@ -243,51 +252,86 @@ func (c *conn) dispatch(ps *pooledSession, args [][]byte) bool {
 		fmt.Sprintf("ERR unknown command '%s'", strings.ToLower(name))) == nil
 }
 
-// cmdScan implements SCAN <prefix> [LIMIT n]: a consistent snapshot of
-// every record whose key starts with prefix, as a flat key,value,...
-// array. This deliberately diverges from Redis's cursor SCAN — the
-// point here is the opposite of Redis's: ONE snapshot critical section
-// over the whole keyspace, the long-lived reader that pins old versions
-// and exercises the multi-version GC. Results are collected inside the
-// snapshot and written after it, so the pin lasts the walk, not the
-// client's drain of the reply.
-func (c *conn) cmdScan(sess kvstore.Session, args [][]byte) bool {
+// scanKV is one SCAN result pair.
+type scanKV struct{ k, v string }
+
+// parseScan validates SCAN <prefix> [LIMIT n]; errmsg is an empty string
+// on success and the error-reply text otherwise.
+func parseScan(args [][]byte) (prefix string, limit int, errmsg string) {
 	if len(args) != 2 && len(args) != 4 {
-		return c.arityErr("SCAN")
+		return "", 0, arityMsg("SCAN")
 	}
-	limit := -1
+	limit = -1
 	if len(args) == 4 {
 		if !strings.EqualFold(string(args[2]), "LIMIT") {
-			return writeErrorReply(c.bw, "ERR syntax error") == nil
+			return "", 0, "ERR syntax error"
 		}
 		n, err := strconv.Atoi(string(args[3]))
 		if err != nil || n < 0 {
-			return writeErrorReply(c.bw, "ERR invalid LIMIT") == nil
+			return "", 0, "ERR invalid LIMIT"
 		}
 		limit = n
 	}
-	type kv struct{ k, v string }
-	var out []kv
-	sess.ForEachPrefix(string(args[1]), func(k, v string) bool {
+	return string(args[1]), limit, ""
+}
+
+// collectScan walks one session's keyspace slice inside a single
+// snapshot critical section and collects up to limit matches (-1 =
+// unbounded). Results are collected inside the snapshot and written
+// after it, so the pin lasts the walk, not the client's drain of the
+// reply.
+func collectScan(sess kvstore.Session, prefix string, limit int) []scanKV {
+	var out []scanKV
+	sess.ForEachPrefix(prefix, func(k, v string) bool {
 		if limit >= 0 && len(out) >= limit {
 			return false
 		}
-		out = append(out, kv{k, v})
+		out = append(out, scanKV{k, v})
 		return true
 	})
-	if writeArrayHeader(c.bw, 2*len(out)) != nil {
+	return out
+}
+
+// renderScan sorts the collected pairs by key and writes the flat
+// key,value,... array. Sorting makes the reply deterministic and — the
+// point for the sharded build — independent of how the keyspace is
+// partitioned: a cross-shard merge concatenated in shard order and a
+// single-domain walk sort to the same sequence.
+func renderScan(w *bufio.Writer, out []scanKV, limit int) bool {
+	sort.Slice(out, func(i, j int) bool { return out[i].k < out[j].k })
+	if limit >= 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	if writeArrayHeader(w, 2*len(out)) != nil {
 		return false
 	}
 	for _, p := range out {
-		if writeBulkString(c.bw, p.k) != nil || writeBulkString(c.bw, p.v) != nil {
+		if writeBulkString(w, p.k) != nil || writeBulkString(w, p.v) != nil {
 			return false
 		}
 	}
 	return true
 }
 
+// cmdScan implements SCAN <prefix> [LIMIT n]: a consistent snapshot of
+// every record whose key starts with prefix, as a flat key,value,...
+// array sorted by key. This deliberately diverges from Redis's cursor
+// SCAN — the point here is the opposite of Redis's: ONE snapshot
+// critical section over the whole keyspace, the long-lived reader that
+// pins old versions and exercises the multi-version GC.
+func (c *conn) cmdScan(sess kvstore.Session, args [][]byte) bool {
+	prefix, limit, errmsg := parseScan(args)
+	if errmsg != "" {
+		return writeErrorReply(c.bw, errmsg) == nil
+	}
+	return renderScan(c.bw, collectScan(sess, prefix, limit), limit)
+}
+
+func arityMsg(name string) string {
+	return fmt.Sprintf("ERR wrong number of arguments for '%s' command",
+		strings.ToLower(name))
+}
+
 func (c *conn) arityErr(name string) bool {
-	return writeErrorReply(c.bw,
-		fmt.Sprintf("ERR wrong number of arguments for '%s' command",
-			strings.ToLower(name))) == nil
+	return writeErrorReply(c.bw, arityMsg(name)) == nil
 }

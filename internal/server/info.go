@@ -6,11 +6,14 @@ import (
 	"time"
 
 	"mvrlu/internal/core"
+	"mvrlu/internal/kvstore"
 )
 
 // Optional store capabilities INFO surfaces when the build provides
 // them (the mvrlu build does; vanilla and rlu report only the server
-// and handle sections).
+// and handle sections). Over a sharded store each shard is probed
+// independently — the capabilities live on the per-shard stores, and
+// each shard gets its own sections.
 type (
 	statser  interface{ Stats() core.Stats }
 	staller  interface{ Stalled() (core.StallInfo, bool) }
@@ -20,31 +23,41 @@ type (
 	}
 )
 
-// quiesceBudget bounds how long INFO ALL waits to check out the other
-// pool handles before giving up on the full-stats section.
+// quiesceBudget bounds how long INFO ALL waits to check out a pool's
+// other handles before giving up on that shard's full-stats section.
 const quiesceBudget = 250 * time.Millisecond
 
 // infoText renders the INFO reply. The default sections read only
-// atomics — the watermark, the active stall episode (which engine
-// thread pins reclamation, since when), and the per-handle lines that
-// let an operator map that thread id back to a handle and the command
-// it is running — so INFO is always safe and cheap under full traffic.
+// atomics — per-shard watermarks, the active stall episodes (which
+// engine thread pins which shard's reclamation, since when), and the
+// per-handle lines that let an operator map a thread id back to a pool
+// handle and the command it is running — so INFO is always safe and
+// cheap under full traffic.
 //
-// full additionally emits the engine's complete Stats (aborts, GC
-// counters, watermark-scan coalescing — the PR-2 observability, made
-// operable over the wire). Stats is documented quiescent-only: its
-// per-thread counters are plain owner-written fields, so the caller
-// must first check out every other pool handle (the channel receive is
-// the happens-before edge with each handle's last user). That is a
-// deliberate, bounded traffic stall; past quiesceBudget the section
-// degrades to engine_stats:busy instead of blocking the server — e.g.
-// while a long SCAN holds a handle.
-func (s *Server) infoText(full bool) string {
+// full additionally emits each shard's complete engine Stats (aborts,
+// GC counters, watermark-scan coalescing). Stats is documented
+// quiescent-only: its per-thread counters are plain owner-written
+// fields, so that shard's whole pool must first be checked out (the
+// channel receive is the happens-before edge with each handle's last
+// user). That is a deliberate, bounded traffic stall per shard; past
+// quiesceBudget the section degrades to engine_stats:busy instead of
+// blocking the server — e.g. while a long SCAN holds a handle.
+//
+// held is how many of pools[0]'s handles the calling goroutine itself
+// holds: 1 on the direct dispatch path (the batch's session), 0 on the
+// routed path (inline commands render after every shard worker has
+// joined and returned its session).
+func (s *Server) infoText(full bool, held int) string {
 	var b strings.Builder
+	nHandles := 0
+	for _, p := range s.pools {
+		nHandles += len(p.all)
+	}
 	fmt.Fprintf(&b, "# server\n")
 	fmt.Fprintf(&b, "build:%s\n", s.store.Name())
 	fmt.Fprintf(&b, "uptime_ms:%d\n", time.Since(s.start).Milliseconds())
-	fmt.Fprintf(&b, "handles:%d\n", len(s.pool.all))
+	fmt.Fprintf(&b, "shards:%d\n", len(s.shards))
+	fmt.Fprintf(&b, "handles:%d\n", nHandles)
 	fmt.Fprintf(&b, "sessions:%d\n", s.store.NumSessions())
 	fmt.Fprintf(&b, "conns:%d\n", s.numConns())
 	fmt.Fprintf(&b, "max_conns:%d\n", s.cfg.MaxConns)
@@ -52,85 +65,132 @@ func (s *Server) infoText(full bool) string {
 	fmt.Fprintf(&b, "commands:%d\n", s.commands.Load())
 	fmt.Fprintf(&b, "panics:%d\n", s.panics.Load())
 	fmt.Fprintf(&b, "shutting:%d\n", boolInt(s.shutting.Load()))
-
-	if cl, ok := s.store.(clockser); ok {
-		now, w := cl.Now(), cl.Watermark()
-		fmt.Fprintf(&b, "\n# watermark\n")
-		fmt.Fprintf(&b, "clock_now:%d\n", now)
-		fmt.Fprintf(&b, "watermark:%d\n", w)
-		fmt.Fprintf(&b, "watermark_age:%d\n", now-w)
-		if sl, ok := s.store.(staller); ok {
-			if info, ok := sl.Stalled(); ok {
-				fmt.Fprintf(&b, "stalled:1\n")
-				fmt.Fprintf(&b, "stall_thread_id:%d\n", info.ThreadID)
-				fmt.Fprintf(&b, "stall_entry_ts:%d\n", info.EntryTS)
-				fmt.Fprintf(&b, "stall_watermark:%d\n", info.Watermark)
-				fmt.Fprintf(&b, "stalled_for_us:%d\n",
-					time.Since(info.Since).Microseconds())
-			} else {
-				fmt.Fprintf(&b, "stalled:0\n")
-			}
+	if s.routed() {
+		for i := range s.shards {
+			fmt.Fprintf(&b, "shard_%d_commands:%d\n", i, s.shardCmds[i].n.Load())
 		}
 	}
 
+	for i, st := range s.shards {
+		s.writeWatermarkSection(&b, i, st)
+	}
+
 	if full {
-		if st, ok := s.store.(statser); ok {
-			held, all := s.quiesceOthers(quiesceBudget)
-			if all {
-				stats := st.Stats()
-				fmt.Fprintf(&b, "\n# engine\n")
-				fmt.Fprintf(&b, "commits:%d\n", stats.Commits)
-				fmt.Fprintf(&b, "aborts:%d\n", stats.Aborts)
-				fmt.Fprintf(&b, "abort_ratio:%.4f\n", stats.AbortRatio())
-				fmt.Fprintf(&b, "panic_aborts:%d\n", stats.PanicAborts)
-				fmt.Fprintf(&b, "lock_fails:%d\n", stats.LockFails)
-				fmt.Fprintf(&b, "order_fails:%d\n", stats.OrderFails)
-				fmt.Fprintf(&b, "log_fails:%d\n", stats.LogFails)
-				fmt.Fprintf(&b, "capacity_blocks:%d\n", stats.CapacityBlocks)
-				fmt.Fprintf(&b, "gc_runs:%d\n", stats.GCRuns)
-				fmt.Fprintf(&b, "reclaimed:%d\n", stats.Reclaimed)
-				fmt.Fprintf(&b, "writebacks:%d\n", stats.Writebacks)
-				fmt.Fprintf(&b, "derefs:%d\n", stats.Derefs)
-				fmt.Fprintf(&b, "read_amplification:%.4f\n", stats.ReadAmplification())
-				fmt.Fprintf(&b, "overflow_allocs:%d\n", stats.OverflowAllocs)
-				fmt.Fprintf(&b, "watermark_scans:%d\n", stats.WatermarkScans)
-				fmt.Fprintf(&b, "watermark_coalesced:%d\n", stats.WatermarkCoalesced)
-				fmt.Fprintf(&b, "ws_header_allocs:%d\n", stats.WSHeaderAllocs)
-				fmt.Fprintf(&b, "handle_leaks:%d\n", stats.HandleLeaks)
-				fmt.Fprintf(&b, "detector_recoveries:%d\n", stats.DetectorRecoveries)
-				fmt.Fprintf(&b, "stall_events:%d\n", stats.StallEvents)
-				fmt.Fprintf(&b, "stall_reports:%d\n", stats.StallReports)
-				fmt.Fprintf(&b, "stalled_for_us:%d\n", stats.StalledFor.Microseconds())
-				fmt.Fprintf(&b, "stall_episodes:%d\n", stats.StallEpisodes)
-				fmt.Fprintf(&b, "stall_total_us:%d\n", stats.StallTotal.Microseconds())
-			} else {
-				fmt.Fprintf(&b, "\n# engine\nengine_stats:busy\n")
-			}
-			s.releaseOthers(held)
+		for i, st := range s.shards {
+			s.writeEngineSection(&b, i, st, held)
 		}
 	}
 
 	fmt.Fprintf(&b, "\n# handles\n")
-	for _, ps := range s.pool.all {
-		fmt.Fprintf(&b,
-			"handle_%d:thread_id=%d,in_use=%d,batches=%d,commands=%d,last_cmd=%s\n",
-			ps.idx, ps.threadID, boolInt(ps.inUse.Load()),
-			ps.batches.Load(), ps.commands.Load(), *ps.lastCmd.Load())
+	for i, p := range s.pools {
+		for _, ps := range p.all {
+			if s.routed() {
+				fmt.Fprintf(&b, "shard%d_", i)
+			}
+			fmt.Fprintf(&b,
+				"handle_%d:thread_id=%d,in_use=%d,batches=%d,commands=%d,last_cmd=%s\n",
+				ps.idx, ps.threadID, boolInt(ps.inUse.Load()),
+				ps.batches.Load(), ps.commands.Load(), *ps.lastCmd.Load())
+		}
 	}
 	return b.String()
 }
 
-// quiesceOthers checks every pool handle but the caller's own out of
-// the free channel, within budget. It never blocks indefinitely, so two
-// racing INFO ALL commands cannot deadlock holding partial sets — the
-// loser times out, releases, and reports busy.
-func (s *Server) quiesceOthers(budget time.Duration) (held []*pooledSession, all bool) {
+// writeWatermarkSection emits one shard's watermark/stall section. The
+// unsharded server keeps the exact historical section name so existing
+// scrapers (and mvkvload's INFO probe) parse unchanged; sharded sections
+// carry the shard index.
+func (s *Server) writeWatermarkSection(b *strings.Builder, i int, st kvstore.Store) {
+	cl, ok := st.(clockser)
+	if !ok {
+		return
+	}
+	now, w := cl.Now(), cl.Watermark()
+	if s.routed() {
+		fmt.Fprintf(b, "\n# watermark shard=%d\n", i)
+	} else {
+		fmt.Fprintf(b, "\n# watermark\n")
+	}
+	fmt.Fprintf(b, "clock_now:%d\n", now)
+	fmt.Fprintf(b, "watermark:%d\n", w)
+	fmt.Fprintf(b, "watermark_age:%d\n", now-w)
+	if sl, ok := st.(staller); ok {
+		if info, ok := sl.Stalled(); ok {
+			fmt.Fprintf(b, "stalled:1\n")
+			fmt.Fprintf(b, "stall_thread_id:%d\n", info.ThreadID)
+			fmt.Fprintf(b, "stall_entry_ts:%d\n", info.EntryTS)
+			fmt.Fprintf(b, "stall_watermark:%d\n", info.Watermark)
+			fmt.Fprintf(b, "stalled_for_us:%d\n",
+				time.Since(info.Since).Microseconds())
+		} else {
+			fmt.Fprintf(b, "stalled:0\n")
+		}
+	}
+}
+
+// writeEngineSection emits one shard's quiescent engine Stats (INFO ALL
+// only). selfHeld is how many of this shard's pool handles the caller
+// already holds — nonzero only for shard 0 on the direct dispatch path.
+func (s *Server) writeEngineSection(b *strings.Builder, i int, st kvstore.Store, selfHeld int) {
+	stat, ok := st.(statser)
+	if !ok {
+		return
+	}
+	if i != 0 {
+		selfHeld = 0
+	}
+	held, all := s.quiescePool(s.pools[i], selfHeld, quiesceBudget)
+	if all {
+		stats := stat.Stats()
+		if s.routed() {
+			fmt.Fprintf(b, "\n# engine shard=%d\n", i)
+		} else {
+			fmt.Fprintf(b, "\n# engine\n")
+		}
+		fmt.Fprintf(b, "commits:%d\n", stats.Commits)
+		fmt.Fprintf(b, "aborts:%d\n", stats.Aborts)
+		fmt.Fprintf(b, "abort_ratio:%.4f\n", stats.AbortRatio())
+		fmt.Fprintf(b, "panic_aborts:%d\n", stats.PanicAborts)
+		fmt.Fprintf(b, "lock_fails:%d\n", stats.LockFails)
+		fmt.Fprintf(b, "order_fails:%d\n", stats.OrderFails)
+		fmt.Fprintf(b, "log_fails:%d\n", stats.LogFails)
+		fmt.Fprintf(b, "capacity_blocks:%d\n", stats.CapacityBlocks)
+		fmt.Fprintf(b, "gc_runs:%d\n", stats.GCRuns)
+		fmt.Fprintf(b, "reclaimed:%d\n", stats.Reclaimed)
+		fmt.Fprintf(b, "writebacks:%d\n", stats.Writebacks)
+		fmt.Fprintf(b, "derefs:%d\n", stats.Derefs)
+		fmt.Fprintf(b, "read_amplification:%.4f\n", stats.ReadAmplification())
+		fmt.Fprintf(b, "overflow_allocs:%d\n", stats.OverflowAllocs)
+		fmt.Fprintf(b, "watermark_scans:%d\n", stats.WatermarkScans)
+		fmt.Fprintf(b, "watermark_coalesced:%d\n", stats.WatermarkCoalesced)
+		fmt.Fprintf(b, "ws_header_allocs:%d\n", stats.WSHeaderAllocs)
+		fmt.Fprintf(b, "handle_leaks:%d\n", stats.HandleLeaks)
+		fmt.Fprintf(b, "detector_recoveries:%d\n", stats.DetectorRecoveries)
+		fmt.Fprintf(b, "stall_events:%d\n", stats.StallEvents)
+		fmt.Fprintf(b, "stall_reports:%d\n", stats.StallReports)
+		fmt.Fprintf(b, "stalled_for_us:%d\n", stats.StalledFor.Microseconds())
+		fmt.Fprintf(b, "stall_episodes:%d\n", stats.StallEpisodes)
+		fmt.Fprintf(b, "stall_total_us:%d\n", stats.StallTotal.Microseconds())
+	} else if s.routed() {
+		fmt.Fprintf(b, "\n# engine shard=%d\nengine_stats:busy\n", i)
+	} else {
+		fmt.Fprintf(b, "\n# engine\nengine_stats:busy\n")
+	}
+	s.releaseHeld(s.pools[i], held)
+}
+
+// quiescePool checks a pool's handles (all but the selfHeld the caller
+// already holds) out of the free channel, within budget. It never
+// blocks indefinitely, so two racing INFO ALL commands cannot deadlock
+// holding partial sets — the loser times out, releases, and reports
+// busy.
+func (s *Server) quiescePool(p *sessionPool, selfHeld int, budget time.Duration) (held []*pooledSession, all bool) {
 	deadline := time.NewTimer(budget)
 	defer deadline.Stop()
-	need := len(s.pool.all) - 1
+	need := len(p.all) - selfHeld
 	for len(held) < need {
 		select {
-		case ps := <-s.pool.free:
+		case ps := <-p.free:
 			held = append(held, ps)
 		case <-deadline.C:
 			return held, false
@@ -139,9 +199,9 @@ func (s *Server) quiesceOthers(budget time.Duration) (held []*pooledSession, all
 	return held, true
 }
 
-func (s *Server) releaseOthers(held []*pooledSession) {
+func (s *Server) releaseHeld(p *sessionPool, held []*pooledSession) {
 	for _, ps := range held {
-		s.pool.free <- ps
+		p.free <- ps
 	}
 }
 

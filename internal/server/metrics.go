@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"time"
 
 	"mvrlu/internal/obs"
@@ -39,6 +40,16 @@ func (s *Server) registerMetrics() {
 	s.reg.Histogram("server_batch_ns",
 		"per-batch service time (session checkout to return) in nanoseconds",
 		s.batchHist.Snapshot)
+	s.reg.Gauge("server_shards",
+		"independent store shards behind the router (1 = unsharded)",
+		func() float64 { return float64(len(s.shards)) })
+	for i := range s.shardCmds {
+		n := &s.shardCmds[i].n
+		s.reg.CounterWith("server_shard_commands_total",
+			fmt.Sprintf(`shard="%d"`, i),
+			"commands executed per shard (multi-key commands count once per shard touched)",
+			n.Load)
+	}
 	if m, ok := s.store.(metricser); ok {
 		m.RegisterMetrics(s.reg)
 	}

@@ -104,7 +104,7 @@ func TestInfoAllDegradesWhenPoolBusy(t *testing.T) {
 	srv, _ := startServer(t, store, Config{Handles: 2})
 	defer srv.Shutdown()
 
-	held := srv.pool.get() // a "long scan" that outlives the budget
+	held := srv.pools[0].get() // a "long scan" that outlives the budget
 	start := time.Now()
 	c := dialT(t, srv)
 	r := c.cmd("INFO", "ALL")
@@ -133,7 +133,7 @@ func TestInfoAllDegradesWhenPoolBusy(t *testing.T) {
 		}
 	}
 
-	srv.pool.put(held)
+	srv.pools[0].put(held)
 	if r := c.cmd("INFO", "ALL"); !strings.Contains(r.Str, "commits:") {
 		t.Fatalf("INFO ALL after release still degraded:\n%s", r.Str)
 	}

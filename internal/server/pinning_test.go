@@ -145,13 +145,13 @@ func TestServerSlowReaderPinning(t *testing.T) {
 				time.Sleep(100 * time.Microsecond)
 				continue
 			}
-			for _, ps := range srv.pool.all {
+			for _, ps := range srv.pools[0].all {
 				if ps.threadID == si.ThreadID && ps.inUse.Load() &&
 					*ps.lastCmd.Load() == "SCAN" {
 					// The engine's stall diagnosis and the server's
 					// handle bookkeeping agree on who is pinning.
 					// INFO must say the same, remotely visible.
-					info := srv.infoText(false)
+					info := srv.infoText(false, 0)
 					if !strings.Contains(info, "stalled:1") ||
 						!strings.Contains(info, fmt.Sprintf("stall_thread_id:%d", si.ThreadID)) {
 						t.Errorf("INFO does not surface the stall:\n%s", info)
@@ -194,5 +194,167 @@ func TestServerSlowReaderPinning(t *testing.T) {
 	if maxAfter >= maxDuring {
 		t.Fatalf("version chains did not shrink after the scan ended: %d -> %d",
 			maxDuring, maxAfter)
+	}
+}
+
+// TestShardedScanBlastRadius is the sharding payoff test: a long SCAN's
+// walk over a heavily loaded shard pins that shard's watermark only.
+// Shard 0 carries ~100× the records of shards 1 and 2, so the routed
+// SCAN's per-shard walks finish almost instantly on shards 1 and 2 and
+// keep walking shard 0 — and while shard 0's stall detector declares the
+// pin, the other shards' watermarks must keep advancing under writer
+// churn. On the pre-sharding single-domain server the same SCAN pinned
+// the one global watermark, stalling reclamation for every key.
+func TestShardedScanBlastRadius(t *testing.T) {
+	old := runtime.GOMAXPROCS(0)
+	if old < 4 {
+		runtime.GOMAXPROCS(4)
+		defer runtime.GOMAXPROCS(old)
+	}
+
+	opts := core.DefaultOptions()
+	opts.LogSlots = 512
+	opts.DynamicLog = true
+	opts.GPInterval = 200 * time.Microsecond
+	opts.StallThreshold = 1
+	shards := make([]kvstore.Store, 3)
+	for i := range shards {
+		shards[i] = kvstore.NewMVRLUStore(4, 64, opts)
+	}
+	store := kvstore.NewShardedStore(shards)
+	defer store.Close()
+	mv := func(i int) *kvstore.MVRLUStore { return shards[i].(*kvstore.MVRLUStore) }
+
+	// Partition candidate keys by owning shard: shard 0 gets the bulk
+	// (a long walk), shards 1 and 2 only enough to have churn targets.
+	const bulk = 24000
+	var keys [3][]string
+	for i := 0; len(keys[0]) < bulk || len(keys[1]) < 64 || len(keys[2]) < 64; i++ {
+		k := fmt.Sprintf("p:%07d", i)
+		sh := store.ShardFor(k)
+		if (sh == 0 && len(keys[0]) < bulk) || (sh != 0 && len(keys[sh]) < 64) {
+			keys[sh] = append(keys[sh], k)
+		}
+	}
+	seedVal := strings.Repeat("s", 512)
+	for si := range shards {
+		sess := shards[si].Session()
+		for _, k := range keys[si] {
+			sess.Set(k, seedVal)
+		}
+		sess.Close()
+	}
+
+	srv, _ := startServer(t, store, Config{Handles: 6})
+	defer srv.Shutdown()
+
+	// Churn writer: pipelined SETs over a hot set drawn from every
+	// shard, so each shard has commit traffic driving its clock and
+	// giving its watermark room to advance.
+	var hot []string
+	for si := range keys {
+		hot = append(hot, keys[si][:32]...)
+	}
+	startWriter := func() (stopWriter func()) {
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			nc, err := net.Dial("tcp", srv.Addr().String())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer nc.Close()
+			br := bufio.NewReaderSize(nc, 64<<10)
+			w := bufio.NewWriterSize(nc, 64<<10)
+			seq := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				const depth = 64
+				for d := 0; d < depth; d++ {
+					k := hot[seq%len(hot)]
+					seq++
+					WriteCommandStrings(w, "SET", k, fmt.Sprintf("v%d", seq))
+				}
+				if w.Flush() != nil {
+					return
+				}
+				for d := 0; d < depth; d++ {
+					if _, err := ReadReply(br); err != nil {
+						return
+					}
+				}
+			}
+		}()
+		var once sync.Once
+		return func() { once.Do(func() { close(stop) }); wg.Wait() }
+	}
+
+	// attempt runs one routed whole-keyspace SCAN under churn and, the
+	// moment shard 0's detector declares the pin, samples every shard's
+	// watermark twice 10ms apart.
+	attempt := func() (ok bool) {
+		stopWriter := startWriter()
+		defer stopWriter()
+
+		nc, err := net.Dial("tcp", srv.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		br := bufio.NewReaderSize(nc, 1<<20)
+		bw := bufio.NewWriter(nc)
+		done := make(chan struct{})
+		go func() {
+			// Read errors are expected when an attempt gives up and
+			// closes the connection under the in-flight scan.
+			defer close(done)
+			WriteCommandStrings(bw, "SCAN", "")
+			if err := bw.Flush(); err != nil {
+				return
+			}
+			ReadReply(br)
+		}()
+		defer func() { nc.Close(); <-done }()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			select {
+			case <-done:
+				return false // scan finished before the stall was seen
+			default:
+			}
+			if _, stalled := mv(0).Stalled(); !stalled {
+				time.Sleep(100 * time.Microsecond)
+				continue
+			}
+			w0a, w1a, w2a := mv(0).Watermark(), mv(1).Watermark(), mv(2).Watermark()
+			time.Sleep(10 * time.Millisecond)
+			_, still := mv(0).Stalled()
+			w0b, w1b, w2b := mv(0).Watermark(), mv(1).Watermark(), mv(2).Watermark()
+			t.Logf("pin sample: shard0 stalled=%v wm %d->%d; shard1 wm %d->%d; shard2 wm %d->%d",
+				still, w0a, w0b, w1a, w1b, w2a, w2b)
+			if !still {
+				return false // pin released mid-sample; retry
+			}
+			if w0b != w0a {
+				return false // shard 0 advanced; the pin we saw was not the scan
+			}
+			return w1b > w1a && w2b > w2a
+		}
+		return false
+	}
+
+	ok := false
+	for i := 0; i < 5 && !ok; i++ {
+		ok = attempt()
+		t.Logf("attempt %d: blast radius confined=%v", i, ok)
+	}
+	if !ok {
+		t.Fatal("non-pinned shards did not advance their watermarks while shard 0 was pinned")
 	}
 }

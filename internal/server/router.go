@@ -1,0 +1,489 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mvrlu/internal/kvstore"
+	"mvrlu/internal/obs"
+)
+
+// This file is the batch router: the sharded-store execution path for
+// one pipelined RESP batch. The single-domain path (conn.dispatch)
+// executes commands one by one on one pooled session; here the batch is
+// instead split three ways —
+//
+//  1. collect: read every command the client has in flight,
+//  2. execute: partition the commands' keys by shard, run each shard's
+//     sub-batch on its own pooled session concurrently (one worker per
+//     touched shard, each holding exactly one session, so workers can
+//     never deadlock against each other),
+//  3. render: walk the commands in submission order on the connection
+//     goroutine and write each reply from the results the workers left
+//     behind.
+//
+// The ordering invariant this preserves: replies appear in exactly the
+// order commands were submitted (RESP pipelining's contract), and any
+// two commands touching the same key execute in submission order,
+// because the same key always maps to the same shard and a shard's
+// sub-batch runs its ops in submission order on one session. Commands
+// touching different shards may interleave arbitrarily — indistinguishable
+// to the client, which only observes the ordered replies.
+
+// Slot kinds: what a collected command turned out to be. Inline kinds
+// (everything from kPing down) execute during render, on the connection
+// goroutine, after every worker has joined — which is why the routed
+// INFO path reports zero held sessions to the quiesce (held=0).
+const (
+	kGet = iota
+	kSet
+	kDel
+	kExists
+	kMGet
+	kMSet
+	kScan
+	kPing
+	kInfo
+	kMetrics
+	kQuit
+	kShutdown
+	kErr // arity/syntax/unknown-command error reply
+)
+
+// mgetVal is one MGET result cell.
+type mgetVal struct {
+	v  string
+	ok bool
+}
+
+// slot is one command of a routed batch. Workers write results into
+// disjoint parts of it (per-key cells for MGET, per-shard slices for
+// SCAN, an atomic for the DEL/EXISTS counts); the render stage reads
+// them after the WaitGroup join, which is the happens-before edge.
+type slot struct {
+	name string
+	kind int
+
+	ping   []byte // PING payload (nil → PONG)
+	errmsg string // kErr reply text
+	full   bool   // INFO ALL
+	limit  int    // SCAN limit (-1 unbounded)
+
+	got  bool           // GET
+	val  string         // GET
+	n    atomic.Int64   // DEL / EXISTS accumulator across shards
+	vals []mgetVal      // MGET, indexed by key position
+	scan [][]scanKV     // SCAN, indexed by shard
+
+	// panicked holds the recovered panic text if any shard op of this
+	// slot panicked; render turns it into an error reply and closes the
+	// connection, mirroring the single-path behavior where a panic
+	// aborts the batch.
+	panicked atomic.Pointer[string]
+}
+
+// Shard-op opcodes: what a shardOp does on its session.
+const (
+	opGet = iota
+	opSet
+	opDel    // count removals of keys into sl.n
+	opExists // count hits of keys into sl.n
+	opMGet   // fill sl.vals at iks indices
+	opMSet   // set pairs
+	opScan   // prefix-walk into sl.scan[shard]
+)
+
+// idxKey is one MGET key with its position in the reply array.
+type idxKey struct {
+	i int
+	k string
+}
+
+// shardOp is one unit of per-shard work, stored as plain data — not a
+// closure — so a queue of them is a single backing array with no
+// per-op heap allocation on the routed hot path.
+type shardOp struct {
+	sl    *slot
+	kind  uint8
+	shard int         // opScan: index into sl.scan
+	key   string      // opGet/opSet key, opScan prefix
+	val   string      // opSet value
+	keys  []string    // opDel/opExists keys on this shard
+	iks   []idxKey    // opMGet cells on this shard
+	pairs [][2]string // opMSet pairs on this shard
+}
+
+// run executes the op on a checked-out session of its shard.
+func (op *shardOp) run(sess kvstore.Session) {
+	switch op.kind {
+	case opGet:
+		op.sl.val, op.sl.got = sess.Get(op.key)
+	case opSet:
+		sess.Set(op.key, op.val)
+	case opDel:
+		n := int64(0)
+		for _, k := range op.keys {
+			if sess.Remove(k) {
+				n++
+			}
+		}
+		op.sl.n.Add(n)
+	case opExists:
+		n := int64(0)
+		for _, k := range op.keys {
+			if _, ok := sess.Get(k); ok {
+				n++
+			}
+		}
+		op.sl.n.Add(n)
+	case opMGet:
+		for _, ik := range op.iks {
+			v, ok := sess.Get(ik.k)
+			op.sl.vals[ik.i] = mgetVal{v, ok}
+		}
+	case opMSet:
+		for _, p := range op.pairs {
+			sess.Set(p[0], p[1])
+		}
+	case opScan:
+		op.sl.scan[op.shard] = collectScan(sess, op.key, op.sl.limit)
+	}
+}
+
+// runRoutedBatch executes one pipelined batch over a sharded store.
+// Reports false when the connection must close.
+func (c *conn) runRoutedBatch(first [][]byte) bool {
+	slots, queues, readErr := c.collectBatch(first)
+
+	var start int64
+	if obs.Enabled() {
+		start = obs.Now()
+	}
+	// Sub-batches running inline do so on the connection goroutine,
+	// which holds no session of its own and takes at most one at a time
+	// — so inline execution can never deadlock, only wait its turn at a
+	// pool like any worker would.
+	//
+	// With one scheduler core there is no parallelism for workers to
+	// buy, only handoff churn to pay, so every touched shard runs
+	// inline, sequentially. With real cores each touched shard beyond
+	// the first gets a worker goroutine; the first runs inline so a
+	// batch confined to one shard — the dominant case for unpipelined
+	// single-key traffic — routes with no handoff at all.
+	var wg sync.WaitGroup
+	seq := runtime.GOMAXPROCS(0) == 1
+	inline := -1
+	for shard, ops := range queues {
+		if len(ops) == 0 {
+			continue
+		}
+		if seq {
+			wg.Add(1)
+			c.srv.runShardOps(shard, ops, &wg)
+			continue
+		}
+		if inline >= 0 {
+			wg.Add(1)
+			go c.srv.runShardOps(shard, ops, &wg)
+			continue
+		}
+		inline = shard
+	}
+	if inline >= 0 {
+		wg.Add(1)
+		c.srv.runShardOps(inline, queues[inline], &wg)
+	}
+	wg.Wait()
+	if obs.Enabled() {
+		c.srv.batchHist.Observe(uint64(obs.Now() - start))
+	}
+
+	keep := true
+	for _, sl := range slots {
+		if !c.renderSlot(sl) {
+			keep = false
+			break
+		}
+	}
+	if readErr != nil {
+		// Replies for everything collected before the bad bytes have
+		// been rendered; now report the protocol error and close.
+		c.reportReadError(readErr)
+		return false
+	}
+	return keep
+}
+
+// collectBatch reads the full in-flight batch (the command already read
+// plus everything buffered) and compiles it into ordered slots plus
+// per-shard op queues. Collection stops at QUIT/SHUTDOWN — the
+// connection closes after them, so later bytes are the next life's
+// problem — or at a read error, returned for reporting after render.
+func (c *conn) collectBatch(first [][]byte) (slots []*slot, queues [][]shardOp, readErr error) {
+	queues = make([][]shardOp, len(c.srv.shards))
+	slots = append(slots, c.planSlot(first, queues))
+	for c.br.Buffered() > 0 && !c.srv.shutting.Load() {
+		last := slots[len(slots)-1]
+		if last.kind == kQuit || last.kind == kShutdown {
+			break
+		}
+		c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.ReadTimeout))
+		args, err := ReadCommand(c.br)
+		if err != nil {
+			return slots, queues, err
+		}
+		if len(args) == 0 {
+			continue
+		}
+		slots = append(slots, c.planSlot(args, queues))
+	}
+	return slots, queues, nil
+}
+
+// planSlot classifies one command and appends its per-shard ops to the
+// queues. Key-routed commands are decomposed so each touched shard gets
+// exactly one op writing a disjoint part of the slot's results.
+func (c *conn) planSlot(args [][]byte, queues [][]shardOp) *slot {
+	c.srv.commands.Add(1)
+	sl := &slot{name: strings.ToUpper(string(args[0]))}
+	add := func(shard int, op shardOp) {
+		op.sl = sl
+		queues[shard] = append(queues[shard], op)
+	}
+	switch sl.kind = kErr; sl.name {
+	case "PING":
+		sl.kind = kPing
+		if len(args) > 1 {
+			sl.ping = append([]byte(nil), args[1]...)
+		}
+
+	case "GET":
+		if len(args) != 2 {
+			sl.errmsg = arityMsg(sl.name)
+			return sl
+		}
+		sl.kind = kGet
+		key := string(args[1])
+		add(c.srv.shardFor(key), shardOp{kind: opGet, key: key})
+
+	case "SET":
+		if len(args) != 3 {
+			sl.errmsg = arityMsg(sl.name)
+			return sl
+		}
+		sl.kind = kSet
+		key, val := string(args[1]), string(args[2])
+		add(c.srv.shardFor(key), shardOp{kind: opSet, key: key, val: val})
+
+	case "DEL", "EXISTS":
+		if len(args) < 2 {
+			sl.errmsg = arityMsg(sl.name)
+			return sl
+		}
+		op := uint8(opDel)
+		if sl.name == "DEL" {
+			sl.kind = kDel
+		} else {
+			sl.kind = kExists
+			op = opExists
+		}
+		for shard, keys := range keysByShard(c.srv.shardFor, args[1:]) {
+			add(shard, shardOp{kind: op, keys: keys})
+		}
+
+	case "MGET":
+		if len(args) < 2 {
+			sl.errmsg = arityMsg(sl.name)
+			return sl
+		}
+		sl.kind = kMGet
+		sl.vals = make([]mgetVal, len(args)-1)
+		perShard := map[int][]idxKey{}
+		for i, a := range args[1:] {
+			k := string(a)
+			shard := c.srv.shardFor(k)
+			perShard[shard] = append(perShard[shard], idxKey{i, k})
+		}
+		for shard, iks := range perShard {
+			add(shard, shardOp{kind: opMGet, iks: iks})
+		}
+
+	case "MSET":
+		if len(args) < 3 || len(args)%2 != 1 {
+			sl.errmsg = arityMsg(sl.name)
+			return sl
+		}
+		sl.kind = kMSet
+		perShard := map[int][][2]string{}
+		for i := 1; i < len(args); i += 2 {
+			k, v := string(args[i]), string(args[i+1])
+			shard := c.srv.shardFor(k)
+			perShard[shard] = append(perShard[shard], [2]string{k, v})
+		}
+		for shard, pairs := range perShard {
+			add(shard, shardOp{kind: opMSet, pairs: pairs})
+		}
+
+	case "SCAN":
+		prefix, limit, errmsg := parseScan(args)
+		if errmsg != "" {
+			sl.errmsg = errmsg
+			return sl
+		}
+		sl.kind = kScan
+		sl.limit = limit
+		sl.scan = make([][]scanKV, len(c.srv.shards))
+		for shard := range c.srv.shards {
+			add(shard, shardOp{kind: opScan, shard: shard, key: prefix})
+		}
+
+	case "INFO":
+		sl.kind = kInfo
+		sl.full = len(args) > 1 && strings.EqualFold(string(args[1]), "ALL")
+
+	case "METRICS":
+		sl.kind = kMetrics
+
+	case "QUIT":
+		sl.kind = kQuit
+
+	case "SHUTDOWN":
+		sl.kind = kShutdown
+
+	default:
+		sl.errmsg = fmt.Sprintf("ERR unknown command '%s'", strings.ToLower(sl.name))
+	}
+	return sl
+}
+
+// keysByShard groups raw key arguments by owning shard, preserving
+// argument order within each group (same-key DEL arguments stay in
+// order on their shard).
+func keysByShard(shardFor func(string) int, raw [][]byte) map[int][]string {
+	m := map[int][]string{}
+	for _, a := range raw {
+		k := string(a)
+		shard := shardFor(k)
+		m[shard] = append(m[shard], k)
+	}
+	return m
+}
+
+// runShardOps is one shard worker: check out the shard's pooled
+// session, run this batch's sub-ops in submission order, return it.
+// Each op runs under its own recover so an engine panic poisons only
+// its slot (the engine has already rolled the write set back and the
+// session stays usable); the connection still closes at render, but the
+// session returns to the pool healthy either way.
+func (s *Server) runShardOps(shard int, ops []shardOp, wg *sync.WaitGroup) {
+	defer wg.Done()
+	ps := s.pools[shard].get()
+	defer s.pools[shard].put(ps)
+	s.shardCmds[shard].n.Add(uint64(len(ops)))
+	ps.commands.Add(uint64(len(ops)))
+	for i := range ops {
+		op := &ops[i]
+		ps.lastCmd.Store(&op.sl.name)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					s.panics.Add(1)
+					msg := fmt.Sprint(r)
+					op.sl.panicked.Store(&msg)
+				}
+			}()
+			op.run(ps.sess)
+		}()
+	}
+}
+
+// renderSlot writes one command's reply from its gathered results.
+// Reports false when the connection must close.
+func (c *conn) renderSlot(sl *slot) bool {
+	if p := sl.panicked.Load(); p != nil {
+		writeErrorReply(c.bw, "ERR internal error: "+*p)
+		return false
+	}
+	switch sl.kind {
+	case kErr:
+		return writeErrorReply(c.bw, sl.errmsg) == nil
+
+	case kPing:
+		if sl.ping != nil {
+			return writeBulk(c.bw, sl.ping) == nil
+		}
+		return writeSimple(c.bw, "PONG") == nil
+
+	case kGet:
+		if sl.got {
+			return writeBulkString(c.bw, sl.val) == nil
+		}
+		return writeNull(c.bw) == nil
+
+	case kSet, kMSet:
+		return writeSimple(c.bw, "OK") == nil
+
+	case kDel, kExists:
+		return writeInt(c.bw, sl.n.Load()) == nil
+
+	case kMGet:
+		if writeArrayHeader(c.bw, len(sl.vals)) != nil {
+			return false
+		}
+		for _, mv := range sl.vals {
+			if mv.ok {
+				if writeBulkString(c.bw, mv.v) != nil {
+					return false
+				}
+			} else if writeNull(c.bw) != nil {
+				return false
+			}
+		}
+		return true
+
+	case kScan:
+		// Concatenate the per-shard walks in shard order, then let
+		// renderScan sort by key: the merged reply is identical to the
+		// single-domain reply over the same records (LIMIT excepted —
+		// each shard caps its own walk, so which keys survive a
+		// truncating LIMIT depends on partitioning, exactly as the
+		// unsharded LIMIT depended on walk order).
+		total := 0
+		for _, part := range sl.scan {
+			total += len(part)
+		}
+		merged := make([]scanKV, 0, total)
+		for _, part := range sl.scan {
+			merged = append(merged, part...)
+		}
+		return renderScan(c.bw, merged, sl.limit)
+
+	case kInfo:
+		// held=0: workers have joined and every session is back in its
+		// pool, so the quiesce may collect full budgets.
+		return writeBulkString(c.bw, c.srv.infoText(sl.full, 0)) == nil
+
+	case kMetrics:
+		var buf bytes.Buffer
+		if err := c.srv.reg.WriteText(&buf); err != nil {
+			return writeErrorReply(c.bw, "ERR metrics: "+err.Error()) == nil
+		}
+		return writeBulkString(c.bw, buf.String()) == nil
+
+	case kQuit:
+		writeSimple(c.bw, "OK")
+		return false
+
+	case kShutdown:
+		writeSimple(c.bw, "OK")
+		c.flush()
+		go c.srv.Shutdown()
+		return false
+	}
+	return false
+}

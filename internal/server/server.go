@@ -17,11 +17,16 @@ import (
 type Config struct {
 	// Addr is the TCP listen address (default "127.0.0.1:6399").
 	Addr string
-	// Handles is the session-pool size: how many store sessions (engine
+	// Handles is the session budget: how many store sessions (engine
 	// thread handles, for the mvrlu/rlu builds) the server registers.
 	// Default GOMAXPROCS — more sessions than runnable goroutines can
 	// never execute concurrently, they would only widen the watermark
 	// scan. Connections may vastly exceed Handles.
+	//
+	// Over a sharded store the budget is divided across shards (minimum
+	// 2 per shard, so one long scan on a shard never serializes every
+	// other batch touching that shard); each shard owns an independent
+	// pool, and a shard's watermark scan covers only its own pool.
 	Handles int
 	// MaxConns caps concurrently served connections (default 1024).
 	// At the cap the server stops accepting — backpressure through the
@@ -79,9 +84,15 @@ func (c *Config) sanitize() {
 type Server struct {
 	cfg   Config
 	store kvstore.Store
-	pool  *sessionPool
-	ln    net.Listener
-	sem   chan struct{} // MaxConns slots, acquired before Accept
+	// shards are the routing targets and pools their per-shard session
+	// pools (parallel slices). An unsharded store is the degenerate
+	// one-shard case: shards[0] == store, shardFor nil, and every batch
+	// takes the direct dispatch path with zero router overhead.
+	shards   []kvstore.Store
+	pools    []*sessionPool
+	shardFor func(string) int
+	ln       net.Listener
+	sem      chan struct{} // MaxConns slots, acquired before Accept
 
 	mu    sync.Mutex
 	conns map[*conn]struct{}
@@ -96,29 +107,74 @@ type Server struct {
 	commands atomic.Uint64
 	panics   atomic.Uint64
 
+	// shardCmds counts commands executed per shard (multi-key commands
+	// count once per shard touched) — the routing-balance observable
+	// mvkvload folds into its bench artifacts. Padded: every dispatched
+	// command increments one of these from whatever P runs the batch.
+	shardCmds []shardCounter
+
 	// reg is the metric registry (see metrics.go); batchHist records
 	// per-batch service time behind obs.Enabled.
 	reg       *obs.Registry
 	batchHist obs.Histogram
 }
 
-// New creates a server over store. The session pool registers its
+// shardCounter is a cache-line-isolated per-shard command counter, so
+// adjacent shards' hot-path increments do not false-share.
+type shardCounter struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+// sharder is the optional store capability that turns the router on:
+// a store partitioned into independently reclaimed shards (see
+// kvstore.Sharded). A store without it — or with one shard — is served
+// on the direct single-pool path, byte-for-byte the pre-sharding server.
+type sharder interface {
+	NumShards() int
+	Shard(i int) kvstore.Store
+	ShardFor(key string) int
+}
+
+// New creates a server over store. The session pools register their
 // handles immediately, so engine registration cost is paid once at
-// startup, not per connection.
+// startup, not per connection. A sharded store gets one pool per shard
+// (Handles split across them, minimum 2 each) and the batch router;
+// anything else gets the single pool and the direct dispatch path.
 func New(store kvstore.Store, cfg Config) *Server {
 	cfg.sanitize()
 	s := &Server{
 		cfg:     cfg,
 		store:   store,
-		pool:    newSessionPool(store, cfg.Handles),
 		sem:     make(chan struct{}, cfg.MaxConns),
 		conns:   make(map[*conn]struct{}),
 		drained: make(chan struct{}),
 		start:   time.Now(),
 	}
+	if sh, ok := store.(sharder); ok && sh.NumShards() > 1 {
+		n := sh.NumShards()
+		per := (cfg.Handles + n - 1) / n
+		if per < 2 {
+			per = 2
+		}
+		s.shards = make([]kvstore.Store, n)
+		s.pools = make([]*sessionPool, n)
+		for i := 0; i < n; i++ {
+			s.shards[i] = sh.Shard(i)
+			s.pools[i] = newSessionPool(s.shards[i], per)
+		}
+		s.shardFor = sh.ShardFor
+	} else {
+		s.shards = []kvstore.Store{store}
+		s.pools = []*sessionPool{newSessionPool(store, cfg.Handles)}
+	}
+	s.shardCmds = make([]shardCounter, len(s.shards))
 	s.registerMetrics()
 	return s
 }
+
+// routed reports whether batches go through the shard router.
+func (s *Server) routed() bool { return len(s.shards) > 1 }
 
 // Listen binds the configured address. Separate from Serve so callers
 // can learn the bound address (Addr) before serving — tests listen on
@@ -247,7 +303,9 @@ func (s *Server) Shutdown() {
 			s.mu.Unlock()
 			<-done
 		}
-		s.pool.close()
+		for _, p := range s.pools {
+			p.close()
+		}
 		if s.cfg.OwnsStore {
 			s.store.Close()
 		}
