@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-hotpath figures examples torture loc serve loadtest bench-server bench-server-sharded metrics-smoke check-si
+.PHONY: all build vet test race bench bench-hotpath figures examples torture torture-wal crash-check loc serve loadtest bench-server bench-server-sharded metrics-smoke check-si
 
 all: build vet test
 
@@ -52,6 +52,19 @@ torture:
 	$(GO) run -race ./cmd/mvtorture -duration 10s -config tiny-log \
 		-faults 'readlock-pin=panic/211,trylock-cas=panic/193,commit-publish=panic/197,alloc-capacity=panic/41,writeback=panic/19,detector-scan=panic/11' \
 		-panicfrac 0.05 -stallpin 25ms
+
+# WAL fault torture: the group-commit logger crashed at every injection
+# point (torn write, before fsync, after fsync) under concurrent
+# writers, plus the server-level degraded-mode and recovery tests — all
+# under the race detector.
+torture-wal:
+	$(GO) test -race -count 1 -run 'TestCrashTorture|TestRecover|TestReplay|TestEpoch|TestSnapshotCutoff' ./internal/wal
+	$(GO) test -race -count 1 -run 'TestWAL' ./internal/server
+
+# kill -9 a WAL-backed daemon mid-burst, restart, and audit that every
+# acknowledged write survived (single-domain and 4-shard router).
+crash-check:
+	./scripts/crash_check.sh
 
 # Run the KV daemon in the foreground (ctrl-C drains gracefully).
 serve:

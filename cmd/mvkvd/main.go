@@ -37,6 +37,7 @@ import (
 	"mvrlu/internal/kvstore"
 	"mvrlu/internal/obs"
 	"mvrlu/internal/server"
+	"mvrlu/internal/wal"
 )
 
 func main() {
@@ -58,6 +59,14 @@ func main() {
 			"HTTP observability listen address (/metrics, /debug/pprof/, /debug/vars); empty = disabled")
 		telemetry = flag.Bool("telemetry", true,
 			"record latency histograms on the engine and server hot paths")
+		walDir = flag.String("wal", "",
+			"write-ahead log directory: writes are acknowledged only once durable, and the store is recovered from this directory at startup; empty = no WAL (acknowledged implies committed only)")
+		walSync = flag.String("wal-sync", "always",
+			"WAL durability policy: always (fsync per group-committed batch) or none (page cache only; benchmarking)")
+		snapInterval = flag.Duration("snapshot-interval", 30*time.Second,
+			"installer cadence: how often the WAL is compacted into a snapshot and truncated (0 = size-triggered only)")
+		walMaxBytes = flag.Int64("wal-max-bytes", 64<<20,
+			"live WAL bytes that trigger an installer pass between ticks")
 	)
 	flag.Parse()
 	obs.SetEnabled(*telemetry)
@@ -70,6 +79,59 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+
+	// Durability: recover the store from the WAL directory, install the
+	// commit hook that logs every committed write, and start the installer
+	// before serving — order matters: replay must precede the hook, or the
+	// replayed writes would be re-logged.
+	var wlog *wal.Log
+	if *walDir != "" {
+		mode, err := wal.ParseSyncMode(*walSync)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		var rec *wal.Recovery
+		wlog, rec, err = wal.Open(wal.Options{
+			Dir:          *walDir,
+			Sync:         mode,
+			MaxLiveBytes: *walMaxBytes,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		dump := storeDump(st)
+		if !rec.Empty() {
+			sess := st.Session()
+			sets, dels := rec.Apply(sess)
+			sess.Close()
+			log.Printf("mvkvd: wal recovery: %d snapshot keys + %d records (%d segments, %d torn bytes) -> %d sets, %d dels; epoch %d",
+				rec.SnapshotKeys, rec.Records, rec.Segments, rec.TornBytes, sets, dels, rec.Epoch)
+			// Fold the replayed tail into a fresh snapshot now, so repeated
+			// crash/restart cycles cannot grow an ever-longer replay chain.
+			if err := wlog.Checkpoint(dump); err != nil {
+				fmt.Fprintln(os.Stderr, "mvkvd: post-recovery checkpoint:", err)
+				os.Exit(1)
+			}
+		}
+		if !kvstore.SetStoreCommitHook(st, func(op kvstore.CommitOp) {
+			// The error is sticky on the log; the server's degraded-mode
+			// check and the ack gate surface it, so drop it here.
+			_ = wlog.Append(wal.Record{
+				TS: op.TS, Shard: op.Shard, Del: op.Del,
+				Key: op.Key, Value: op.Value,
+			})
+		}) {
+			fmt.Fprintf(os.Stderr, "mvkvd: store %s does not support commit hooks; cannot run with -wal\n", st.Name())
+			os.Exit(1)
+		}
+		wlog.StartInstaller(*snapInterval, dump, func(err error) {
+			log.Printf("mvkvd: wal installer: %v", err)
+		})
+		log.Printf("mvkvd: wal on %s (sync=%s, snapshot every %v)", *walDir, mode, *snapInterval)
+	}
+
 	srv := server.New(st, server.Config{
 		Addr:         *addr,
 		Handles:      *handles,
@@ -78,7 +140,11 @@ func main() {
 		WriteTimeout: *writeTO,
 		IdleTimeout:  *idleTO,
 		DrainTimeout: *drainTO,
-		OwnsStore:    true,
+		// With a WAL the daemon sequences the teardown itself after the
+		// drain: installer stopped and log closed BEFORE the store, so a
+		// late snapshot tick can never dump a closed store.
+		OwnsStore: wlog == nil,
+		WAL:       wlog,
 	})
 	if err := srv.Listen(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -113,12 +179,40 @@ func main() {
 	if err := srv.Serve(); err != nil {
 		log.Fatalf("mvkvd: %v", err)
 	}
+	if wlog != nil {
+		if err := wlog.Close(); err != nil {
+			log.Printf("mvkvd: wal close: %v", err)
+		}
+		st.Close()
+	}
 	if msrv != nil {
 		// Closed after the drain: a scraper may legitimately want the
 		// final counters of a shutting-down daemon.
 		msrv.Close()
 	}
 	log.Printf("mvkvd: drained, store closed, exiting")
+}
+
+// storeDump adapts the store to the WAL installer's DumpFunc: wait out
+// each shard's ORDO visibility window, read the vanilla build's replay
+// cutoffs before the walk, then emit one consistent snapshot of the
+// whole keyspace.
+func storeDump(st kvstore.Store) wal.DumpFunc {
+	return func(minTS map[uint32]uint64, emit func(key, value string) error) (map[uint32]uint64, error) {
+		kvstore.WaitVisible(st, minTS)
+		cutoffs := kvstore.WALCutoffs(st)
+		sess := st.Session()
+		defer sess.Close()
+		var eerr error
+		sess.ForEach(func(k, v string) bool {
+			if err := emit(k, v); err != nil {
+				eerr = err
+				return false
+			}
+			return true
+		})
+		return cutoffs, eerr
+	}
 }
 
 // metricsServer builds the observability mux: Prometheus exposition,

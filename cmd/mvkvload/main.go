@@ -58,6 +58,13 @@ type result struct {
 	// the routing-balance observable: a skewed distribution here means
 	// the hash is not spreading this workload's keys.
 	ShardOps []uint64 `json:"shard_ops,omitempty"`
+	// WalFsync and WalGroup are the server's WAL fsync-latency and
+	// group-commit batch-size distributions (scraped from METRICS),
+	// present when the server runs with -wal. Together they are the
+	// honest cost accounting of durability: how long each fsync took and
+	// how many commits each one amortized over.
+	WalFsync *histJSON `json:"wal_fsync_ns,omitempty"`
+	WalGroup *histJSON `json:"wal_group_records,omitempty"`
 }
 
 // histJSON is the JSON rendering of an obs.Snapshot: cumulative counts
@@ -120,12 +127,30 @@ func main() {
 		shutdown = flag.Bool("shutdown", false, "send SHUTDOWN to the server when done")
 		oneShot  = flag.String("cmd", "",
 			"send one command (space-separated args), print the reply, exit; skips probe/preload/load")
+		durCheck = flag.String("durability-check", "",
+			"run a write burst and record every acknowledged write to this JSON file (survives the server being SIGKILLed mid-burst); verify after restart with -durability-verify")
+		durVerify = flag.String("durability-verify", "",
+			"read a -durability-check file and assert every acknowledged write is present on the (restarted) server; exits 1 on any lost write")
 	)
 	flag.Parse()
 
 	if *oneShot != "" {
 		if err := runOneShot(*addr, strings.Fields(*oneShot)); err != nil {
 			fmt.Fprintf(os.Stderr, "mvkvload: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *durVerify != "" {
+		if err := runDurVerify(*addr, *durVerify); err != nil {
+			fmt.Fprintf(os.Stderr, "mvkvload: durability-verify: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *durCheck != "" {
+		if err := runDurCheck(*addr, *durCheck, *conns, *pipeline, *duration); err != nil {
+			fmt.Fprintf(os.Stderr, "mvkvload: durability-check: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -217,6 +242,13 @@ func main() {
 		all = append(all, l...)
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	var walFsync, walGroup *histJSON
+	if h, ok := scrapeHist(*addr, "wal_fsync_ns"); ok {
+		walFsync = &h
+	}
+	if h, ok := scrapeHist(*addr, "wal_group_records"); ok {
+		walGroup = &h
+	}
 	res := result{
 		Addr:      *addr,
 		Build:     build,
@@ -236,12 +268,22 @@ func main() {
 		Errors:    totalErrs.Load(),
 		BatchHist: histFromLatencies(lats),
 		ShardOps:  shardOps,
+		WalFsync:  walFsync,
+		WalGroup:  walGroup,
 	}
 	fmt.Printf("%s shards=%d conns=%d pipeline=%d read=%d%%: %.0f ops/s, batch p50=%.0fµs p95=%.0fµs p99=%.0fµs (%d ops, %d errors)\n",
 		res.Build, res.Shards, res.Conns, res.Pipeline, res.ReadPct,
 		res.OpsPerSec, res.P50us, res.P95us, res.P99us, res.Ops, res.Errors)
 	if len(shardOps) > 1 {
 		fmt.Printf("  shard ops: %v\n", shardOps)
+	}
+	if walFsync != nil && walFsync.Count > 0 {
+		groups := float64(0)
+		if walGroup != nil && walGroup.Count > 0 {
+			groups = float64(walGroup.SumNs) / float64(walGroup.Count)
+		}
+		fmt.Printf("  wal: %d fsyncs, mean %.0fµs, mean group %.1f records\n",
+			walFsync.Count, walFsync.MeanUs, groups)
 	}
 	if *jsonOut != "" {
 		data, _ := json.MarshalIndent(res, "", "  ")
@@ -421,6 +463,224 @@ func doPreload(addr string, keys, valsize int) error {
 		}
 	}
 	return nil
+}
+
+// durFile is the artifact -durability-check writes and
+// -durability-verify reads: every write the server acknowledged, as
+// key → the last acknowledged sequence value for that key. Keys are
+// disjoint per connection (dur<conn>:<slot>), so the merged map needs no
+// cross-connection ordering.
+type durFile struct {
+	Acked map[string]uint64 `json:"acked"`
+}
+
+// durKeysPerConn bounds each connection's keyspace slice so keys are
+// rewritten many times during a burst — re-acks of the same key must
+// monotonically raise its recorded sequence, which is what makes the
+// verify's ">= recorded" assertion meaningful under overwrites.
+const durKeysPerConn = 1000
+
+// runDurCheck drives a write-only burst and records, client-side, every
+// write the server acknowledged: key → sequence value, updated only when
+// the OK for that exact SET has been read back. The server being killed
+// mid-burst is the expected outcome — the dead connection just stops,
+// keeping everything acknowledged so far — so connection errors are
+// reported but do not fail the run. The file is the ground truth a
+// restarted server is audited against with -durability-verify.
+func runDurCheck(addr, file string, conns, pipeline int, duration time.Duration) error {
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		acked = map[string]uint64{}
+		dead  atomic.Uint64
+		nacks atomic.Uint64
+		stop  = time.Now().Add(duration)
+	)
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			local := map[string]uint64{}
+			defer func() {
+				mu.Lock()
+				for k, v := range local {
+					acked[k] = v
+				}
+				mu.Unlock()
+			}()
+			nc, err := net.Dial("tcp", addr)
+			if err != nil {
+				dead.Add(1)
+				return
+			}
+			defer nc.Close()
+			br := bufio.NewReaderSize(nc, 64<<10)
+			bw := bufio.NewWriterSize(nc, 64<<10)
+			seq := uint64(0)
+			type pend struct {
+				key string
+				seq uint64
+			}
+			pending := make([]pend, 0, pipeline)
+			for time.Now().Before(stop) {
+				pending = pending[:0]
+				for j := 0; j < pipeline; j++ {
+					seq++
+					key := fmt.Sprintf("dur%03d:%06d", id, seq%durKeysPerConn)
+					server.WriteCommandStrings(bw, "SET", key, strconv.FormatUint(seq, 10))
+					pending = append(pending, pend{key, seq})
+				}
+				if err := bw.Flush(); err != nil {
+					dead.Add(1)
+					return
+				}
+				for j := 0; j < pipeline; j++ {
+					rep, err := server.ReadReply(br)
+					if err != nil {
+						// The server died mid-burst: replies j.. were never
+						// received, so those writes stay unrecorded — they may
+						// or may not be durable, and the verify only demands
+						// what was acknowledged.
+						dead.Add(1)
+						return
+					}
+					if rep.IsError() {
+						nacks.Add(1)
+						continue
+					}
+					local[pending[j].key] = pending[j].seq
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	data, err := json.MarshalIndent(durFile{Acked: acked}, "", " ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(file, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("durability-check: %d acked keys recorded to %s (%d dead conns, %d refused writes)\n",
+		len(acked), file, dead.Load(), nacks.Load())
+	return nil
+}
+
+// runDurVerify audits a restarted server against a -durability-check
+// file: every acknowledged key must be present with a sequence value at
+// least the recorded one (a later write to the same key may have become
+// durable without its ack being received — that is allowed; absence or
+// an older value is a lost acknowledged write).
+func runDurVerify(addr, file string) error {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return err
+	}
+	var df durFile
+	if err := json.Unmarshal(data, &df); err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(df.Acked))
+	for k := range df.Acked {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer nc.Close()
+	br := bufio.NewReaderSize(nc, 1<<20)
+	bw := bufio.NewWriterSize(nc, 1<<20)
+
+	lost, stale := 0, 0
+	const batch = 256
+	for i := 0; i < len(keys); i += batch {
+		end := i + batch
+		if end > len(keys) {
+			end = len(keys)
+		}
+		for _, k := range keys[i:end] {
+			server.WriteCommandStrings(bw, "GET", k)
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		for _, k := range keys[i:end] {
+			rep, err := server.ReadReply(br)
+			if err != nil {
+				return err
+			}
+			want := df.Acked[k]
+			switch {
+			case rep.Kind == server.NullReply:
+				lost++
+				if lost <= 10 {
+					fmt.Printf("LOST %s: acked seq %d, key absent\n", k, want)
+				}
+			default:
+				got, perr := strconv.ParseUint(rep.Str, 10, 64)
+				if perr != nil || got < want {
+					stale++
+					if stale <= 10 {
+						fmt.Printf("STALE %s: acked seq %d, found %q\n", k, want, rep.Str)
+					}
+				}
+			}
+		}
+	}
+	if lost > 0 || stale > 0 {
+		return fmt.Errorf("%d acked keys lost, %d stale of %d checked", lost, stale, len(keys))
+	}
+	fmt.Printf("durability-verify: all %d acked keys present with current values\n", len(keys))
+	return nil
+}
+
+// scrapeHist reads one histogram family from the METRICS exposition
+// (name_bucket{le="..."} / name_sum / name_count lines); ok is false
+// when the family is absent (e.g. the server runs without a WAL).
+func scrapeHist(addr, name string) (h histJSON, ok bool) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return h, false
+	}
+	defer nc.Close()
+	br, bw := bufio.NewReaderSize(nc, 1<<20), bufio.NewWriter(nc)
+	server.WriteCommandStrings(bw, "METRICS")
+	if err := bw.Flush(); err != nil {
+		return h, false
+	}
+	rep, err := server.ReadReply(br)
+	if err != nil || rep.IsError() {
+		return h, false
+	}
+	found := false
+	for _, line := range strings.Split(rep.Str, "\n") {
+		if rest, okc := strings.CutPrefix(line, name+`_bucket{le="`); okc {
+			leStr, valStr, okc := strings.Cut(rest, `"} `)
+			if !okc || leStr == "+Inf" {
+				continue
+			}
+			le, err1 := strconv.ParseUint(leStr, 10, 64)
+			cum, err2 := strconv.ParseUint(strings.TrimSpace(valStr), 10, 64)
+			if err1 != nil || err2 != nil {
+				continue
+			}
+			h.Buckets = append(h.Buckets, histBucket{LeNs: le, CumCount: cum})
+			found = true
+		} else if rest, okc := strings.CutPrefix(line, name+"_sum "); okc {
+			h.SumNs, _ = strconv.ParseUint(strings.TrimSpace(rest), 10, 64)
+			found = true
+		} else if rest, okc := strings.CutPrefix(line, name+"_count "); okc {
+			h.Count, _ = strconv.ParseUint(strings.TrimSpace(rest), 10, 64)
+			found = true
+		}
+	}
+	if h.Count > 0 {
+		h.MeanUs = float64(h.SumNs) / float64(h.Count) / 1e3
+	}
+	return h, found
 }
 
 // sendShutdown issues SHUTDOWN and waits for the server to close the

@@ -37,6 +37,10 @@ type Thread[T any] struct {
 	// scans this log, so the owner's slot initialization and rollback
 	// also take gcMu.
 	needsGCMu bool
+	// lastCommitTS is the commit timestamp finishCommit last published —
+	// the value a WAL hook stamps onto the commit records of the write
+	// set Execute just committed (owner-only, read via LastCommitTS).
+	lastCommitTS uint64
 
 	// pin is the detector-facing state — localTS, head, tail — split
 	// out of the handle so the watermark scan can keep reading it after
@@ -667,6 +671,7 @@ func (t *Thread[T]) injectCommitPublish() {
 // mark superseded predecessors, and unlock the masters.
 func (t *Thread[T]) finishCommit() {
 	cts := t.d.clk.Now() + t.d.boundary
+	t.lastCommitTS = cts
 	t.ws.commitTS.Store(cts)
 	for _, v := range t.wset {
 		v.commitTS.Store(cts)
@@ -803,6 +808,12 @@ func (t *Thread[T]) poolPush(h *wsHeader, ts uint64) {
 
 // ID returns the thread's registration index within its domain.
 func (t *Thread[T]) ID() int { return t.id }
+
+// LastCommitTS returns the commit timestamp of the owner's most recent
+// committed write set — what a durability hook logs as the record
+// timestamp right after Execute returns. Owner-only, like every plain
+// Thread field; 0 before the first commit.
+func (t *Thread[T]) LastCommitTS() uint64 { return t.lastCommitTS }
 
 // Domain returns the owning domain.
 func (t *Thread[T]) Domain() *Domain[T] { return t.d }

@@ -50,6 +50,20 @@ const (
 	// DetectorScan sits at the top of the grace-period detector's tick,
 	// before the watermark broadcast.
 	DetectorScan
+	// WALTornWrite sits at the head of the WAL logger's batch write: an
+	// armed panic there makes the logger write a torn prefix of the
+	// batch (cut mid-frame), sync it, and die — the torn-tail crash the
+	// recovery scanner must truncate cleanly.
+	WALTornWrite
+	// WALBeforeFsync sits between the WAL logger's batch write and its
+	// fsync: an armed panic there simulates losing the page cache (the
+	// file is rolled back to the last durable offset) — the batch was
+	// written but never became durable, and must not have been acked.
+	WALBeforeFsync
+	// WALAfterFsync sits between the WAL logger's fsync and the release
+	// of waiting sessions: the batch IS durable but no ack ever goes
+	// out — recovery may legitimately resurrect writes no client saw.
+	WALAfterFsync
 
 	// NumPoints is the number of injection points.
 	NumPoints
@@ -62,6 +76,9 @@ var names = [NumPoints]string{
 	Writeback:         "writeback",
 	AllocSlotCapacity: "alloc-capacity",
 	DetectorScan:      "detector-scan",
+	WALTornWrite:      "wal-torn-write",
+	WALBeforeFsync:    "wal-before-fsync",
+	WALAfterFsync:     "wal-after-fsync",
 }
 
 // Name returns the spec name of a point.

@@ -25,6 +25,7 @@ type MVRLUStore struct {
 	slots    []mvSlot
 	buckets  int
 	sessions atomic.Int64
+	hook     CommitHook
 }
 
 type mvSlot struct {
@@ -99,6 +100,12 @@ func (s *MVRLUStore) Watermark() uint64 { return s.d.Watermark() }
 
 // Now reads the domain clock.
 func (s *MVRLUStore) Now() uint64 { return s.d.Now() }
+
+// SetCommitHook implements commitHooker. The hook runs inside the
+// per-slot lock right after Execute commits, with the write set's real
+// MV-RLU commit timestamp — so for any key, hook order equals commit
+// order, and the WAL's per-key log order needs no correction.
+func (s *MVRLUStore) SetCommitHook(h CommitHook) { s.hook = h }
 
 // ChainMetrics walks every tree at quiescence (no concurrent writers, no
 // single-collector detector) and reports the number of records, the total
@@ -226,6 +233,9 @@ func (k *mvrluKVSession) Set(key, value string) {
 		}
 		return true
 	})
+	if h := k.s.hook; h != nil {
+		h(CommitOp{TS: k.h.LastCommitTS(), Key: key, Value: value})
+	}
 }
 
 func (k *mvrluKVSession) Remove(key string) (removed bool) {
@@ -290,6 +300,11 @@ func (k *mvrluKVSession) Remove(key string) (removed bool) {
 		removed = true
 		return true
 	})
+	if removed {
+		if h := k.s.hook; h != nil {
+			h(CommitOp{TS: k.h.LastCommitTS(), Del: true, Key: key})
+		}
+	}
 	return removed
 }
 

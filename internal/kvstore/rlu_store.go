@@ -23,6 +23,11 @@ type RLUStore struct {
 	slots    []rluSlot
 	buckets  int
 	sessions atomic.Int64
+	hook     CommitHook
+	// walClock orders commit records for the WAL. RLU's own global clock
+	// is not exposed per write set, so hooks stamp this counter instead —
+	// incremented inside the slot lock, so per-key order is commit order.
+	walClock atomic.Uint64
 }
 
 type rluSlot struct {
@@ -64,6 +69,10 @@ func (s *RLUStore) Session() Session {
 
 // NumSessions implements Store.
 func (s *RLUStore) NumSessions() int { return int(s.sessions.Load()) }
+
+// SetCommitHook implements commitHooker; see RLUStore.walClock for the
+// timestamp source.
+func (s *RLUStore) SetCommitHook(h CommitHook) { s.hook = h }
 
 type rluKVSession struct {
 	s *RLUStore
@@ -137,6 +146,9 @@ func (k *rluKVSession) Set(key, value string) {
 		}
 		return true
 	})
+	if h := k.s.hook; h != nil {
+		h(CommitOp{TS: k.s.walClock.Add(1), Key: key, Value: value})
+	}
 }
 
 func (k *rluKVSession) Remove(key string) (removed bool) {
@@ -201,6 +213,11 @@ func (k *rluKVSession) Remove(key string) (removed bool) {
 		removed = true
 		return true
 	})
+	if removed {
+		if h := k.s.hook; h != nil {
+			h(CommitOp{TS: k.s.walClock.Add(1), Del: true, Key: key})
+		}
+	}
 	return removed
 }
 

@@ -22,6 +22,13 @@ type Vanilla struct {
 	slots    []vanillaSlot
 	buckets  int
 	sessions atomic.Int64
+	hook     CommitHook
+	// walClock orders commit records for the WAL. It is stamped while the
+	// global write lock is held, but the hook itself runs after unlock
+	// (a blocking hook under the exclusive lock would deadlock against a
+	// snapshot dump waiting for the read lock), so hook order can invert
+	// timestamp order across racing writers — WALCutoff compensates.
+	walClock atomic.Uint64
 }
 
 type vanillaSlot struct {
@@ -54,6 +61,22 @@ func (v *Vanilla) Session() Session {
 // NumSessions implements Store.
 func (v *Vanilla) NumSessions() int { return int(v.sessions.Load()) }
 
+// SetCommitHook implements commitHooker; see Vanilla.walClock for the
+// ordering caveat.
+func (v *Vanilla) SetCommitHook(h CommitHook) { v.hook = h }
+
+// WALCutoff implements walClocker: every commit with ts ≤ the returned
+// value stamped its timestamp while holding the global write lock, and
+// that lock was released before this RLock could be acquired — so any
+// store walk starting after this call observes all such commits. The WAL
+// snapshot reads the cutoff before its dump walk and replay skips
+// records at or below it.
+func (v *Vanilla) WALCutoff() uint64 {
+	v.global.RLock()
+	defer v.global.RUnlock()
+	return v.walClock.Load()
+}
+
 type vanillaSession struct{ v *Vanilla }
 
 // Close implements Session. The stock build holds no per-session state.
@@ -84,18 +107,28 @@ func (s vanillaSession) Get(key string) (string, bool) {
 }
 
 func (s vanillaSession) Set(key, value string) {
+	ts := s.setLocked(key, value)
+	if h := s.v.hook; h != nil {
+		h(CommitOp{TS: ts, Key: key, Value: value})
+	}
+}
+
+// setLocked applies the write and stamps its WAL timestamp, all under
+// the global write lock; the hook fires after this returns.
+func (s vanillaSession) setLocked(key, value string) uint64 {
 	s.v.global.Lock()
 	defer s.v.global.Unlock()
 	sl, b := s.locate(key)
 	sl.mu.Lock()
 	defer sl.mu.Unlock()
+	ts := s.v.walClock.Add(1)
 	link := &sl.trees[b]
 	for *link != nil {
 		n := *link
 		switch {
 		case key == n.key:
 			n.value = value
-			return
+			return ts
 		case key < n.key:
 			link = &n.left
 		default:
@@ -103,28 +136,40 @@ func (s vanillaSession) Set(key, value string) {
 		}
 	}
 	*link = &vNode{key: key, value: value}
+	return ts
 }
 
 func (s vanillaSession) Remove(key string) bool {
+	ts, removed := s.removeLocked(key)
+	if removed {
+		if h := s.v.hook; h != nil {
+			h(CommitOp{TS: ts, Del: true, Key: key})
+		}
+	}
+	return removed
+}
+
+func (s vanillaSession) removeLocked(key string) (uint64, bool) {
 	s.v.global.Lock()
 	defer s.v.global.Unlock()
 	sl, b := s.locate(key)
 	sl.mu.Lock()
 	defer sl.mu.Unlock()
+	ts := s.v.walClock.Add(1)
 	link := &sl.trees[b]
 	for *link != nil {
 		n := *link
 		switch {
 		case key == n.key:
 			*link = deleteRoot(n)
-			return true
+			return ts, true
 		case key < n.key:
 			link = &n.left
 		default:
 			link = &n.right
 		}
 	}
-	return false
+	return ts, false
 }
 
 // ForEach implements Session: a scan under the global read lock.

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sort"
 	"strconv"
@@ -13,24 +14,79 @@ import (
 
 	"mvrlu/internal/kvstore"
 	"mvrlu/internal/obs"
+	"mvrlu/internal/wal"
 )
 
 // conn is one client connection: a goroutine, two buffers, and no store
 // session of its own — sessions are checked out per batch.
 type conn struct {
-	srv *Server
-	nc  net.Conn
-	br  *bufio.Reader
-	bw  *bufio.Writer
+	srv  *Server
+	nc   net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	gate *walGate // nil when the server runs without a WAL
+}
+
+// walGate sits between a connection's reply buffer and its socket and
+// enforces "acknowledged implies durable": once any write command of the
+// current batch has executed (dirty), no buffered bytes — which include
+// that write's acknowledgment — may reach the socket before a WAL sync
+// barrier covers the write's log record. Interposing on the writer
+// rather than barriering in flush() is deliberate: bufio auto-flushes
+// when a large batch overflows its 16 KiB buffer mid-dispatch, and those
+// early flushes must gate too. A barrier failure (the log died) aborts
+// the flush with the error, so a failed WAL can never leak an ack.
+//
+// Only the connection goroutine touches the gate (bufio.Flush runs
+// there), so dirty needs no synchronization.
+type walGate struct {
+	nc    net.Conn
+	wal   *wal.Log
+	dirty bool
+}
+
+func (g *walGate) Write(p []byte) (int, error) {
+	if g.dirty {
+		if err := g.wal.SyncBarrier(); err != nil {
+			return 0, err
+		}
+		g.dirty = false
+	}
+	return g.nc.Write(p)
 }
 
 func newConn(s *Server, nc net.Conn) *conn {
-	return &conn{
-		srv: s,
-		nc:  nc,
-		br:  bufio.NewReaderSize(nc, 16<<10),
-		bw:  bufio.NewWriterSize(nc, 16<<10),
+	c := &conn{srv: s, nc: nc, br: bufio.NewReaderSize(nc, 16<<10)}
+	var w io.Writer = nc
+	if s.cfg.WAL != nil {
+		c.gate = &walGate{nc: nc, wal: s.cfg.WAL}
+		w = c.gate
 	}
+	c.bw = bufio.NewWriterSize(w, 16<<10)
+	return c
+}
+
+// markDirty records that the current batch executed a write command, so
+// the gate must barrier before the next socket write. Call it after the
+// store call (whose commit hook appended the record) and before writing
+// the reply into the buffer.
+func (c *conn) markDirty() {
+	if c.gate != nil {
+		c.gate.dirty = true
+	}
+}
+
+// walRefusal is the degraded-mode check: a failed WAL means the server
+// can no longer make writes durable, so write commands are refused with
+// a RESP error (reads keep serving) until the operator restarts onto a
+// healthy log. Returns the error-reply text, or "" to proceed.
+func (c *conn) walRefusal() string {
+	if w := c.srv.cfg.WAL; w != nil {
+		if err := w.Err(); err != nil {
+			return "ERR wal: log failed, writes disabled (" + err.Error() + ")"
+		}
+	}
+	return ""
 }
 
 // nudge unblocks a connection parked in a blocking read so it can
@@ -161,12 +217,19 @@ func (c *conn) dispatch(ps *pooledSession, args [][]byte) bool {
 		if len(args) != 3 {
 			return c.arityErr(name)
 		}
+		if msg := c.walRefusal(); msg != "" {
+			return writeErrorReply(c.bw, msg) == nil
+		}
 		sess.Set(string(args[1]), string(args[2]))
+		c.markDirty()
 		return writeSimple(c.bw, "OK") == nil
 
 	case "DEL":
 		if len(args) < 2 {
 			return c.arityErr(name)
+		}
+		if msg := c.walRefusal(); msg != "" {
+			return writeErrorReply(c.bw, msg) == nil
 		}
 		n := int64(0)
 		for _, k := range args[1:] {
@@ -174,6 +237,7 @@ func (c *conn) dispatch(ps *pooledSession, args [][]byte) bool {
 				n++
 			}
 		}
+		c.markDirty()
 		return writeInt(c.bw, n) == nil
 
 	case "EXISTS":
@@ -210,9 +274,13 @@ func (c *conn) dispatch(ps *pooledSession, args [][]byte) bool {
 		if len(args) < 3 || len(args)%2 != 1 {
 			return c.arityErr(name)
 		}
+		if msg := c.walRefusal(); msg != "" {
+			return writeErrorReply(c.bw, msg) == nil
+		}
 		for i := 1; i < len(args); i += 2 {
 			sess.Set(string(args[i]), string(args[i+1]))
 		}
+		c.markDirty()
 		return writeSimple(c.bw, "OK") == nil
 
 	case "SCAN":
@@ -280,6 +348,13 @@ func parseScan(args [][]byte) (prefix string, limit int, errmsg string) {
 // unbounded). Results are collected inside the snapshot and written
 // after it, so the pin lasts the walk, not the client's drain of the
 // reply.
+//
+// Both SCAN paths pass limit = -1 here and truncate at render instead:
+// capping during the walk would keep whichever keys the walk order (or,
+// sharded, the partitioning) happened to visit first, making a
+// truncating LIMIT non-deterministic across shard counts. Collecting
+// everything and cutting after the global sort makes LIMIT n mean "the n
+// smallest matching keys" identically on every build and shard count.
 func collectScan(sess kvstore.Session, prefix string, limit int) []scanKV {
 	var out []scanKV
 	sess.ForEachPrefix(prefix, func(k, v string) bool {
@@ -292,11 +367,12 @@ func collectScan(sess kvstore.Session, prefix string, limit int) []scanKV {
 	return out
 }
 
-// renderScan sorts the collected pairs by key and writes the flat
-// key,value,... array. Sorting makes the reply deterministic and — the
-// point for the sharded build — independent of how the keyspace is
-// partitioned: a cross-shard merge concatenated in shard order and a
-// single-domain walk sort to the same sequence.
+// renderScan sorts the collected pairs by key, applies LIMIT, and writes
+// the flat key,value,... array. Sorting before the cut makes the reply
+// deterministic and — the point for the sharded build — independent of
+// how the keyspace is partitioned: a cross-shard merge concatenated in
+// shard order and a single-domain walk sort to the same sequence and
+// keep the same smallest-n prefix.
 func renderScan(w *bufio.Writer, out []scanKV, limit int) bool {
 	sort.Slice(out, func(i, j int) bool { return out[i].k < out[j].k })
 	if limit >= 0 && len(out) > limit {
@@ -324,7 +400,7 @@ func (c *conn) cmdScan(sess kvstore.Session, args [][]byte) bool {
 	if errmsg != "" {
 		return writeErrorReply(c.bw, errmsg) == nil
 	}
-	return renderScan(c.bw, collectScan(sess, prefix, limit), limit)
+	return renderScan(c.bw, collectScan(sess, prefix, -1), limit)
 }
 
 func arityMsg(name string) string {

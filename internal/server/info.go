@@ -71,6 +71,20 @@ func (s *Server) infoText(full bool, held int) string {
 		}
 	}
 
+	if w := s.cfg.WAL; w != nil {
+		st := w.Stats()
+		fmt.Fprintf(&b, "\n# wal\n")
+		fmt.Fprintf(&b, "wal_dir:%s\n", w.Dir())
+		fmt.Fprintf(&b, "wal_records:%d\n", st.Records)
+		fmt.Fprintf(&b, "wal_bytes:%d\n", st.Bytes)
+		fmt.Fprintf(&b, "wal_syncs:%d\n", st.Syncs)
+		fmt.Fprintf(&b, "wal_snapshots:%d\n", st.Snapshots)
+		fmt.Fprintf(&b, "wal_errors:%d\n", st.Errors)
+		fmt.Fprintf(&b, "wal_queue_bytes:%d\n", st.QueueBytes)
+		fmt.Fprintf(&b, "wal_live_bytes:%d\n", st.LiveBytes)
+		fmt.Fprintf(&b, "wal_degraded:%d\n", boolInt(w.Err() != nil))
+	}
+
 	for i, st := range s.shards {
 		s.writeWatermarkSection(&b, i, st)
 	}

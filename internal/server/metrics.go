@@ -53,6 +53,9 @@ func (s *Server) registerMetrics() {
 	if m, ok := s.store.(metricser); ok {
 		m.RegisterMetrics(s.reg)
 	}
+	if s.cfg.WAL != nil {
+		s.cfg.WAL.RegisterMetrics(s.reg)
+	}
 }
 
 // Metrics returns the server's metric registry — the daemon mounts its

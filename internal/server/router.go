@@ -151,7 +151,10 @@ func (op *shardOp) run(sess kvstore.Session) {
 			sess.Set(p[0], p[1])
 		}
 	case opScan:
-		op.sl.scan[op.shard] = collectScan(sess, op.key, op.sl.limit)
+		// Unbounded walk regardless of sl.limit: the cut happens after the
+		// cross-shard merge sorts (see collectScan), so a truncating LIMIT
+		// selects the same keys at any shard count.
+		op.sl.scan[op.shard] = collectScan(sess, op.key, -1)
 	}
 }
 
@@ -205,6 +208,12 @@ func (c *conn) runRoutedBatch(first [][]byte) bool {
 
 	keep := true
 	for _, sl := range slots {
+		// Every worker has joined, so all of this batch's commit records
+		// are appended; mark before rendering the write's reply so the
+		// gate barriers ahead of any flush carrying the ack.
+		if sl.kind == kSet || sl.kind == kMSet || sl.kind == kDel {
+			c.markDirty()
+		}
 		if !c.renderSlot(sl) {
 			keep = false
 			break
@@ -276,6 +285,10 @@ func (c *conn) planSlot(args [][]byte, queues [][]shardOp) *slot {
 			sl.errmsg = arityMsg(sl.name)
 			return sl
 		}
+		if msg := c.walRefusal(); msg != "" {
+			sl.errmsg = msg
+			return sl
+		}
 		sl.kind = kSet
 		key, val := string(args[1]), string(args[2])
 		add(c.srv.shardFor(key), shardOp{kind: opSet, key: key, val: val})
@@ -287,6 +300,10 @@ func (c *conn) planSlot(args [][]byte, queues [][]shardOp) *slot {
 		}
 		op := uint8(opDel)
 		if sl.name == "DEL" {
+			if msg := c.walRefusal(); msg != "" {
+				sl.errmsg = msg
+				return sl
+			}
 			sl.kind = kDel
 		} else {
 			sl.kind = kExists
@@ -316,6 +333,10 @@ func (c *conn) planSlot(args [][]byte, queues [][]shardOp) *slot {
 	case "MSET":
 		if len(args) < 3 || len(args)%2 != 1 {
 			sl.errmsg = arityMsg(sl.name)
+			return sl
+		}
+		if msg := c.walRefusal(); msg != "" {
+			sl.errmsg = msg
 			return sl
 		}
 		sl.kind = kMSet
@@ -448,11 +469,10 @@ func (c *conn) renderSlot(sl *slot) bool {
 
 	case kScan:
 		// Concatenate the per-shard walks in shard order, then let
-		// renderScan sort by key: the merged reply is identical to the
-		// single-domain reply over the same records (LIMIT excepted —
-		// each shard caps its own walk, so which keys survive a
-		// truncating LIMIT depends on partitioning, exactly as the
-		// unsharded LIMIT depended on walk order).
+		// renderScan sort by key and apply LIMIT: walks are unbounded
+		// (see opScan), so the merged reply — truncating LIMIT included —
+		// is byte-identical to the single-domain reply over the same
+		// records.
 		total := 0
 		for _, part := range sl.scan {
 			total += len(part)

@@ -10,6 +10,7 @@ import (
 
 	"mvrlu/internal/kvstore"
 	"mvrlu/internal/obs"
+	"mvrlu/internal/wal"
 )
 
 // Config configures a Server. The zero value of each field selects the
@@ -49,6 +50,15 @@ type Config struct {
 	// Embedders that inspect the store after a drain leave it false and
 	// close the store themselves.
 	OwnsStore bool
+	// WAL, when non-nil, upgrades the ack contract to "acknowledged
+	// implies durable": the owner (the daemon) has installed a store
+	// commit hook that appends every committed write to this log, and the
+	// server inserts a durability gate between each connection's reply
+	// buffer and its socket — no bytes acknowledging a write reach the
+	// wire before a WAL sync barrier covering that write's record (see
+	// walGate). When the log fails (sticky Err), the server refuses
+	// further writes with a RESP error while reads keep serving.
+	WAL *wal.Log
 }
 
 func (c *Config) sanitize() {

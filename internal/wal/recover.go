@@ -1,0 +1,495 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Applier is what replay writes into. kvstore.Session satisfies it (over
+// a sharded store the composite session routes each key home), so
+// recovery needs no dependency on the store packages.
+type Applier interface {
+	Set(key, value string)
+	Remove(key string) bool
+}
+
+// Recovery is the recovered state Open scanned out of the directory:
+// the newest valid snapshot plus every commit record in the segments the
+// snapshot does not cover, ready to be replayed into an empty store.
+type Recovery struct {
+	// SnapshotKeys is how many key/value pairs the snapshot holds.
+	SnapshotKeys int
+	// Records is how many log records will be replayed (pre-filter).
+	Records int
+	// Segments is how many log segments were scanned.
+	Segments int
+	// TornBytes is how many trailing bytes were truncated off the last
+	// segment as a torn write (0 = clean tail).
+	TornBytes int64
+	// Epoch is the new epoch this process will log under.
+	Epoch uint64
+
+	snapKVs   []kvPair
+	snapTS    map[uint32]uint64 // per-shard replay cutoffs
+	snapEpoch uint64
+	recs      []Record
+}
+
+type kvPair struct{ k, v string }
+
+// Empty reports whether there is nothing to replay — a fresh directory.
+func (r *Recovery) Empty() bool { return r.SnapshotKeys == 0 && r.Records == 0 }
+
+// Apply loads the snapshot and replays the log into a. Records are
+// applied in (epoch, timestamp) order with log order as the tie-break:
+// per-key timestamp order equals commit order within an epoch, and a
+// later epoch (a later process lifetime) always wins over an earlier one
+// regardless of raw timestamps, because domain clocks restart with the
+// process. Same-epoch records with ts ≤ the snapshot's per-shard cutoff
+// are skipped — the snapshot is proven to already reflect them.
+//
+// Apply is idempotent: recovering twice into two stores (or twice into
+// one) yields the same final state, because replay is last-writer-wins
+// in a total order.
+func (r *Recovery) Apply(a Applier) (sets, dels int) {
+	for _, kv := range r.snapKVs {
+		a.Set(kv.k, kv.v)
+		sets++
+	}
+	// Stable sort keeps log order as the tie-break for equal (epoch, ts)
+	// — per-key log order equals commit order, so the last writer wins.
+	sort.SliceStable(r.recs, func(i, j int) bool {
+		if r.recs[i].Epoch != r.recs[j].Epoch {
+			return r.recs[i].Epoch < r.recs[j].Epoch
+		}
+		return r.recs[i].TS < r.recs[j].TS
+	})
+	for i := range r.recs {
+		rec := &r.recs[i]
+		if rec.Epoch == r.snapEpoch && rec.TS <= r.snapTS[rec.Shard] {
+			continue
+		}
+		if rec.Del {
+			a.Remove(rec.Key)
+			dels++
+		} else {
+			a.Set(rec.Key, rec.Value)
+			sets++
+		}
+	}
+	return sets, dels
+}
+
+// Open opens (or creates) a log directory: it picks the newest valid
+// snapshot, scans the segments it does not cover — truncating a torn
+// tail off the last segment, refusing to start on corruption anywhere
+// else — and returns the Log (appending to a fresh segment under a new
+// epoch) plus the Recovery to replay. Stale .tmp files are removed.
+func Open(opt Options) (*Log, *Recovery, error) {
+	opt.sanitize()
+	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	dirF, err := os.Open(opt.Dir)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	segs, snaps, err := scanDir(opt.Dir)
+	if err != nil {
+		dirF.Close()
+		return nil, nil, err
+	}
+
+	rec := &Recovery{snapTS: map[uint32]uint64{}}
+	replayFrom := uint64(0)
+	for i := len(snaps) - 1; i >= 0; i-- {
+		if loadSnapshot(filepath.Join(opt.Dir, snapName(snaps[i])), rec) == nil {
+			replayFrom = snaps[i]
+			break
+		}
+		rec.snapKVs, rec.snapTS = nil, map[uint32]uint64{}
+	}
+	rec.SnapshotKeys = len(rec.snapKVs)
+
+	var (
+		maxSeq   uint64
+		maxEpoch uint64
+	)
+	for i, base := range segs {
+		if base < replayFrom {
+			continue
+		}
+		if rec.Segments > 0 && base != segs[i-1]+1 {
+			dirF.Close()
+			return nil, nil, fmt.Errorf("wal: segment gap: %s then %s",
+				segName(segs[i-1]), segName(base))
+		}
+		if rec.Segments == 0 && replayFrom > 0 && base > replayFrom {
+			dirF.Close()
+			return nil, nil, fmt.Errorf("wal: snapshot %s expects segment %s, found %s",
+				snapName(replayFrom), segName(replayFrom), segName(base))
+		}
+		last := i == len(segs)-1
+		epoch, torn, err := scanSegment(filepath.Join(opt.Dir, segName(base)), last, rec, &maxSeq)
+		if err != nil {
+			dirF.Close()
+			return nil, nil, err
+		}
+		if epoch < maxEpoch {
+			dirF.Close()
+			return nil, nil, fmt.Errorf("wal: %s: epoch %d regressed below %d",
+				segName(base), epoch, maxEpoch)
+		}
+		maxEpoch = epoch
+		rec.TornBytes += torn
+		rec.Segments++
+	}
+	if rec.snapEpoch > maxEpoch {
+		maxEpoch = rec.snapEpoch
+	}
+	rec.Records = len(rec.recs)
+
+	nextSeg := uint64(1)
+	if n := len(segs); n > 0 {
+		nextSeg = segs[n-1] + 1
+	}
+	epoch := maxEpoch + 1
+	rec.Epoch = epoch
+
+	f, err := createSegment(opt.Dir, nextSeg, epoch)
+	if err != nil {
+		dirF.Close()
+		return nil, nil, err
+	}
+	if err := dirF.Sync(); err != nil {
+		f.Close()
+		dirF.Close()
+		return nil, nil, err
+	}
+
+	l := &Log{
+		opt:        opt,
+		dir:        dirF,
+		f:          f,
+		segBase:    nextSeg,
+		epoch:      epoch,
+		syncedOff:  segHeaderLen,
+		appendSeq:  maxSeq,
+		syncedSeq:  maxSeq,
+		lastTS:     map[uint32]uint64{},
+		loggerDone: make(chan struct{}),
+		snapReq:    make(chan struct{}, 1),
+	}
+	l.condWork = sync.NewCond(&l.mu)
+	l.condSync = sync.NewCond(&l.mu)
+	l.condSpace = sync.NewCond(&l.mu)
+	go l.logger()
+	return l, rec, nil
+}
+
+// scanDir lists segment and snapshot base numbers (ascending) and clears
+// leftover temp files from an interrupted snapshot write.
+func scanDir(dir string) (segs, snaps []uint64, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range ents {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			os.Remove(filepath.Join(dir, name))
+		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log"):
+			if n, err := strconv.ParseUint(name[4:len(name)-4], 16, 64); err == nil {
+				segs = append(segs, n)
+			}
+		case strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".db"):
+			if n, err := strconv.ParseUint(name[5:len(name)-3], 16, 64); err == nil {
+				snaps = append(snaps, n)
+			}
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+	return segs, snaps, nil
+}
+
+// scanSegment reads one segment's records into rec. Torn frames are
+// legal only at the tail of the last segment, where they are physically
+// truncated so a later crash cannot bury them mid-log; anything else —
+// a CRC mismatch on a complete frame, a short frame mid-log, a
+// non-monotonic sequence number — refuses recovery rather than silently
+// dropping committed data.
+func scanSegment(path string, last bool, rec *Recovery, maxSeq *uint64) (epoch uint64, torn int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(data) < segHeaderLen || string(data[:8]) != segMagic {
+		return 0, 0, fmt.Errorf("wal: %s: bad segment header", path)
+	}
+	if v := binary.LittleEndian.Uint32(data[8:]); v != segVersion {
+		return 0, 0, fmt.Errorf("wal: %s: unsupported version %d", path, v)
+	}
+	epoch = binary.LittleEndian.Uint64(data[12:])
+
+	off := segHeaderLen
+	for off < len(data) {
+		payload, next, res := readFrame(data, off)
+		switch res {
+		case frameTorn:
+			if !last {
+				return 0, 0, fmt.Errorf("wal: %s: truncated frame at offset %d in a non-final segment", path, off)
+			}
+			torn = int64(len(data) - off)
+			if err := truncateFile(path, int64(off)); err != nil {
+				return 0, 0, fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
+			}
+			return epoch, torn, nil
+		case frameCorrupt:
+			return 0, 0, fmt.Errorf("wal: %s: CRC mismatch at offset %d — refusing to start (the log may hold acknowledged writes past this point; repair or remove the file to discard them)", path, off)
+		}
+		r, err := decodeRecord(payload)
+		if err != nil {
+			return 0, 0, fmt.Errorf("wal: %s: offset %d: %w", path, off, err)
+		}
+		// Sequence numbers are assigned under the append lock and each
+		// epoch resumes from the maximum recovered one, so they must be
+		// strictly increasing in log-scan order — a repeat or regression
+		// means interleaved or replayed files, not a crash artifact.
+		if r.Seq <= *maxSeq {
+			return 0, 0, fmt.Errorf("wal: %s: sequence %d at offset %d not above %d",
+				path, r.Seq, off, *maxSeq)
+		}
+		r.Epoch = epoch
+		rec.recs = append(rec.recs, r)
+		*maxSeq = r.Seq
+		off = next
+	}
+	return epoch, 0, nil
+}
+
+func truncateFile(path string, size int64) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := f.Truncate(size); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// --- snapshots ---
+
+const (
+	snapMagic   = "MVRLUSNP"
+	snapVersion = 1
+
+	snapFrameMeta = 1
+	snapFrameKV   = 2
+	snapFrameEnd  = 3
+)
+
+func snapName(base uint64) string { return fmt.Sprintf("snap-%016x.db", base) }
+
+// writeSnapshot dumps the store into snap-<base>.db via tmp + rename +
+// dir fsync, so a snapshot either exists completely or not at all. base
+// is the first segment the snapshot does NOT cover.
+func writeSnapshot(dir string, dirF *os.File, base, epoch uint64, minTS map[uint32]uint64, dump DumpFunc) error {
+	tmp := filepath.Join(dir, snapName(base)+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp) // no-op after the rename
+
+	var buf []byte
+	buf = append(buf, snapMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, snapVersion)
+
+	count := uint64(0)
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		_, err := f.Write(buf)
+		buf = buf[:0]
+		return err
+	}
+	emit := func(k, v string) error {
+		var p []byte
+		p = append(p, snapFrameKV)
+		p = binary.LittleEndian.AppendUint32(p, uint32(len(k)))
+		p = append(p, k...)
+		p = binary.LittleEndian.AppendUint32(p, uint32(len(v)))
+		p = append(p, v...)
+		buf = appendSnapFrame(buf, p)
+		count++
+		if len(buf) >= 1<<20 {
+			return flush()
+		}
+		return nil
+	}
+
+	cutoffs, err := dump(minTS, emit)
+	if err != nil {
+		f.Close()
+		return err
+	}
+
+	// Meta frame after the dump: the cutoffs are read during the dump
+	// (before its walk), so they are only known now. Readers accept the
+	// meta frame anywhere before the end frame.
+	var meta []byte
+	meta = append(meta, snapFrameMeta)
+	meta = binary.LittleEndian.AppendUint64(meta, epoch)
+	meta = binary.LittleEndian.AppendUint32(meta, uint32(len(cutoffs)))
+	for sh, ts := range cutoffs {
+		meta = binary.LittleEndian.AppendUint32(meta, sh)
+		meta = binary.LittleEndian.AppendUint64(meta, ts)
+	}
+	buf = appendSnapFrame(buf, meta)
+
+	var end []byte
+	end = append(end, snapFrameEnd)
+	end = binary.LittleEndian.AppendUint64(end, count)
+	buf = appendSnapFrame(buf, end)
+
+	if err := flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, snapName(base))); err != nil {
+		return err
+	}
+	return syncDir(dirF)
+}
+
+func appendSnapFrame(buf, payload []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
+	return append(buf, payload...)
+}
+
+// loadSnapshot reads one snapshot file into rec; any framing error,
+// missing end marker, or count mismatch invalidates the whole file (the
+// caller falls back to an older snapshot or a full log replay).
+func loadSnapshot(path string, rec *Recovery) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(data) < 12 || string(data[:8]) != snapMagic {
+		return fmt.Errorf("wal: %s: bad snapshot header", path)
+	}
+	if v := binary.LittleEndian.Uint32(data[8:]); v != snapVersion {
+		return fmt.Errorf("wal: %s: unsupported snapshot version %d", path, v)
+	}
+	off := 12
+	sawEnd := false
+	var count uint64
+	for off < len(data) {
+		payload, next, res := readFrame(data, off)
+		if res != frameOK {
+			return fmt.Errorf("wal: %s: bad snapshot frame at offset %d", path, off)
+		}
+		if len(payload) < 1 {
+			return fmt.Errorf("wal: %s: empty snapshot frame", path)
+		}
+		switch payload[0] {
+		case snapFrameKV:
+			p := payload[1:]
+			if len(p) < 4 {
+				return fmt.Errorf("wal: %s: short kv frame", path)
+			}
+			klen := int(binary.LittleEndian.Uint32(p))
+			if len(p) < 4+klen+4 {
+				return fmt.Errorf("wal: %s: short kv frame", path)
+			}
+			k := string(p[4 : 4+klen])
+			vlen := int(binary.LittleEndian.Uint32(p[4+klen:]))
+			if len(p) != 8+klen+vlen {
+				return fmt.Errorf("wal: %s: kv frame length mismatch", path)
+			}
+			v := string(p[8+klen:])
+			rec.snapKVs = append(rec.snapKVs, kvPair{k, v})
+		case snapFrameMeta:
+			p := payload[1:]
+			if len(p) < 12 {
+				return fmt.Errorf("wal: %s: short meta frame", path)
+			}
+			rec.snapEpoch = binary.LittleEndian.Uint64(p)
+			n := int(binary.LittleEndian.Uint32(p[8:]))
+			p = p[12:]
+			if len(p) != n*12 {
+				return fmt.Errorf("wal: %s: meta frame length mismatch", path)
+			}
+			for i := 0; i < n; i++ {
+				sh := binary.LittleEndian.Uint32(p[i*12:])
+				ts := binary.LittleEndian.Uint64(p[i*12+4:])
+				rec.snapTS[sh] = ts
+			}
+		case snapFrameEnd:
+			if len(payload) != 9 {
+				return fmt.Errorf("wal: %s: bad end frame", path)
+			}
+			count = binary.LittleEndian.Uint64(payload[1:])
+			sawEnd = true
+		default:
+			return fmt.Errorf("wal: %s: unknown snapshot frame type %d", path, payload[0])
+		}
+		if sawEnd {
+			break
+		}
+		off = next
+	}
+	if !sawEnd {
+		return fmt.Errorf("wal: %s: missing end frame", path)
+	}
+	if count != uint64(len(rec.snapKVs)) {
+		return fmt.Errorf("wal: %s: key count mismatch (%d vs %d)", path, count, len(rec.snapKVs))
+	}
+	return nil
+}
+
+// prune removes segments and snapshots a completed snapshot at base
+// supersedes: every segment below base is fully covered by the snapshot,
+// and older snapshots are strictly worse recovery starting points.
+func prune(dir string, dirF *os.File, base uint64) error {
+	segs, snaps, err := scanDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, s := range segs {
+		if s < base {
+			if err := os.Remove(filepath.Join(dir, segName(s))); err != nil {
+				return err
+			}
+		}
+	}
+	for _, s := range snaps {
+		if s < base {
+			if err := os.Remove(filepath.Join(dir, snapName(s))); err != nil {
+				return err
+			}
+		}
+	}
+	return syncDir(dirF)
+}

@@ -9,6 +9,13 @@
 # 4-shard run stands in: it cannot beat shards=1 without parallelism,
 # but it bounds the router's overhead — each run's JSON carries its
 # "shards" count and per-shard op totals so the cells stay comparable.
+#
+# A third cell re-runs single-domain mvrlu-kv with the WAL on (fresh
+# directory per run, fsync-per-batch): the honest price of
+# "acknowledged implies durable". Its runs carry the wal_fsync_ns and
+# wal_group_records histograms scraped from the daemon, so the JSON
+# shows both the throughput delta and why (fsync latency amortized over
+# the commit group size).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -54,10 +61,17 @@ done
 for conns in 1 8 64; do
     one_run "$conns" -store mvrlu-kv -shards "$SHARDS"
 done
+# Durability cell: mvrlu-kv with the group-committed WAL, fresh
+# directory each run so recovery/replay cost never pollutes the
+# measurement. Contrast with the wal-off mvrlu-kv shards=1 cell above.
+for conns in 1 8 64; do
+    rm -rf "$TMP/wal"
+    one_run "$conns" -store mvrlu-kv -shards 1 -wal "$TMP/wal"
+done
 
 {
-    printf '{\n  "host_note": "measured on %s CPU core(s); the paper'"'"'s multi-core scaling claims need >=4 cores. shards=GOMAXPROCS on a 1-core host is 1, which takes the identical single-domain fast path (no routed gap by construction); the forced %s-shard cell instead measures pure batch-router overhead with no parallelism available to repay it — expect the routed cell to trail single-domain by the cost of per-batch planning plus N pool handoffs per core-starved batch.",\n' "$NPROC" "$SHARDS"
-    printf '  "config": {"pipeline": 16, "readpct": 90, "duration": "%s", "sharded_cell": {"store": "mvrlu-kv", "shards": %s}},\n' "$DUR" "$SHARDS"
+    printf '{\n  "host_note": "measured on %s CPU core(s); the paper'"'"'s multi-core scaling claims need >=4 cores. shards=GOMAXPROCS on a 1-core host is 1, which takes the identical single-domain fast path (no routed gap by construction); the forced %s-shard cell instead measures pure batch-router overhead with no parallelism available to repay it — expect the routed cell to trail single-domain by the cost of per-batch planning plus N pool handoffs per core-starved batch. The wal cell (runs carrying wal_fsync_ns) pays one fsync per commit group on this host'"'"'s filesystem — on a container/CI overlay fs an fsync can be anywhere from tens of microseconds to milliseconds and dominates write latency at low concurrency; group commit amortizes it across concurrent writers (see wal_group_records), so the throughput gap narrows as conns grow. Reads are unaffected.",\n' "$NPROC" "$SHARDS"
+    printf '  "config": {"pipeline": 16, "readpct": 90, "duration": "%s", "sharded_cell": {"store": "mvrlu-kv", "shards": %s}, "wal_cell": {"store": "mvrlu-kv", "shards": 1, "wal": "on, fsync per group-committed batch"}},\n' "$DUR" "$SHARDS"
     printf '  "runs": [%s]\n}\n' "${runs%,}"
 } >"$OUT"
 echo "wrote $OUT"
