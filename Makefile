@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-hotpath figures examples torture torture-wal crash-check loc serve loadtest bench-server bench-server-sharded metrics-smoke check-si
+.PHONY: all build vet test race bench bench-range bench-hotpath figures examples torture torture-wal crash-check loc serve loadtest bench-server bench-server-sharded metrics-smoke check-si
 
 all: build vet test
 
@@ -18,6 +18,15 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...
+
+# YCSB-E-style range cells: the ordered-index builds under a scan-heavy
+# mix next to the internal/ds MV-RLU BST baseline, plus the index
+# microbenchmarks.
+bench-range:
+	$(GO) test -bench 'Range|Skiplist|Ordered' -benchmem -run '^$$' ./internal/index
+	$(GO) run ./cmd/kvbench -range 0.95 -rangelen 16 -threads 1,2,4 \
+		-records 20000 -value 64 -duration 200ms \
+		-builds mvrlu-idx,rlu-idx,vanilla-idx
 
 # Hot-path microbenchmarks behind BENCH_hotpath.json: the engine's
 # fast-path costs at 1-8 workers, plus the mvbench hot-path cells with
@@ -103,12 +112,21 @@ check-si:
 	$(GO) run -race ./cmd/mvcheck -engine mvrlu -ops 5000 -shards 4
 	$(GO) run -race ./cmd/mvcheck -engine rlu -ops 5000
 	$(GO) run -race ./cmd/mvcheck -engine rcu -ops 5000
+	$(GO) run -race ./cmd/mvcheck -engine mvrlu-idx -objects 64 -ops 2000
+	$(GO) run -race ./cmd/mvcheck -engine rlu-idx -objects 64 -ops 2000
+	$(GO) run -race ./cmd/mvcheck -engine vanilla-idx -objects 64 -ops 2000
 	$(GO) run -race ./cmd/mvtorture -duration 5s -config tiny-log -check
 	@echo "mutation run (must FAIL):"
 	@if $(GO) run -tags mvrlu_mutate ./cmd/mvcheck -engine mvrlu -ops 5000 -skew 20us >/dev/null 2>&1; then \
 		echo "FAIL: checker did not flag the mutated engine"; exit 1; \
 	else \
 		echo "ok: checker flagged the mutated engine"; \
+	fi
+	@echo "index mutation run (must FAIL):"
+	@if $(GO) run -tags mvrlu_mutate ./cmd/mvcheck -engine mvrlu-idx -objects 64 -ops 2000 >/dev/null 2>&1; then \
+		echo "FAIL: checker did not flag the mutated index range walk"; exit 1; \
+	else \
+		echo "ok: checker flagged the mutated index range walk"; \
 	fi
 
 loc:

@@ -2,9 +2,15 @@
 // with its stock global readers-writer lock ("vanilla") versus the RLU
 // and MV-RLU ports, at 2% and 20% update rates.
 //
+// With -range it instead runs the YCSB-E-style scan-heavy mix on the
+// ordered-index builds (RANGE scans of -rangelen keys replacing that
+// fraction of reads), plus an apples-to-apples comparison cell against
+// the internal/ds MV-RLU binary search tree on the same mix.
+//
 // Usage:
 //
 //	go run ./cmd/kvbench -threads 1,2,4,8 -records 20000 -value 512
+//	go run ./cmd/kvbench -range 0.95 -rangelen 16 -builds mvrlu-idx,rlu-idx,vanilla-idx
 package main
 
 import (
@@ -16,7 +22,12 @@ import (
 	"time"
 
 	"mvrlu/internal/bench"
+	"mvrlu/internal/core"
+	"mvrlu/internal/ds"
 	"mvrlu/internal/kvstore"
+
+	// Register the ordered-index builds (mvrlu-idx, rlu-idx, vanilla-idx).
+	_ "mvrlu/internal/index"
 )
 
 func main() {
@@ -29,8 +40,11 @@ func main() {
 		duration = flag.Duration("duration", 200*time.Millisecond, "measurement duration per cell")
 		shards   = flag.Int("shards", 1,
 			"hash-partitioned store shards, each its own engine domain (1 = unsharded)")
-		only     = flag.String("builds", strings.Join(kvstore.Names(), ","),
+		only = flag.String("builds", strings.Join(kvstore.Names(), ","),
 			"comma-separated store builds to run (any of: "+strings.Join(kvstore.Names(), ", ")+")")
+		rangeR = flag.Float64("range", 0,
+			"fraction of operations that are ordered range scans (YCSB-E mix; needs the -idx builds)")
+		rangeLen = flag.Int("rangelen", 16, "keys visited per range scan")
 	)
 	flag.Parse()
 
@@ -61,6 +75,12 @@ func main() {
 		}
 		builds = append(builds, name)
 	}
+	if *rangeR > 0 {
+		runRangeMix(th, builds, *records, *value, *slots, *buckets, *shards,
+			*rangeR, *rangeLen, *duration)
+		return
+	}
+
 	for _, u := range []float64{0.02, 0.20} {
 		title := fmt.Sprintf("Figure 10: cache DB, %d records × %dB, %.0f%% update (ops/µs)",
 			*records, *value, u*100)
@@ -87,4 +107,53 @@ func main() {
 		}
 		tab.Render(os.Stdout)
 	}
+}
+
+// runRangeMix is the YCSB-E-style cell: 5% inserts (updates) and the
+// given fraction of short ordered scans, the remainder point reads. The
+// ordered-index builds run the mix over the kvstore surface; alongside
+// them, the internal/ds MV-RLU BST runs the same mix (integer keys,
+// same record count, same scan length) as the structure-level baseline,
+// so skiplist-under-kvstore and raw BST are directly comparable.
+func runRangeMix(th []int, builds []string, records, value, slots, buckets, shards int, rangeR float64, rangeLen int, duration time.Duration) {
+	const update = 0.05
+	cols := append(append([]string{}, builds...), "mvrlu-bst")
+	title := fmt.Sprintf("YCSB-E: %d records × %dB, %.0f%% scan × %d keys, %.0f%% update (ops/µs)",
+		records, value, rangeR*100, rangeLen, update*100)
+	if shards > 1 {
+		title += fmt.Sprintf(" [%d shards]", shards)
+	}
+	tab := bench.NewTable(title, "threads", cols...)
+	for _, t := range th {
+		for _, name := range builds {
+			s, err := kvstore.NewSharded(name, shards, slots, buckets)
+			if err != nil {
+				panic(err)
+			}
+			res := kvstore.Run(s, kvstore.Config{
+				Records:     records,
+				ValueSize:   value,
+				Threads:     t,
+				UpdateRatio: update,
+				RangeRatio:  rangeR,
+				RangeLen:    rangeLen,
+				Duration:    duration,
+			})
+			s.Close()
+			tab.Add(fmt.Sprint(t), name, res.OpsPerUsec())
+		}
+		bst := ds.NewMVRLUBST(core.DefaultOptions())
+		res := bench.Run(bst, bench.Workload{
+			Threads:     t,
+			UpdateRatio: update,
+			Initial:     records,
+			Range:       records,
+			RangeRatio:  rangeR,
+			RangeLen:    rangeLen,
+			Duration:    duration,
+		})
+		bst.Close()
+		tab.Add(fmt.Sprint(t), "mvrlu-bst", res.OpsPerUsec())
+	}
+	tab.Render(os.Stdout)
 }

@@ -12,11 +12,19 @@
 //	go run ./cmd/mvcheck -engine mvrlu -skew 20us -threads 8
 //	go run ./cmd/mvcheck -engine rlu -ops 50000
 //	go run ./cmd/mvcheck -engine rcu -ops 50000
+//	go run ./cmd/mvcheck -engine mvrlu-idx -ops 5000
+//
+// The *-idx engines (mvrlu-idx, rlu-idx, vanilla-idx) drive the ordered
+// index builds with the KV history recorder attached and validate the
+// range-snapshot rules (CheckKV): every range walk observes one
+// timestamp, multi-key transactions are never torn across a reader.
 //
 // Exit status: 0 on a clean verdict, 1 on checker violations, 2 on bad
 // usage. A binary built with -tags mvrlu_mutate (which plants known
-// snapshot bugs in the engine) must exit 1 when run with -engine mvrlu
-// and a non-zero -skew; that is how CI proves the checker has teeth.
+// snapshot bugs in the engine AND a range-walk snapshot-unpin bug in the
+// index) must exit 1 when run with -engine mvrlu and a non-zero -skew,
+// and when run with -engine mvrlu-idx; that is how CI proves the checker
+// has teeth.
 package main
 
 import (
@@ -24,14 +32,19 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"mvrlu/internal/check"
+	"mvrlu/internal/kvstore"
 	"mvrlu/internal/rcu"
 	"mvrlu/internal/rlu"
 	"mvrlu/mvrlu"
+
+	// Register the ordered-index builds with the kvstore registry.
+	_ "mvrlu/internal/index"
 )
 
 type account struct {
@@ -41,9 +54,10 @@ type account struct {
 
 func main() {
 	var (
-		engine  = flag.String("engine", "mvrlu", "engine to check: mvrlu, rlu, rcu")
-		seed    = flag.Int64("seed", 1, "base RNG seed; the whole workload derives from it")
-		shards  = flag.Int("shards", 1,
+		engine = flag.String("engine", "mvrlu",
+			"engine to check: mvrlu, rlu, rcu, mvrlu-idx, rlu-idx, vanilla-idx")
+		seed   = flag.Int64("seed", 1, "base RNG seed; the whole workload derives from it")
+		shards = flag.Int("shards", 1,
 			"independent mvrlu domains checked concurrently, one history each (mvrlu engine only)")
 		threads = flag.Int("threads", 4, "worker goroutines (per shard when -shards > 1)")
 		objects = flag.Int("objects", 16, "shared objects")
@@ -108,8 +122,11 @@ func main() {
 		rep = runRLU(hist, *seed, *threads, *objects, *ops)
 	case "rcu":
 		rep = runRCU(hist, *seed, *threads, *ops)
+	case "mvrlu-idx", "rlu-idx", "vanilla-idx":
+		rep = runIndex(hist, *engine, *seed, *threads, *objects, *ops)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown engine %q (mvrlu, rlu, rcu)\n", *engine)
+		fmt.Fprintf(os.Stderr,
+			"unknown engine %q (mvrlu, rlu, rcu, mvrlu-idx, rlu-idx, vanilla-idx)\n", *engine)
 		os.Exit(2)
 	}
 	check.SetEnabled(false)
@@ -282,6 +299,114 @@ func runRLU(hist *check.History, seed int64, threads, objects, ops int) *check.R
 		rep.Total += int(n)
 	}
 	return rep
+}
+
+// runIndex drives one of the ordered-index builds through the kvstore
+// capability surface — Set/Remove, multi-key ApplyTxn bodies, and range
+// walks racing the writers — with the KV history recorder attached,
+// then validates the range-snapshot rules: every walk observes exactly
+// one timestamp, and no multi-key commit is torn across a reader.
+func runIndex(hist *check.History, build string, seed int64, threads, keys, ops int) *check.Report {
+	st, err := kvstore.New(build, kvstore.DefaultSlots, kvstore.DefaultBucketsPerSlot)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	type historied interface{ AttachKVHistory(*check.History) }
+	hst, ok := st.(historied)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "store %s records no KV history\n", build)
+		os.Exit(2)
+	}
+	hst.AttachKVHistory(hist) // before any session, so every session records
+	defer st.Close()
+
+	var seq atomic.Uint64
+	var live atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < threads; g++ {
+		wg.Add(1)
+		live.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			defer live.Add(-1)
+			sess := st.Session().(kvstore.OrderedSession)
+			defer sess.Close()
+			rng := rand.New(rand.NewSource(seed + int64(id)*6151))
+			for n := 0; n < ops; n++ {
+				k := fmt.Sprintf("k%04d", rng.Intn(keys))
+				switch rng.Intn(6) {
+				case 0:
+					sess.Remove(k)
+				case 1:
+					k2 := fmt.Sprintf("k%04d", rng.Intn(keys))
+					sess.ApplyTxn([]kvstore.TxnOp{
+						{Key: k, Value: fmt.Sprintf("u%d", seq.Add(1))},
+						{Key: k2, Value: fmt.Sprintf("u%d", seq.Add(1))},
+					})
+				default:
+					sess.Set(k, fmt.Sprintf("u%d", seq.Add(1)))
+				}
+			}
+		}(g)
+	}
+	// A dedicated churn writer cycles remove→re-add through the middle of
+	// the scanned range until the reader is done. The random writers
+	// above finish in milliseconds on an idle host, and a snapshot bug in
+	// the walk only manifests when a write commits *mid-walk* — tying the
+	// churn's lifetime to the reader's makes that overlap structural
+	// instead of a scheduling accident (the mutation gate must fail every
+	// run, not just on a loaded machine). The churn is paced to the
+	// reader — one remove→re-add per completed scan — because a
+	// free-running writer floods its history stream past the event cap,
+	// and a truncated history rightly mutes the checker's absence rules:
+	// the gate would go quiet for bookkeeping reasons, not correctness
+	// ones.
+	var stopChurn atomic.Bool
+	var churned atomic.Int64
+	var scans atomic.Int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sess := st.Session().(kvstore.OrderedSession)
+		defer sess.Close()
+		var paced int64
+		for n := 0; !stopChurn.Load(); n++ {
+			for scans.Load() <= paced && !stopChurn.Load() {
+				runtime.Gosched()
+			}
+			paced = scans.Load()
+			k := fmt.Sprintf("k%04d", keys/4+n%(keys/2))
+			sess.Remove(k)
+			sess.Set(k, fmt.Sprintf("u%d", seq.Add(1)))
+			churned.Add(1)
+		}
+	}()
+
+	// One reader walking ranges while the writers are live, plus a floor
+	// of walks so short runs still record sections to validate. The
+	// churn-progress term keeps the reader scanning until the churn
+	// writer has swept the range at least four times *while scans were
+	// running* — on a loaded host the reader could otherwise burn its
+	// whole scan budget before the churn goroutine is first scheduled.
+	reader := st.Session().(kvstore.OrderedSession)
+	lo, hi := fmt.Sprintf("k%04d", keys/8), fmt.Sprintf("k%04d", keys-1-keys/8)
+	for i := 0; live.Load() > 0 || i < 256 || churned.Load() < int64(4*keys); i++ {
+		reader.RangeAscend(lo, hi, func(k, v string) bool { return true })
+		if i%3 == 0 {
+			reader.RangeDescend("k0000", hi, func(k, v string) bool { return true })
+		}
+		scans.Add(1)
+	}
+	reader.Close()
+	stopChurn.Store(true)
+	wg.Wait()
+
+	var boundary uint64
+	if b, ok := st.(interface{ Boundary() uint64 }); ok {
+		boundary = b.Boundary()
+	}
+	return check.CheckKV(hist, check.Opts{Boundary: boundary})
 }
 
 // runRCU drives readers against an updater that swaps a pointer and

@@ -38,6 +38,10 @@ import (
 	"mvrlu/internal/obs"
 	"mvrlu/internal/server"
 	"mvrlu/internal/wal"
+
+	// Register the ordered-index builds (mvrlu-idx, rlu-idx, vanilla-idx)
+	// with the kvstore build registry; they enable RANGE and MULTI/EXEC.
+	_ "mvrlu/internal/index"
 )
 
 func main() {
@@ -126,6 +130,21 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mvkvd: store %s does not support commit hooks; cannot run with -wal\n", st.Name())
 			os.Exit(1)
 		}
+		// Ordered builds commit MULTI bodies atomically; log each one as a
+		// single record group so recovery replays it all-or-nothing (a
+		// transaction's ops would otherwise be independent records a torn
+		// tail could split). No-op capability probe on plain KV builds,
+		// which reject MULTI at the server anyway.
+		kvstore.SetStoreTxnCommitHook(st, func(ops []kvstore.CommitOp) {
+			recs := make([]wal.Record, len(ops))
+			for i, op := range ops {
+				recs[i] = wal.Record{
+					TS: op.TS, Shard: op.Shard, Del: op.Del,
+					Key: op.Key, Value: op.Value,
+				}
+			}
+			_ = wlog.AppendGroup(recs)
+		})
 		wlog.StartInstaller(*snapInterval, dump, func(err error) {
 			log.Printf("mvkvd: wal installer: %v", err)
 		})

@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mvrlu/internal/kvstore"
 	"mvrlu/internal/obs"
 	"mvrlu/internal/server"
 )
@@ -36,6 +37,8 @@ type result struct {
 	Conns     int     `json:"conns"`
 	Pipeline  int     `json:"pipeline"`
 	ReadPct   int     `json:"readpct"`
+	RangePct  int     `json:"rangepct,omitempty"`
+	RangeLen  int     `json:"rangelen,omitempty"`
 	Keys      int     `json:"keys"`
 	ValueSize int     `json:"value_size"`
 	DurationS float64 `json:"duration_s"`
@@ -119,6 +122,9 @@ func main() {
 		conns    = flag.Int("conns", 8, "concurrent connections")
 		pipeline = flag.Int("pipeline", 16, "commands in flight per connection")
 		readpct  = flag.Int("readpct", 90, "percentage of GETs (rest are SETs)")
+		rangepct = flag.Int("range", 0,
+			"percentage of operations that are RANGE scans, taken out of the GET share (needs an -idx store build)")
+		rangelen = flag.Int("rangelen", 16, "LIMIT of each -range scan")
 		duration = flag.Duration("duration", 5*time.Second, "measurement duration")
 		keys     = flag.Int("keys", 10000, "keyspace size")
 		valsize  = flag.Int("valsize", 64, "value payload bytes")
@@ -131,6 +137,9 @@ func main() {
 			"run a write burst and record every acknowledged write to this JSON file (survives the server being SIGKILLed mid-burst); verify after restart with -durability-verify")
 		durVerify = flag.String("durability-verify", "",
 			"read a -durability-check file and assert every acknowledged write is present on the (restarted) server; exits 1 on any lost write")
+		durMulti = flag.Bool("multi", false,
+			"with -durability-check/-durability-verify: burst MULTI/EXEC transactions (same-shard key groups, one value per group) and audit them all-or-nothing — a torn group after restart is a failure")
+		txnKeys = flag.Int("txn-keys", 4, "keys per MULTI transaction group in -multi mode")
 	)
 	flag.Parse()
 
@@ -142,14 +151,26 @@ func main() {
 		return
 	}
 	if *durVerify != "" {
-		if err := runDurVerify(*addr, *durVerify); err != nil {
+		var err error
+		if *durMulti {
+			err = runDurVerifyMulti(*addr, *durVerify)
+		} else {
+			err = runDurVerify(*addr, *durVerify)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "mvkvload: durability-verify: %v\n", err)
 			os.Exit(1)
 		}
 		return
 	}
 	if *durCheck != "" {
-		if err := runDurCheck(*addr, *durCheck, *conns, *pipeline, *duration); err != nil {
+		var err error
+		if *durMulti {
+			err = runDurCheckMulti(*addr, *durCheck, *conns, *pipeline, *txnKeys, *duration)
+		} else {
+			err = runDurCheck(*addr, *durCheck, *conns, *pipeline, *duration)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "mvkvload: durability-check: %v\n", err)
 			os.Exit(1)
 		}
@@ -191,14 +212,21 @@ func main() {
 			br := bufio.NewReaderSize(nc, 64<<10)
 			bw := bufio.NewWriterSize(nc, 64<<10)
 			rng := rand.New(rand.NewSource(int64(id)*2654435761 + 1))
+			hiKey := fmt.Sprintf("key%08d", *keys-1)
+			limit := strconv.Itoa(*rangelen)
 			for time.Now().Before(stop) {
 				t0 := time.Now()
 				for j := 0; j < *pipeline; j++ {
 					k := fmt.Sprintf("key%08d", rng.Intn(*keys))
-					if rng.Intn(100) < *readpct {
-						server.WriteCommandStrings(bw, "GET", k)
-					} else {
+					switch p := rng.Intn(100); {
+					case p >= *readpct:
 						server.WriteCommandStrings(bw, "SET", k, val)
+					case p < *rangepct:
+						// Scans come out of the read share: the mix stays
+						// readpct% read-side whatever -range is set to.
+						server.WriteCommandStrings(bw, "RANGE", k, hiKey, "LIMIT", limit)
+					default:
+						server.WriteCommandStrings(bw, "GET", k)
 					}
 				}
 				if err := bw.Flush(); err != nil {
@@ -256,6 +284,7 @@ func main() {
 		Conns:     *conns,
 		Pipeline:  *pipeline,
 		ReadPct:   *readpct,
+		RangePct:  *rangepct,
 		Keys:      *keys,
 		ValueSize: *valsize,
 		DurationS: elapsed.Seconds(),
@@ -270,6 +299,9 @@ func main() {
 		ShardOps:  shardOps,
 		WalFsync:  walFsync,
 		WalGroup:  walGroup,
+	}
+	if *rangepct > 0 {
+		res.RangeLen = *rangelen
 	}
 	fmt.Printf("%s shards=%d conns=%d pipeline=%d read=%d%%: %.0f ops/s, batch p50=%.0fµs p95=%.0fµs p99=%.0fµs (%d ops, %d errors)\n",
 		res.Build, res.Shards, res.Conns, res.Pipeline, res.ReadPct,
@@ -472,6 +504,18 @@ func doPreload(addr string, keys, valsize int) error {
 // cross-connection ordering.
 type durFile struct {
 	Acked map[string]uint64 `json:"acked"`
+	// Txns is the -multi mode artifact: group name → the group's key
+	// set and the last acknowledged transaction sequence. Every key of
+	// one group is written with the same sequence value inside one
+	// MULTI/EXEC body, so after recovery the group must be uniform —
+	// all keys present, all equal, all >= the acked sequence. A mixed
+	// group is a torn transaction replay.
+	Txns map[string]txnGroup `json:"txns,omitempty"`
+}
+
+type txnGroup struct {
+	Keys []string `json:"keys"`
+	Seq  uint64   `json:"seq"`
 }
 
 // durKeysPerConn bounds each connection's keyspace slice so keys are
@@ -563,6 +607,199 @@ func runDurCheck(addr, file string, conns, pipeline int, duration time.Duration)
 	}
 	fmt.Printf("durability-check: %d acked keys recorded to %s (%d dead conns, %d refused writes)\n",
 		len(acked), file, dead.Load(), nacks.Load())
+	return nil
+}
+
+// sameShardTxnKeys picks k keys named <prefix>:<n> that all hash to one
+// shard of an nshards store — MULTI bodies must not cross shards, and
+// the client-side placement (kvstore.ShardOf) is exactly the router's.
+func sameShardTxnKeys(prefix string, k, nshards int) []string {
+	keys := []string{prefix + ":0"}
+	want := kvstore.ShardOf(keys[0], nshards)
+	for n := 1; len(keys) < k; n++ {
+		cand := fmt.Sprintf("%s:%d", prefix, n)
+		if kvstore.ShardOf(cand, nshards) == want {
+			keys = append(keys, cand)
+		}
+	}
+	return keys
+}
+
+// runDurCheckMulti is runDurCheck for transactions: each connection owns
+// one same-shard key group and bursts MULTI bodies writing the whole
+// group to a single sequence value, recording the sequence only once the
+// EXEC reply — the atomic commit's ack — has been read back. The file is
+// audited after a kill -9 restart with -durability-verify -multi.
+func runDurCheckMulti(addr, file string, conns, pipeline, txnKeys int, duration time.Duration) error {
+	_, shards, err := probeServer(addr)
+	if err != nil {
+		return err
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		txns  = map[string]txnGroup{}
+		dead  atomic.Uint64
+		nacks atomic.Uint64
+		stop  = time.Now().Add(duration)
+	)
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			group := fmt.Sprintf("txn%03d", id)
+			keys := sameShardTxnKeys(group, txnKeys, shards)
+			acked := uint64(0)
+			defer func() {
+				if acked > 0 {
+					mu.Lock()
+					txns[group] = txnGroup{Keys: keys, Seq: acked}
+					mu.Unlock()
+				}
+			}()
+			nc, err := net.Dial("tcp", addr)
+			if err != nil {
+				dead.Add(1)
+				return
+			}
+			defer nc.Close()
+			br := bufio.NewReaderSize(nc, 64<<10)
+			bw := bufio.NewWriterSize(nc, 64<<10)
+			seq := uint64(0)
+			for time.Now().Before(stop) {
+				first := seq + 1
+				for j := 0; j < pipeline; j++ {
+					seq++
+					val := strconv.FormatUint(seq, 10)
+					server.WriteCommandStrings(bw, "MULTI")
+					for _, k := range keys {
+						server.WriteCommandStrings(bw, "SET", k, val)
+					}
+					server.WriteCommandStrings(bw, "EXEC")
+				}
+				if err := bw.Flush(); err != nil {
+					dead.Add(1)
+					return
+				}
+				for j := 0; j < pipeline; j++ {
+					ok := true
+					// +OK for MULTI, +QUEUED per SET, then the EXEC array.
+					for r := 0; r < len(keys)+2; r++ {
+						rep, err := server.ReadReply(br)
+						if err != nil {
+							// Server died mid-burst: this transaction's ack
+							// never arrived, so it stays unrecorded.
+							dead.Add(1)
+							return
+						}
+						if rep.IsError() {
+							ok = false
+						}
+					}
+					if ok {
+						acked = first + uint64(j)
+					} else {
+						nacks.Add(1)
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	data, err := json.MarshalIndent(durFile{Txns: txns}, "", " ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(file, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("durability-check(multi): %d groups × %d keys recorded to %s (%d dead conns, %d refused txns)\n",
+		len(txns), txnKeys, file, dead.Load(), nacks.Load())
+	return nil
+}
+
+// runDurVerifyMulti audits transaction groups after recovery: every key
+// of a group must be present, hold the SAME sequence value, and that
+// value must be >= the acknowledged sequence. A group whose keys differ
+// was torn in half by recovery — the all-or-nothing guarantee failed.
+func runDurVerifyMulti(addr, file string) error {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return err
+	}
+	var df durFile
+	if err := json.Unmarshal(data, &df); err != nil {
+		return err
+	}
+	groups := make([]string, 0, len(df.Txns))
+	for g := range df.Txns {
+		groups = append(groups, g)
+	}
+	sort.Strings(groups)
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer nc.Close()
+	br := bufio.NewReaderSize(nc, 1<<20)
+	bw := bufio.NewWriterSize(nc, 1<<20)
+
+	torn, lost, stale := 0, 0, 0
+	for _, g := range groups {
+		tg := df.Txns[g]
+		for _, k := range tg.Keys {
+			server.WriteCommandStrings(bw, "GET", k)
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		vals := make([]uint64, 0, len(tg.Keys))
+		missing := false
+		for range tg.Keys {
+			rep, err := server.ReadReply(br)
+			if err != nil {
+				return err
+			}
+			if rep.Kind == server.NullReply {
+				missing = true
+				continue
+			}
+			v, perr := strconv.ParseUint(rep.Str, 10, 64)
+			if perr != nil {
+				missing = true
+				continue
+			}
+			vals = append(vals, v)
+		}
+		uniform := !missing
+		for _, v := range vals {
+			if v != vals[0] {
+				uniform = false
+			}
+		}
+		switch {
+		case missing && len(vals) == 0:
+			lost++
+			if lost <= 10 {
+				fmt.Printf("LOST %s: acked seq %d, whole group absent\n", g, tg.Seq)
+			}
+		case !uniform:
+			torn++
+			if torn <= 10 {
+				fmt.Printf("TORN %s: acked seq %d, group values %v (missing=%v)\n", g, tg.Seq, vals, missing)
+			}
+		case vals[0] < tg.Seq:
+			stale++
+			if stale <= 10 {
+				fmt.Printf("STALE %s: acked seq %d, group holds %d\n", g, tg.Seq, vals[0])
+			}
+		}
+	}
+	if torn > 0 || lost > 0 || stale > 0 {
+		return fmt.Errorf("%d torn, %d lost, %d stale of %d transaction groups", torn, lost, stale, len(groups))
+	}
+	fmt.Printf("durability-verify(multi): all %d transaction groups uniform and current\n", len(groups))
 	return nil
 }
 

@@ -40,6 +40,12 @@ type Workload struct {
 	// Dist selects the key distribution; Theta applies to DistZipf.
 	Dist  Distribution
 	Theta float64
+	// RangeRatio is the fraction of operations that are ordered range
+	// scans (the YCSB-E style mix), taken out of the lookup share; the
+	// set's sessions must implement ds.RangeScanner when it is nonzero.
+	RangeRatio float64
+	// RangeLen is the scan length for range operations (default 16).
+	RangeLen int
 	// Duration is the measured run length.
 	Duration time.Duration
 }
@@ -131,11 +137,16 @@ func Run(set ds.Set, w Workload) Result {
 		sampleMu sync.Mutex
 		samples  []time.Duration
 	)
+	rangeLen := w.RangeLen
+	if rangeLen <= 0 {
+		rangeLen = 16
+	}
 	for t := 0; t < w.Threads; t++ {
 		wg.Add(1)
 		go func(seed int64) {
 			defer wg.Done()
 			s := set.Session()
+			scanner, _ := s.(ds.RangeScanner)
 			rng := rand.New(rand.NewSource(seed))
 			gen := w.gen()
 			ops := uint64(0)
@@ -154,6 +165,8 @@ func Run(set ds.Set, w Workload) Result {
 					s.Insert(k)
 				case p < w.UpdateRatio:
 					s.Remove(k)
+				case p < w.UpdateRatio+w.RangeRatio && scanner != nil:
+					scanner.RangeScan(k, rangeLen)
 				default:
 					s.Lookup(k)
 				}

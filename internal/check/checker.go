@@ -188,7 +188,7 @@ func Check(h *History, o Opts) *Report {
 		})
 	}
 
-	wbs := map[uint64][]Event{}     // obj -> write-backs, ticket order
+	wbs := map[uint64][]Event{}            // obj -> write-backs, ticket order
 	recl := map[uint64]map[uint64]uint64{} // obj -> vts -> earliest reclaim ticket
 	var marks []Event
 	maxPub := uint64(0)

@@ -69,6 +69,34 @@ const (
 	EvRCUEnd
 	EvRCUSyncStart
 	EvRCUSyncEnd
+
+	// KV-index events (internal/index ordered stores; validated by
+	// CheckKV). A KV history is recorded separately from the engine-level
+	// history: Check rejects these kinds and CheckKV rejects the ones
+	// above, so the two layers can never be conflated.
+
+	// EvKVWrite: one committed index mutation. Obj = interned key id
+	// (History.KeyID), TS = the commit timestamp, Aux = ValueHash of the
+	// written value (0 for a delete, which also sets FlagFree), Aux2 =
+	// transaction id (0 for a single-key commit; every write of one
+	// multi-key transaction shares one id and one TS). Recorded under
+	// the index writer mutex immediately after the commit, so ticket
+	// order equals commit order.
+	EvKVWrite
+	// EvKVRangeBegin: a range walk pinned its snapshot. TS = the
+	// section's snapshot timestamp, Obj/Aux = interned lo/hi key ids
+	// (inclusive bounds), FlagRev for a descending walk. Recorded
+	// before the walk's first load, so a write ticketed earlier was
+	// fully published before the walk began — the edge the stale and
+	// missing-key rules stand on.
+	EvKVRangeBegin
+	// EvKVRangeObs: the walk yielded one pair. Obj = interned key id,
+	// Aux = ValueHash of the observed value.
+	EvKVRangeObs
+	// EvKVRangeEnd: the walk finished. FlagPartial marks an early stop
+	// (LIMIT, callback break) — the absence rules then apply only to
+	// the key span the walk provably covered.
+	EvKVRangeEnd
 )
 
 var kindNames = map[Kind]string{
@@ -84,6 +112,10 @@ var kindNames = map[Kind]string{
 	EvRCUEnd:       "rcu-end",
 	EvRCUSyncStart: "rcu-sync-start",
 	EvRCUSyncEnd:   "rcu-sync-end",
+	EvKVWrite:      "kv-write",
+	EvKVRangeBegin: "kv-range-begin",
+	EvKVRangeObs:   "kv-range-obs",
+	EvKVRangeEnd:   "kv-range-end",
 }
 
 func (k Kind) String() string {
@@ -110,6 +142,10 @@ const (
 	// FlagPruned marks a reclaimed version that had been detached by a
 	// write-back (its prune timestamp is in Aux2's justification).
 	FlagPruned
+	// FlagPartial marks an EvKVRangeEnd whose walk stopped early.
+	FlagPartial
+	// FlagRev marks a descending EvKVRangeBegin.
+	FlagRev
 )
 
 // Event is one record in a history. Field meaning depends on Kind; see

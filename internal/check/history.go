@@ -26,6 +26,13 @@ type History struct {
 	// or 0 if nothing was dropped. Rules that need a complete record
 	// only trust events ticketed strictly below it.
 	truncSeq uint64
+
+	// Key interning for KV-index events (see kv.go): ids are 1-based
+	// indexes into keyStrs, under their own mutex so write recording
+	// never touches the stream locks.
+	keyMu   sync.Mutex
+	keyIDs  map[string]uint64
+	keyStrs []string
 }
 
 // NewHistory returns an empty history whose streams each hold at most

@@ -256,7 +256,7 @@ func TestFailpointAllocCapacity(t *testing.T) {
 	pin := d.Register()
 	writer := d.Register()
 
-	pin.ReadLock() // pins the watermark: nothing commits before this is reclaimable
+	pin.ReadLock()           // pins the watermark: nothing commits before this is reclaimable
 	for i := 0; i < 6; i++ { // highSlots = 0.75*8 = 6: fill the log exactly
 		i := i
 		writer.Execute(func(th *Thread[payload]) bool {

@@ -392,6 +392,18 @@ func (t *Thread[T]) derefWalk(o *Object[T]) *T {
 	if o == nil {
 		return nil
 	}
+	// Read-your-own-writes (the paper's mvrlu_deref self-locked case):
+	// an object this section already locked must be read through its
+	// uncommitted copy, or a multi-step body (the ordered index's
+	// transactions) would traverse its own splices inconsistently. The
+	// t.ws guard keeps the read-only hot path at a single atomic load —
+	// a section that locked nothing cannot own a pending copy.
+	if t.ws != nil {
+		if p := o.pending.Load(); p != nil && p.owner == t.id && p.ws == t.ws {
+			t.derefCopy++
+			return &p.data
+		}
+	}
 	v := o.copy.Load()
 	if v == nil {
 		// Fast path (§5): the master is the only version. Keeping
@@ -443,6 +455,13 @@ func (t *Thread[T]) derefChecked(o *Object[T]) *T {
 	}
 	oid := check.ObjID(&o.oid)
 	tk := t.crec.DerefTicket() // before the first load; see DerefTicket
+	if t.ws != nil {
+		if p := o.pending.Load(); p != nil && p.owner == t.id && p.ws == t.ws {
+			t.derefCopy++
+			t.crec.DerefAt(tk, oid, 0, 0, check.FlagOwn)
+			return &p.data
+		}
+	}
 	v := o.copy.Load()
 	if v == nil {
 		t.derefMaster++
@@ -814,6 +833,12 @@ func (t *Thread[T]) ID() int { return t.id }
 // timestamp right after Execute returns. Owner-only, like every plain
 // Thread field; 0 before the first commit.
 func (t *Thread[T]) LastCommitTS() uint64 { return t.lastCommitTS }
+
+// SnapshotTS returns the entry timestamp of the open critical section —
+// the snapshot every Deref in this section resolves against. Owner-only
+// and meaningful only while InCS; outside a section it reports the
+// previous section's timestamp.
+func (t *Thread[T]) SnapshotTS() uint64 { return t.ts }
 
 // Domain returns the owning domain.
 func (t *Thread[T]) Domain() *Domain[T] { return t.d }

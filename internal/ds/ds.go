@@ -37,3 +37,13 @@ type AbortCounter interface {
 	// Valid only while all sessions are quiescent.
 	AbortStats() (commits, aborts uint64)
 }
+
+// RangeScanner is implemented by sessions of ordered sets that can walk
+// keys in order inside one read-side snapshot. The harness uses it for
+// the scan-heavy (YCSB-E style) cells comparing ordered structures.
+type RangeScanner interface {
+	// RangeScan visits keys >= lo in ascending order, stopping after
+	// max keys, and returns how many it visited. The whole walk runs
+	// under a single read-side critical section.
+	RangeScan(lo, max int) int
+}

@@ -101,6 +101,37 @@ func (s *mvrluBSTSession) Insert(key int) (ok bool) {
 	return ok
 }
 
+// RangeScan implements RangeScanner: an in-order walk from the first
+// key >= lo, bounded to max keys, entirely inside one read-side critical
+// section — so every node dereferenced resolves against the same
+// snapshot timestamp the engine pinned at ReadLock.
+func (s *mvrluBSTSession) RangeScan(lo, max int) int {
+	s.h.ReadLock()
+	defer s.h.ReadUnlock()
+	seen := 0
+	var walk func(n *core.Object[mvTNode]) bool
+	walk = func(n *core.Object[mvTNode]) bool {
+		if n == nil || seen >= max {
+			return seen < max
+		}
+		d := s.h.Deref(n)
+		if d.key >= lo {
+			if !walk(d.left) {
+				return false
+			}
+			if seen >= max {
+				return false
+			}
+			seen++
+			return walk(d.right)
+		}
+		// Whole left subtree is below lo; descend right only.
+		return walk(d.right)
+	}
+	walk(s.h.Deref(s.t.root).left)
+	return seen
+}
+
 func (s *mvrluBSTSession) Remove(key int) (ok bool) {
 	s.h.Execute(func(h *core.Thread[mvTNode]) bool {
 		parent, node, left := findTree(h, s.t.root, key)

@@ -1,0 +1,95 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"mvrlu/internal/kvstore"
+)
+
+// Microbenchmark cells behind `make bench-range`: point reads, writes,
+// and LIMIT-16 ascending scans on each ordered-index build, preloaded
+// with the same key population so the cells compare tower-walk cost,
+// not table size.
+
+const benchKeys = 8192
+
+func benchKey(i int) string { return fmt.Sprintf("key%08d", i) }
+
+func newBenchStore(b *testing.B, build string) kvstore.Store {
+	b.Helper()
+	st, err := kvstore.New(build, kvstore.DefaultSlots, kvstore.DefaultBucketsPerSlot)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := st.Session()
+	for i := 0; i < benchKeys; i++ {
+		s.Set(benchKey(i), "v")
+	}
+	s.Close()
+	return st
+}
+
+var benchBuilds = []string{"mvrlu-idx", "rlu-idx", "vanilla-idx"}
+
+// benchSeed hands each parallel worker a distinct deterministic rng.
+var benchSeed atomic.Int64
+
+func BenchmarkOrderedGet(b *testing.B) {
+	for _, build := range benchBuilds {
+		b.Run(build, func(b *testing.B) {
+			st := newBenchStore(b, build)
+			defer st.Close()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				s := st.Session()
+				defer s.Close()
+				rng := rand.New(rand.NewSource(benchSeed.Add(1)))
+				for pb.Next() {
+					s.Get(benchKey(rng.Intn(benchKeys)))
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkOrderedPut(b *testing.B) {
+	for _, build := range benchBuilds {
+		b.Run(build, func(b *testing.B) {
+			st := newBenchStore(b, build)
+			defer st.Close()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				s := st.Session()
+				defer s.Close()
+				rng := rand.New(rand.NewSource(benchSeed.Add(1)))
+				for pb.Next() {
+					s.Set(benchKey(rng.Intn(benchKeys)), "w")
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkRangeAscend16(b *testing.B) {
+	hi := benchKey(benchKeys - 1)
+	for _, build := range benchBuilds {
+		b.Run(build, func(b *testing.B) {
+			st := newBenchStore(b, build)
+			defer st.Close()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				s := st.Session().(kvstore.OrderedSession)
+				defer s.Close()
+				rng := rand.New(rand.NewSource(benchSeed.Add(1)))
+				for pb.Next() {
+					n := 0
+					s.RangeAscend(benchKey(rng.Intn(benchKeys)), hi,
+						func(k, v string) bool { n++; return n < 16 })
+				}
+			})
+		})
+	}
+}

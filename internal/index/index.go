@@ -1,0 +1,83 @@
+// Package index provides the ordered-index builds of the kvstore: the
+// same Store/Session surface as the hash builds, plus the
+// kvstore.OrderedSession capability (snapshot range scans and atomic
+// multi-key transactions).
+//
+// The data structure is a skiplist with versioned towers (DESIGN.md
+// §12 justifies the choice over a balanced tree): every node is one
+// engine object holding the key, the value, and a fixed array of
+// forward pointers, so an update or a splice is a handful of TryLocks
+// and a range scan is a single level-0 pointer walk inside one reader
+// critical section — exactly the access pattern MV-RLU's
+// copy-on-lock/combine protocol is built for. Writers serialize on one
+// index-wide mutex (the structure-local analogue of the hash builds'
+// per-slot locks: an ordered insert touches up to maxHeight towers, so
+// per-node locking would deadlock-order them anyway); readers never
+// touch it.
+//
+// Three builds register with kvstore at init:
+//
+//	mvrlu-idx   multi-version RLU engine (internal/core)
+//	rlu-idx     single-version RLU engine (internal/rlu)
+//	vanilla-idx RWMutex + sorted slice baseline
+//
+// Importers pull them in with a blank import:
+//
+//	import _ "mvrlu/internal/index"
+package index
+
+import (
+	"math/rand"
+
+	"mvrlu/internal/kvstore"
+)
+
+// maxHeight bounds skiplist towers. With p=1/4 the expected height of
+// the tallest tower crosses 12 around 16M keys — beyond any workload
+// this repo runs — and a fixed array keeps a node's tower inside its
+// engine object so copy-on-lock duplicates the pointers too (a slice
+// would alias the master's backing array across TryLock copies).
+const maxHeight = 12
+
+func init() {
+	kvstore.RegisterBuild("mvrlu-idx", func(slots, bucketsPerSlot int) kvstore.Store {
+		return NewMVIndex()
+	})
+	kvstore.RegisterBuild("rlu-idx", func(slots, bucketsPerSlot int) kvstore.Store {
+		return NewRLUIndex()
+	})
+	kvstore.RegisterBuild("vanilla-idx", func(slots, bucketsPerSlot int) kvstore.Store {
+		return NewVanillaIndex()
+	})
+}
+
+// randHeight draws a tower height with p=1/4 level promotion. Callers
+// hold the index writer mutex, which also guards rng.
+func randHeight(rng *rand.Rand) int {
+	h := 1
+	for h < maxHeight && rng.Intn(4) == 0 {
+		h++
+	}
+	return h
+}
+
+// compressTxn reduces a transaction to its effective ops: the last op
+// per key wins (a Set overwritten later in the same transaction, or a
+// Del followed by a Set, never becomes a version — the transaction
+// commits as if only its final op per key ran). Returned indices are in
+// original op order. This keeps every key touched at most once inside
+// the single Execute body, so the engine never sees an
+// insert-then-free of the same unpublished node.
+func compressTxn(ops []kvstore.TxnOp) []int {
+	last := make(map[string]int, len(ops))
+	for i, op := range ops {
+		last[op.Key] = i
+	}
+	keep := make([]int, 0, len(last))
+	for i, op := range ops {
+		if last[op.Key] == i {
+			keep = append(keep, i)
+		}
+	}
+	return keep
+}

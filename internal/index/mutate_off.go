@@ -1,0 +1,12 @@
+//go:build !mvrlu_mutate
+
+package index
+
+// mutateRangeUnpin is the third planted mutation (see the Makefile's
+// check-si gate): when built with -tags mvrlu_mutate, the ordered
+// builds' range walks drop their snapshot pin every few nodes and
+// continue at a fresh timestamp while still reporting the original one
+// — a classic torn range read. CheckKV's kv-range-snapshot rule must
+// flag a concurrent-writer run under the mutated build; CI asserts it
+// does.
+const mutateRangeUnpin = false

@@ -1,0 +1,7 @@
+//go:build mvrlu_mutate
+
+package index
+
+// See mutate_off.go: range walks re-pin mid-stream, tearing the
+// snapshot a range read is supposed to observe.
+const mutateRangeUnpin = true

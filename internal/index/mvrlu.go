@@ -1,0 +1,470 @@
+package index
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"mvrlu/internal/check"
+	"mvrlu/internal/core"
+	"mvrlu/internal/kvstore"
+	"mvrlu/internal/obs"
+)
+
+// mvNode is one skiplist node under MV-RLU: key, value, and the tower.
+// The whole node is one engine object, so TryLock copies the tower with
+// the payload and a splice is an ordinary field store on the copy.
+type mvNode struct {
+	key  string
+	val  string
+	h    int
+	next [maxHeight]*core.Object[mvNode]
+}
+
+// MVIndex is the MV-RLU ordered index: a skiplist whose nodes are
+// engine objects. Readers (Get, ranges, ForEach) run lock-free inside
+// snapshot critical sections; writers serialize on mu (see the package
+// comment) and commit through Execute, so every mutation — including a
+// whole ApplyTxn body — is one write set with one commit timestamp.
+//
+// Why a single writer mutex is enough for correctness and not just
+// convenience: a writer's traversal may be stale only about objects
+// whose latest commit falls inside the ORDO ambiguity window of its
+// snapshot — and those are exactly the objects the previous (serialized)
+// writer locked, so this writer's TryLock on any pred it must modify
+// fails the write-latest check and Execute retries at a fresh
+// timestamp. A traversal that reaches TryLock success therefore saw the
+// latest committed version of everything it locks.
+type MVIndex struct {
+	d    *core.Domain[mvNode]
+	head *core.Object[mvNode] // sentinel, height maxHeight, key unused
+
+	mu     sync.Mutex // index-wide writer lock; guards rng, txnSeq
+	rng    *rand.Rand
+	txnSeq uint64
+
+	sessions atomic.Int64
+	hook     kvstore.CommitHook
+	txnHook  kvstore.TxnHook
+	hist     *check.History
+}
+
+// NewMVIndex creates an empty MV-RLU ordered index with default engine
+// options.
+func NewMVIndex() *MVIndex {
+	return NewMVIndexOpts(core.DefaultOptions())
+}
+
+// NewMVIndexOpts creates an empty index over a domain with opts.
+func NewMVIndexOpts(opts core.Options) *MVIndex {
+	return &MVIndex{
+		d:    core.NewDomain[mvNode](opts),
+		head: core.NewObject(mvNode{h: maxHeight}),
+		rng:  rand.New(rand.NewSource(0x51EED)),
+	}
+}
+
+// Name implements Store.
+func (s *MVIndex) Name() string { return "mvrlu-idx" }
+
+// Close implements Store.
+func (s *MVIndex) Close() { s.d.Close() }
+
+// Stats exposes domain counters.
+func (s *MVIndex) Stats() core.Stats { return s.d.Stats() }
+
+// Session implements Store.
+func (s *MVIndex) Session() kvstore.Session {
+	s.sessions.Add(1)
+	k := &mvIdxSession{s: s, h: s.d.Register()}
+	if s.hist != nil {
+		k.crec = s.hist.ThreadRec()
+	}
+	return k
+}
+
+// NumSessions implements Store.
+func (s *MVIndex) NumSessions() int { return int(s.sessions.Load()) }
+
+// RegisterMetrics registers the domain's telemetry under the "mvrlu_"
+// prefix, same discovery path as the hash build.
+func (s *MVIndex) RegisterMetrics(reg *obs.Registry) {
+	s.d.RegisterMetrics(reg, "mvrlu_", "")
+}
+
+// RegisterMetricsLabeled is RegisterMetrics under a Prometheus label
+// set (the Sharded composite's per-shard labeling).
+func (s *MVIndex) RegisterMetricsLabeled(reg *obs.Registry, labels string) {
+	s.d.RegisterMetrics(reg, "mvrlu_", labels)
+}
+
+// Boundary exposes the domain's ORDO uncertainty window.
+func (s *MVIndex) Boundary() uint64 { return s.d.Boundary() }
+
+// Stalled exposes the domain's active watermark stall, if any.
+func (s *MVIndex) Stalled() (core.StallInfo, bool) { return s.d.Stalled() }
+
+// Watermark and Now expose the domain clock.
+func (s *MVIndex) Watermark() uint64 { return s.d.Watermark() }
+
+// Now reads the domain clock.
+func (s *MVIndex) Now() uint64 { return s.d.Now() }
+
+// SetCommitHook implements commitHooker; same contract as the hash
+// build (runs under the writer lock, hook order equals commit order).
+func (s *MVIndex) SetCommitHook(h kvstore.CommitHook) { s.hook = h }
+
+// SetTxnCommitHook implements txnHooker: committed ApplyTxn groups are
+// delivered here as one call (and not to the per-op hook) when set.
+func (s *MVIndex) SetTxnCommitHook(h kvstore.TxnHook) { s.txnHook = h }
+
+// AttachKVHistory makes every session created afterwards record
+// KV-level events (writes, range walks) into h for CheckKV. Attach
+// before creating sessions.
+func (s *MVIndex) AttachKVHistory(h *check.History) { s.hist = h }
+
+type mvIdxSession struct {
+	s    *MVIndex
+	h    *core.Thread[mvNode]
+	crec *check.ThreadRec
+}
+
+// Close implements Session.
+func (k *mvIdxSession) Close() {
+	k.h.Unregister()
+	k.s.sessions.Add(-1)
+}
+
+// ThreadID exposes the engine registry id backing this session.
+func (k *mvIdxSession) ThreadID() int { return k.h.ID() }
+
+// findPreds descends the skiplist to key, filling preds[l] with the
+// rightmost node at level l whose key is < key (the head sentinel
+// counts as -inf), and returns the first level-0 node with key >= key
+// (nil when past the end). Caller must be inside a critical section.
+func findPreds(h *core.Thread[mvNode], head *core.Object[mvNode], key string, preds *[maxHeight]*core.Object[mvNode]) *core.Object[mvNode] {
+	x := head
+	var at *core.Object[mvNode]
+	for lvl := maxHeight - 1; lvl >= 0; lvl-- {
+		for {
+			nxt := h.Deref(x).next[lvl]
+			if nxt == nil || h.Deref(nxt).key >= key {
+				at = nxt
+				break
+			}
+			x = nxt
+		}
+		preds[lvl] = x
+	}
+	return at
+}
+
+// applySet is one Set inside an open Execute body: update in place if
+// key exists, else lock the preds up to hgt and link a fresh node.
+// false asks Execute to retry at a fresh timestamp.
+func (k *mvIdxSession) applySet(h *core.Thread[mvNode], key, val string, hgt int) bool {
+	var preds [maxHeight]*core.Object[mvNode]
+	cand := findPreds(h, k.s.head, key, &preds)
+	if cand != nil && h.Deref(cand).key == key {
+		c, ok := h.TryLock(cand)
+		if !ok {
+			return false
+		}
+		c.val = val
+		return true
+	}
+	var cps [maxHeight]*mvNode
+	for l := 0; l < hgt; l++ {
+		cp, ok := h.TryLock(preds[l])
+		if !ok {
+			return false
+		}
+		cps[l] = cp
+	}
+	var n mvNode
+	n.key, n.val, n.h = key, val, hgt
+	for l := 0; l < hgt; l++ {
+		n.next[l] = cps[l].next[l]
+	}
+	obj := core.NewObject(n)
+	for l := 0; l < hgt; l++ {
+		cps[l].next[l] = obj
+	}
+	return true
+}
+
+// applyDel is one Delete inside an open Execute body: lock the node and
+// every pred pointing at it, splice it out, free it. ok=false asks for
+// a retry; removed reports whether the key existed.
+func (k *mvIdxSession) applyDel(h *core.Thread[mvNode], key string) (removed, ok bool) {
+	var preds [maxHeight]*core.Object[mvNode]
+	cand := findPreds(h, k.s.head, key, &preds)
+	if cand == nil || h.Deref(cand).key != key {
+		return false, true
+	}
+	hgt := h.Deref(cand).h
+	cn, lok := h.TryLock(cand)
+	if !lok {
+		return false, false
+	}
+	for l := 0; l < hgt; l++ {
+		cp, lok := h.TryLock(preds[l])
+		if !lok {
+			return false, false
+		}
+		cp.next[l] = cn.next[l]
+	}
+	h.Free(cand)
+	return true, true
+}
+
+// recordWrites publishes the committed ops into the KV history. Called
+// under the writer mutex right after Execute returns, so ticket order
+// equals commit order — the ordering CheckKV's stale/absence rules
+// assume.
+func (k *mvIdxSession) recordWrites(eff []kvstore.CommitOp, txn uint64) {
+	if k.crec == nil || !check.Enabled() {
+		return
+	}
+	for _, op := range eff {
+		var vh uint64
+		if !op.Del {
+			vh = check.ValueHash(op.Value)
+		}
+		k.crec.KVWrite(k.s.hist.KeyID(op.Key), op.TS, vh, txn, op.Del)
+	}
+}
+
+// fireHooks delivers committed ops: transaction groups go to the
+// TxnHook as one call when installed, everything else to the per-op
+// hook.
+func (k *mvIdxSession) fireHooks(eff []kvstore.CommitOp, txn bool) {
+	if txn && k.s.txnHook != nil {
+		k.s.txnHook(eff)
+		return
+	}
+	if h := k.s.hook; h != nil {
+		for _, op := range eff {
+			h(op)
+		}
+	}
+}
+
+func (k *mvIdxSession) Set(key, value string) {
+	k.s.mu.Lock()
+	defer k.s.mu.Unlock()
+	hgt := randHeight(k.s.rng)
+	k.h.Execute(func(h *core.Thread[mvNode]) bool {
+		return k.applySet(h, key, value, hgt)
+	})
+	eff := []kvstore.CommitOp{{TS: k.h.LastCommitTS(), Key: key, Value: value}}
+	k.recordWrites(eff, 0)
+	k.fireHooks(eff, false)
+}
+
+func (k *mvIdxSession) Remove(key string) bool {
+	k.s.mu.Lock()
+	defer k.s.mu.Unlock()
+	var removed bool
+	k.h.Execute(func(h *core.Thread[mvNode]) bool {
+		var ok bool
+		removed, ok = k.applyDel(h, key)
+		return ok
+	})
+	if !removed {
+		return false
+	}
+	eff := []kvstore.CommitOp{{TS: k.h.LastCommitTS(), Del: true, Key: key}}
+	k.recordWrites(eff, 0)
+	k.fireHooks(eff, false)
+	return true
+}
+
+// ApplyTxn implements OrderedSession: every effective op runs inside
+// ONE Execute body — every touched key TryLocked into one write set,
+// one commit timestamp across all of them — so readers observe all of
+// the transaction or none of it. removed[i] is per original op;
+// superseded ops (compressTxn) report false.
+func (k *mvIdxSession) ApplyTxn(ops []kvstore.TxnOp) ([]bool, error) {
+	removed := make([]bool, len(ops))
+	if len(ops) == 0 {
+		return removed, nil
+	}
+	keep := compressTxn(ops)
+	k.s.mu.Lock()
+	defer k.s.mu.Unlock()
+	hgts := make([]int, len(keep))
+	for j, i := range keep {
+		if !ops[i].Del {
+			hgts[j] = randHeight(k.s.rng)
+		}
+	}
+	k.h.Execute(func(h *core.Thread[mvNode]) bool {
+		for j, i := range keep {
+			op := ops[i]
+			if op.Del {
+				rm, ok := k.applyDel(h, op.Key)
+				if !ok {
+					return false
+				}
+				removed[i] = rm
+			} else if !k.applySet(h, op.Key, op.Value, hgts[j]) {
+				return false
+			}
+		}
+		return true
+	})
+	cts := k.h.LastCommitTS()
+	eff := make([]kvstore.CommitOp, 0, len(keep))
+	for _, i := range keep {
+		op := ops[i]
+		if op.Del && !removed[i] {
+			continue // no-op delete: nothing committed for this key
+		}
+		eff = append(eff, kvstore.CommitOp{TS: cts, Del: op.Del, Key: op.Key, Value: op.Value})
+	}
+	if len(eff) == 0 {
+		return removed, nil
+	}
+	var txn uint64
+	if len(eff) > 1 {
+		k.s.txnSeq++
+		txn = k.s.txnSeq
+	}
+	k.recordWrites(eff, txn)
+	k.fireHooks(eff, true)
+	return removed, nil
+}
+
+func (k *mvIdxSession) Get(key string) (string, bool) {
+	k.h.ReadLock()
+	defer k.h.ReadUnlock()
+	var preds [maxHeight]*core.Object[mvNode]
+	cand := findPreds(k.h, k.s.head, key, &preds)
+	if cand == nil {
+		return "", false
+	}
+	d := k.h.Deref(cand)
+	if d.key != key {
+		return "", false
+	}
+	return d.val, true
+}
+
+// walkAsc visits level-0 nodes with lo <= key <= hi in order inside the
+// CALLER's open critical section, reporting false when fn stopped the
+// walk early. The mutateRangeUnpin re-pin is the planted checker tooth
+// (see mutate_off.go).
+func (k *mvIdxSession) walkAsc(lo, hi string, fn func(key, value string) bool) bool {
+	var preds [maxHeight]*core.Object[mvNode]
+	x := findPreds(k.h, k.s.head, lo, &preds)
+	for n := 0; x != nil; n++ {
+		if mutateRangeUnpin && n > 0 && n%4 == 0 {
+			// Planted bug: drop the snapshot pin mid-walk and re-enter at
+			// a fresh timestamp while still advertising the original one.
+			k.h.ReadUnlock()
+			k.h.ReadLock()
+		}
+		d := k.h.Deref(x)
+		if d.key > hi {
+			break
+		}
+		if !fn(d.key, d.val) {
+			return false
+		}
+		x = d.next[0]
+	}
+	return true
+}
+
+// RangeAscend implements OrderedSession: one snapshot critical section,
+// KV-history range events bracketing the walk when recording.
+func (k *mvIdxSession) RangeAscend(lo, hi string, fn func(key, value string) bool) {
+	k.h.ReadLock()
+	defer k.h.ReadUnlock()
+	rec := k.crec != nil && check.Enabled()
+	if rec {
+		// RangeBegin must be ticketed before the walk's first load (same
+		// reasoning as DerefTicket): any write ticketed before it was
+		// fully published before the walk began.
+		k.crec.KVRangeBegin(k.h.SnapshotTS(), k.s.hist.KeyID(lo), k.s.hist.KeyID(hi), false)
+	}
+	complete := k.walkAsc(lo, hi, func(key, val string) bool {
+		if rec {
+			k.crec.KVRangeObs(k.s.hist.KeyID(key), check.ValueHash(val))
+		}
+		return fn(key, val)
+	})
+	if rec {
+		k.crec.KVRangeEnd(!complete)
+	}
+}
+
+// RangeDescend implements OrderedSession: the ascending walk collects
+// inside one critical section and replays reversed, so both directions
+// observe the identical snapshot. Observations are recorded in the
+// order fn sees them (descending), as the checker's ordering rule
+// expects.
+func (k *mvIdxSession) RangeDescend(lo, hi string, fn func(key, value string) bool) {
+	k.h.ReadLock()
+	defer k.h.ReadUnlock()
+	rec := k.crec != nil && check.Enabled()
+	if rec {
+		k.crec.KVRangeBegin(k.h.SnapshotTS(), k.s.hist.KeyID(lo), k.s.hist.KeyID(hi), true)
+	}
+	var pairs []kv2
+	k.walkAsc(lo, hi, func(key, val string) bool {
+		pairs = append(pairs, kv2{key, val})
+		return true
+	})
+	complete := true
+	for i := len(pairs) - 1; i >= 0; i-- {
+		if rec {
+			k.crec.KVRangeObs(k.s.hist.KeyID(pairs[i].k), check.ValueHash(pairs[i].v))
+		}
+		if !fn(pairs[i].k, pairs[i].v) {
+			complete = false
+			break
+		}
+	}
+	if rec {
+		k.crec.KVRangeEnd(!complete)
+	}
+}
+
+// ForEach implements Session: one snapshot walk of the whole list.
+func (k *mvIdxSession) ForEach(fn func(key, value string) bool) {
+	k.h.ReadLock()
+	defer k.h.ReadUnlock()
+	x := k.h.Deref(k.s.head).next[0]
+	for x != nil {
+		d := k.h.Deref(x)
+		if !fn(d.key, d.val) {
+			return
+		}
+		x = d.next[0]
+	}
+}
+
+// ForEachPrefix implements Session: the ordered layout makes a prefix
+// scan a seek + bounded walk instead of a full filter.
+func (k *mvIdxSession) ForEachPrefix(prefix string, fn func(key, value string) bool) {
+	k.h.ReadLock()
+	defer k.h.ReadUnlock()
+	var preds [maxHeight]*core.Object[mvNode]
+	x := findPreds(k.h, k.s.head, prefix, &preds)
+	for x != nil {
+		d := k.h.Deref(x)
+		if !strings.HasPrefix(d.key, prefix) {
+			return
+		}
+		if !fn(d.key, d.val) {
+			return
+		}
+		x = d.next[0]
+	}
+}
+
+// kv2 is one collected pair for the descend replay.
+type kv2 struct{ k, v string }

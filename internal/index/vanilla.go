@@ -1,0 +1,318 @@
+package index
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"mvrlu/internal/check"
+	"mvrlu/internal/kvstore"
+)
+
+// VanillaIndex is the mutex-ordered baseline: a sorted key slice plus a
+// value map behind one RWMutex. Readers (and ranges) hold the read
+// lock for their whole walk — that IS the snapshot: nothing can commit
+// while any reader is inside, which is exactly the global-rwlock
+// bottleneck the engine builds exist to remove. The version clock
+// stamps every commit under the write lock so WAL ordering and the KV
+// checker get the same commit-order timestamps the engine builds
+// provide.
+type VanillaIndex struct {
+	mu   sync.RWMutex
+	keys []string
+	vals map[string]string
+
+	rngMu  sync.Mutex // wraps the txn counter only; mu guards keys/vals
+	txnSeq uint64
+
+	verClock atomic.Uint64
+	sessions atomic.Int64
+	hook     kvstore.CommitHook
+	txnHook  kvstore.TxnHook
+	hist     *check.History
+}
+
+// NewVanillaIndex creates an empty baseline ordered index.
+func NewVanillaIndex() *VanillaIndex {
+	return &VanillaIndex{vals: map[string]string{}}
+}
+
+// Name implements Store.
+func (v *VanillaIndex) Name() string { return "vanilla-idx" }
+
+// Close implements Store.
+func (v *VanillaIndex) Close() {}
+
+// Session implements Store.
+func (v *VanillaIndex) Session() kvstore.Session {
+	v.sessions.Add(1)
+	k := &vanIdxSession{v: v}
+	if v.hist != nil {
+		k.crec = v.hist.ThreadRec()
+	}
+	return k
+}
+
+// NumSessions implements Store.
+func (v *VanillaIndex) NumSessions() int { return int(v.sessions.Load()) }
+
+// SetCommitHook implements commitHooker. Like the vanilla hash build,
+// the hook fires after the write lock is released (a blocking hook
+// under the exclusive lock would deadlock against a snapshot dump), so
+// hook order can invert timestamp order — WALCutoff compensates.
+func (v *VanillaIndex) SetCommitHook(h kvstore.CommitHook) { v.hook = h }
+
+// SetTxnCommitHook implements txnHooker; same after-unlock caveat.
+func (v *VanillaIndex) SetTxnCommitHook(h kvstore.TxnHook) { v.txnHook = h }
+
+// AttachKVHistory makes sessions created afterwards record KV events.
+func (v *VanillaIndex) AttachKVHistory(h *check.History) { v.hist = h }
+
+// WALCutoff implements walClocker, same argument as Vanilla.WALCutoff:
+// commits at or below the returned clock released the write lock before
+// this RLock was granted.
+func (v *VanillaIndex) WALCutoff() uint64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.verClock.Load()
+}
+
+// search returns the sorted position of key and whether it is present.
+// Caller holds mu (either mode).
+func (v *VanillaIndex) search(key string) (int, bool) {
+	i := sort.SearchStrings(v.keys, key)
+	return i, i < len(v.keys) && v.keys[i] == key
+}
+
+// setLocked inserts or updates key. Caller holds the write lock.
+func (v *VanillaIndex) setLocked(key, value string) {
+	if i, ok := v.search(key); !ok {
+		v.keys = append(v.keys, "")
+		copy(v.keys[i+1:], v.keys[i:])
+		v.keys[i] = key
+	}
+	v.vals[key] = value
+}
+
+// delLocked removes key, reporting whether it existed. Caller holds the
+// write lock.
+func (v *VanillaIndex) delLocked(key string) bool {
+	i, ok := v.search(key)
+	if !ok {
+		return false
+	}
+	v.keys = append(v.keys[:i], v.keys[i+1:]...)
+	delete(v.vals, key)
+	return true
+}
+
+type vanIdxSession struct {
+	v    *VanillaIndex
+	crec *check.ThreadRec
+}
+
+// Close implements Session.
+func (k *vanIdxSession) Close() { k.v.sessions.Add(-1) }
+
+func (k *vanIdxSession) recordWrites(eff []kvstore.CommitOp, txn uint64) {
+	if k.crec == nil || !check.Enabled() {
+		return
+	}
+	for _, op := range eff {
+		var vh uint64
+		if !op.Del {
+			vh = check.ValueHash(op.Value)
+		}
+		k.crec.KVWrite(k.v.hist.KeyID(op.Key), op.TS, vh, txn, op.Del)
+	}
+}
+
+func (k *vanIdxSession) fireHooks(eff []kvstore.CommitOp, txn bool) {
+	if txn && k.v.txnHook != nil {
+		k.v.txnHook(eff)
+		return
+	}
+	if h := k.v.hook; h != nil {
+		for _, op := range eff {
+			h(op)
+		}
+	}
+}
+
+func (k *vanIdxSession) Get(key string) (string, bool) {
+	k.v.mu.RLock()
+	defer k.v.mu.RUnlock()
+	val, ok := k.v.vals[key]
+	return val, ok
+}
+
+func (k *vanIdxSession) Set(key, value string) {
+	k.v.mu.Lock()
+	ts := k.v.verClock.Add(1)
+	k.v.setLocked(key, value)
+	eff := []kvstore.CommitOp{{TS: ts, Key: key, Value: value}}
+	k.recordWrites(eff, 0)
+	k.v.mu.Unlock()
+	k.fireHooks(eff, false)
+}
+
+func (k *vanIdxSession) Remove(key string) bool {
+	k.v.mu.Lock()
+	ts := k.v.verClock.Add(1)
+	removed := k.v.delLocked(key)
+	var eff []kvstore.CommitOp
+	if removed {
+		eff = []kvstore.CommitOp{{TS: ts, Del: true, Key: key}}
+		k.recordWrites(eff, 0)
+	}
+	k.v.mu.Unlock()
+	if removed {
+		k.fireHooks(eff, false)
+	}
+	return removed
+}
+
+// ApplyTxn implements OrderedSession: one write-lock hold, one clock
+// tick shared by every op — atomic by construction.
+func (k *vanIdxSession) ApplyTxn(ops []kvstore.TxnOp) ([]bool, error) {
+	removed := make([]bool, len(ops))
+	if len(ops) == 0 {
+		return removed, nil
+	}
+	keep := compressTxn(ops)
+	k.v.mu.Lock()
+	ts := k.v.verClock.Add(1)
+	eff := make([]kvstore.CommitOp, 0, len(keep))
+	for _, i := range keep {
+		op := ops[i]
+		if op.Del {
+			removed[i] = k.v.delLocked(op.Key)
+			if !removed[i] {
+				continue
+			}
+		} else {
+			k.v.setLocked(op.Key, op.Value)
+		}
+		eff = append(eff, kvstore.CommitOp{TS: ts, Del: op.Del, Key: op.Key, Value: op.Value})
+	}
+	var txn uint64
+	if len(eff) > 1 {
+		k.v.rngMu.Lock()
+		k.v.txnSeq++
+		txn = k.v.txnSeq
+		k.v.rngMu.Unlock()
+	}
+	if len(eff) > 0 {
+		k.recordWrites(eff, txn)
+	}
+	k.v.mu.Unlock()
+	if len(eff) > 0 {
+		k.fireHooks(eff, true)
+	}
+	return removed, nil
+}
+
+// rangeBounds returns the slice window [i, j) of keys with
+// lo <= key <= hi. Caller holds the read lock.
+func (v *VanillaIndex) rangeBounds(lo, hi string) (int, int) {
+	i := sort.SearchStrings(v.keys, lo)
+	j := sort.Search(len(v.keys), func(n int) bool { return v.keys[n] > hi })
+	if j < i {
+		j = i
+	}
+	return i, j
+}
+
+// RangeAscend implements OrderedSession: the read lock held across the
+// walk is the snapshot. The mutateRangeUnpin tooth drops and retakes
+// the lock mid-walk (re-seeking by key), tearing that guarantee.
+func (k *vanIdxSession) RangeAscend(lo, hi string, fn func(key, value string) bool) {
+	k.v.mu.RLock()
+	defer k.v.mu.RUnlock()
+	rec := k.crec != nil && check.Enabled()
+	if rec {
+		k.crec.KVRangeBegin(k.v.verClock.Load(), k.v.hist.KeyID(lo), k.v.hist.KeyID(hi), false)
+	}
+	complete := true
+	i, _ := k.v.rangeBounds(lo, hi)
+	for n := 0; i < len(k.v.keys) && k.v.keys[i] <= hi; n++ {
+		if mutateRangeUnpin && n > 0 && n%4 == 0 {
+			// Planted bug: release the snapshot guard mid-walk and
+			// re-seek; writes landing in the gap become visible while the
+			// walk still reports its original snapshot timestamp.
+			key := k.v.keys[i]
+			k.v.mu.RUnlock()
+			k.v.mu.RLock()
+			i = sort.SearchStrings(k.v.keys, key)
+			if i >= len(k.v.keys) || k.v.keys[i] > hi {
+				break
+			}
+		}
+		key := k.v.keys[i]
+		if rec {
+			k.crec.KVRangeObs(k.v.hist.KeyID(key), check.ValueHash(k.v.vals[key]))
+		}
+		if !fn(key, k.v.vals[key]) {
+			complete = false
+			break
+		}
+		i++
+	}
+	if rec {
+		k.crec.KVRangeEnd(!complete)
+	}
+}
+
+// RangeDescend implements OrderedSession, walking the window backwards
+// under the same read-lock snapshot.
+func (k *vanIdxSession) RangeDescend(lo, hi string, fn func(key, value string) bool) {
+	k.v.mu.RLock()
+	defer k.v.mu.RUnlock()
+	rec := k.crec != nil && check.Enabled()
+	if rec {
+		k.crec.KVRangeBegin(k.v.verClock.Load(), k.v.hist.KeyID(lo), k.v.hist.KeyID(hi), true)
+	}
+	complete := true
+	i, j := k.v.rangeBounds(lo, hi)
+	for j--; j >= i; j-- {
+		key := k.v.keys[j]
+		if rec {
+			k.crec.KVRangeObs(k.v.hist.KeyID(key), check.ValueHash(k.v.vals[key]))
+		}
+		if !fn(key, k.v.vals[key]) {
+			complete = false
+			break
+		}
+	}
+	if rec {
+		k.crec.KVRangeEnd(!complete)
+	}
+}
+
+// ForEach implements Session.
+func (k *vanIdxSession) ForEach(fn func(key, value string) bool) {
+	k.v.mu.RLock()
+	defer k.v.mu.RUnlock()
+	for _, key := range k.v.keys {
+		if !fn(key, k.v.vals[key]) {
+			return
+		}
+	}
+}
+
+// ForEachPrefix implements Session: seek + bounded walk over the
+// sorted keys.
+func (k *vanIdxSession) ForEachPrefix(prefix string, fn func(key, value string) bool) {
+	k.v.mu.RLock()
+	defer k.v.mu.RUnlock()
+	for i := sort.SearchStrings(k.v.keys, prefix); i < len(k.v.keys); i++ {
+		key := k.v.keys[i]
+		if !strings.HasPrefix(key, prefix) {
+			return
+		}
+		if !fn(key, k.v.vals[key]) {
+			return
+		}
+	}
+}

@@ -23,6 +23,13 @@ type Config struct {
 	// UpdateRatio is the fraction of Set operations (2% and 20% in the
 	// paper).
 	UpdateRatio float64
+	// RangeRatio is the fraction of ordered range scans (the YCSB-E
+	// style mix), taken out of the Get share. Nonzero ratios need an
+	// ordered build (the -idx stores); other builds fall back to Get
+	// for those operations.
+	RangeRatio float64
+	// RangeLen is the scan length for range operations (default 16).
+	RangeLen int
 	// Duration is the measured run length.
 	Duration time.Duration
 }
@@ -70,19 +77,35 @@ func Run(s Store, cfg Config) Result {
 		start = make(chan struct{})
 	)
 	val := strings.Repeat("w", cfg.ValueSize)
+	rangeLen := cfg.RangeLen
+	if rangeLen <= 0 {
+		rangeLen = 16
+	}
+	// Bounds are inclusive, so the scans' upper bound is the last
+	// populated key, not "" (which would make every range empty).
+	hiKey := keyName(cfg.Records - 1)
 	for t := 0; t < cfg.Threads; t++ {
 		wg.Add(1)
 		go func(seed int64) {
 			defer wg.Done()
 			sess := s.Session()
+			ordered, _ := sess.(OrderedSession)
 			rng := rand.New(rand.NewSource(seed))
 			ops := uint64(0)
 			<-start
 			for !stop.Load() {
 				k := keyName(rng.Intn(cfg.Records))
-				if rng.Float64() < cfg.UpdateRatio {
+				p := rng.Float64()
+				switch {
+				case p < cfg.UpdateRatio:
 					sess.Set(k, val)
-				} else {
+				case p < cfg.UpdateRatio+cfg.RangeRatio && ordered != nil:
+					n := 0
+					ordered.RangeAscend(k, hiKey, func(string, string) bool {
+						n++
+						return n < rangeLen
+					})
+				default:
 					sess.Get(k)
 				}
 				ops++
@@ -114,7 +137,29 @@ func New(name string, slots, bucketsPerSlot int) (Store, error) {
 	case "mvrlu-kv":
 		return NewMVRLUStore(slots, bucketsPerSlot, core.DefaultOptions()), nil
 	}
-	return nil, fmt.Errorf("kvstore: unknown build %q (vanilla, rlu-kv, mvrlu-kv)", name)
+	if ctor, ok := extraBuilds[name]; ok {
+		return ctor(slots, bucketsPerSlot), nil
+	}
+	return nil, fmt.Errorf("kvstore: unknown build %q (%s)", name, strings.Join(Names(), ", "))
+}
+
+// extraBuilds holds builds registered by other packages (the
+// internal/index ordered stores register in their init; importers pull
+// them in with a blank import). Registration happens at init time only,
+// so the map needs no lock.
+var (
+	extraBuilds = map[string]func(slots, bucketsPerSlot int) Store{}
+	extraNames  []string
+)
+
+// RegisterBuild makes New/NewSharded construct name via ctor. Panics on
+// a duplicate name; call from init only.
+func RegisterBuild(name string, ctor func(slots, bucketsPerSlot int) Store) {
+	if _, dup := extraBuilds[name]; dup {
+		panic("kvstore: duplicate build " + name)
+	}
+	extraBuilds[name] = ctor
+	extraNames = append(extraNames, name)
 }
 
 // NewSharded constructs a store build partitioned over shards
@@ -145,5 +190,8 @@ func NewSharded(name string, shards, slots, bucketsPerSlot int) (Store, error) {
 	return NewShardedStore(stores), nil
 }
 
-// Names lists the available builds.
-func Names() []string { return []string{"vanilla", "rlu-kv", "mvrlu-kv"} }
+// Names lists the available builds, registered ones included in
+// registration order.
+func Names() []string {
+	return append([]string{"vanilla", "rlu-kv", "mvrlu-kv"}, extraNames...)
+}

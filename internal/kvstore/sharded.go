@@ -80,10 +80,24 @@ func (s *Sharded) NumSessions() int {
 // itself so a batch only touches the shards it needs.
 func (s *Sharded) Session() Session {
 	subs := make([]Session, len(s.shards))
+	osubs := make([]OrderedSession, len(s.shards))
+	ordered := true
 	for i, sh := range s.shards {
 		subs[i] = sh.Session()
+		if os, ok := subs[i].(OrderedSession); ok {
+			osubs[i] = os
+		} else {
+			ordered = false
+		}
 	}
-	return &shardedSession{s: s, subs: subs}
+	base := shardedSession{s: s, subs: subs}
+	if ordered {
+		// Every shard is an ordered index: upgrade the composite so
+		// range/transaction capabilities survive sharding (see
+		// ordered.go for the merge and single-shard-txn rules).
+		return &orderedShardedSession{shardedSession: base, osubs: osubs}
+	}
+	return &base
 }
 
 // labeledMetricser is the per-shard metrics capability: a build that can

@@ -109,3 +109,13 @@ func shardOf(h uint64, n int) int {
 	h ^= h >> 33
 	return int(h % uint64(n))
 }
+
+// ShardOf exposes the router's key placement: the shard index key maps
+// to in an n-shard store. Clients composing MULTI bodies — which must
+// not cross shards — use it to pick co-located keys.
+func ShardOf(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return shardOf(hashString(key), n)
+}

@@ -49,6 +49,7 @@ func (t *Thread[T]) Flush() {
 func (t *Thread[T]) flush() {
 	wc := t.d.writeClock()
 	t.writeC.Store(wc)
+	t.lastWC = wc
 	rec := t.crec != nil && check.Enabled()
 	if rec {
 		// Every RLU commit copies from the master (TryLock has no

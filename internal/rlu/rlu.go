@@ -171,8 +171,22 @@ type Thread[T any] struct {
 	// History attached at registration time.
 	crec *check.ThreadRec
 
+	// lastWC is the write clock of the owner's most recent flush —
+	// what a durability hook stamps onto the commit records Execute
+	// just flushed (owner-only, read via LastCommitTS).
+	lastWC uint64
+
 	stats Stats
 }
+
+// SnapshotTS returns the entry clock of the open critical section —
+// the clock every Deref in this section steals against. Owner-only and
+// meaningful only while inside a section.
+func (t *Thread[T]) SnapshotTS() uint64 { return t.localC.Load() }
+
+// LastCommitTS returns the write clock of the owner's most recent
+// committed flush; 0 before the first commit. Owner-only.
+func (t *Thread[T]) LastCommitTS() uint64 { return t.lastWC }
 
 // Stats counts RLU events; read only while quiescent.
 type Stats struct {

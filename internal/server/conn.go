@@ -25,6 +25,10 @@ type conn struct {
 	br   *bufio.Reader
 	bw   *bufio.Writer
 	gate *walGate // nil when the server runs without a WAL
+	// txn is the connection's open MULTI body (txn.go). It survives
+	// across batches — MULTI and EXEC may arrive in separate bursts —
+	// and dies with the connection.
+	txn txnState
 }
 
 // walGate sits between a connection's reply buffer and its socket and
@@ -197,6 +201,9 @@ func (c *conn) dispatch(ps *pooledSession, args [][]byte) bool {
 	name := strings.ToUpper(string(args[0]))
 	ps.lastCmd.Store(&name)
 	sess := ps.sess
+	if c.txn.active {
+		return c.dispatchInMulti(sess, name, args)
+	}
 	switch name {
 	case "PING":
 		if len(args) > 1 {
@@ -285,6 +292,19 @@ func (c *conn) dispatch(ps *pooledSession, args [][]byte) bool {
 
 	case "SCAN":
 		return c.cmdScan(sess, args)
+
+	case "RANGE":
+		return c.cmdRange(sess, args)
+
+	case "MULTI":
+		c.txn.active = true
+		return writeSimple(c.bw, "OK") == nil
+
+	case "EXEC":
+		return writeErrorReply(c.bw, msgExecNoMulti) == nil
+
+	case "DISCARD":
+		return writeErrorReply(c.bw, msgDiscardNoMulti) == nil
 
 	case "INFO":
 		// INFO → race-free sections only; INFO ALL → also the full
@@ -401,6 +421,71 @@ func (c *conn) cmdScan(sess kvstore.Session, args [][]byte) bool {
 		return writeErrorReply(c.bw, errmsg) == nil
 	}
 	return renderScan(c.bw, collectScan(sess, prefix, -1), limit)
+}
+
+// cmdRange implements RANGE <start> <stop> [LIMIT n] [REV]: every record
+// with start <= key <= stop, observed at ONE snapshot timestamp, as a
+// flat key,value,... array in key order. Requires an ordered-index build.
+func (c *conn) cmdRange(sess kvstore.Session, args [][]byte) bool {
+	lo, hi, limit, rev, errmsg := parseRange(args)
+	if errmsg != "" {
+		return writeErrorReply(c.bw, errmsg) == nil
+	}
+	osess, ok := sess.(kvstore.OrderedSession)
+	if !ok {
+		return writeErrorReply(c.bw, msgNotOrdered) == nil
+	}
+	return renderRange(c.bw, collectRange(osess, lo, hi), limit, rev)
+}
+
+// dispatchInMulti handles every command while the connection has an open
+// MULTI body: SET/DEL queue, EXEC commits, DISCARD drops, anything else
+// errors and latches the abort flag.
+func (c *conn) dispatchInMulti(sess kvstore.Session, name string, args [][]byte) bool {
+	switch name {
+	case "MULTI":
+		return writeErrorReply(c.bw, msgNestedMulti) == nil
+	case "DISCARD":
+		c.txn.reset()
+		return writeSimple(c.bw, "OK") == nil
+	case "EXEC":
+		return c.execTxn(sess)
+	}
+	reply, isErr := c.txn.queue(name, args)
+	if isErr {
+		return writeErrorReply(c.bw, reply) == nil
+	}
+	return writeSimple(c.bw, reply) == nil
+}
+
+// execTxn commits the open MULTI body through ApplyTxn: one engine
+// commit, one timestamp, one WAL record group. The reply is the
+// per-command array, or an error leaving the store untouched.
+func (c *conn) execTxn(sess kvstore.Session) bool {
+	cmds, aborted := c.txn.cmds, c.txn.aborted
+	c.txn.reset()
+	if aborted {
+		return writeErrorReply(c.bw, msgExecAbort) == nil
+	}
+	osess, ok := sess.(kvstore.OrderedSession)
+	if !ok {
+		return writeErrorReply(c.bw, msgNotOrdered) == nil
+	}
+	if len(cmds) == 0 {
+		return writeArrayHeader(c.bw, 0) == nil
+	}
+	if msg := c.walRefusal(); msg != "" {
+		return writeErrorReply(c.bw, msg) == nil
+	}
+	removed, err := osess.ApplyTxn(flattenTxn(cmds))
+	if err != nil {
+		if err == kvstore.ErrCrossShard {
+			return writeErrorReply(c.bw, msgCrossShard) == nil
+		}
+		return writeErrorReply(c.bw, "ERR "+err.Error()) == nil
+	}
+	c.markDirty()
+	return renderExec(c.bw, cmds, removed)
 }
 
 func arityMsg(name string) string {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -47,12 +48,16 @@ const (
 	kMGet
 	kMSet
 	kScan
+	kRange
+	kExec
 	kPing
 	kInfo
 	kMetrics
 	kQuit
 	kShutdown
-	kErr // arity/syntax/unknown-command error reply
+	kOK     // inline +OK (MULTI, DISCARD)
+	kQueued // inline +QUEUED (SET/DEL inside an open MULTI)
+	kErr    // arity/syntax/unknown-command error reply
 )
 
 // mgetVal is one MGET result cell.
@@ -72,13 +77,22 @@ type slot struct {
 	ping   []byte // PING payload (nil → PONG)
 	errmsg string // kErr reply text
 	full   bool   // INFO ALL
-	limit  int    // SCAN limit (-1 unbounded)
+	limit  int    // SCAN / RANGE limit (-1 unbounded)
+	rev    bool   // RANGE REV
 
-	got  bool           // GET
-	val  string         // GET
-	n    atomic.Int64   // DEL / EXISTS accumulator across shards
-	vals []mgetVal      // MGET, indexed by key position
-	scan [][]scanKV     // SCAN, indexed by shard
+	got  bool         // GET
+	val  string       // GET
+	n    atomic.Int64 // DEL / EXISTS accumulator across shards
+	vals []mgetVal    // MGET, indexed by key position
+	scan [][]scanKV   // SCAN / RANGE, indexed by shard
+
+	// kExec results: the queued commands (for the reply shape), the
+	// engine's per-op removed flags, and the worker-side error text ("" =
+	// committed). One shard worker writes removed/txnErr; render reads
+	// them after the join.
+	txnCmds []txnCmd
+	removed []bool
+	txnErr  string
 
 	// panicked holds the recovered panic text if any shard op of this
 	// slot panicked; render turns it into an error reply and closes the
@@ -96,6 +110,8 @@ const (
 	opMGet   // fill sl.vals at iks indices
 	opMSet   // set pairs
 	opScan   // prefix-walk into sl.scan[shard]
+	opRange  // ordered range walk into sl.scan[shard]
+	opTxn    // ApplyTxn of a whole MULTI body on its one shard
 )
 
 // idxKey is one MGET key with its position in the reply array.
@@ -110,12 +126,13 @@ type idxKey struct {
 type shardOp struct {
 	sl    *slot
 	kind  uint8
-	shard int         // opScan: index into sl.scan
-	key   string      // opGet/opSet key, opScan prefix
-	val   string      // opSet value
-	keys  []string    // opDel/opExists keys on this shard
-	iks   []idxKey    // opMGet cells on this shard
-	pairs [][2]string // opMSet pairs on this shard
+	shard int             // opScan: index into sl.scan
+	key   string          // opGet/opSet key, opScan prefix
+	val   string          // opSet value
+	keys  []string        // opDel/opExists keys on this shard
+	iks   []idxKey        // opMGet cells on this shard
+	pairs [][2]string     // opMSet pairs on this shard
+	ops   []kvstore.TxnOp // opTxn body (single shard by construction)
 }
 
 // run executes the op on a checked-out session of its shard.
@@ -155,6 +172,18 @@ func (op *shardOp) run(sess kvstore.Session) {
 		// cross-shard merge sorts (see collectScan), so a truncating LIMIT
 		// selects the same keys at any shard count.
 		op.sl.scan[op.shard] = collectScan(sess, op.key, -1)
+	case opRange:
+		// Same unbounded discipline; lo rides in key, hi in val. The
+		// OrderedSession assertion is safe: planSlot only emits range/txn
+		// ops when the server probed the build as ordered at startup.
+		op.sl.scan[op.shard] = collectRange(sess.(kvstore.OrderedSession), op.key, op.val)
+	case opTxn:
+		removed, err := sess.(kvstore.OrderedSession).ApplyTxn(op.ops)
+		if err != nil {
+			op.sl.txnErr = "ERR " + err.Error()
+			return
+		}
+		op.sl.removed = removed
 	}
 }
 
@@ -211,7 +240,7 @@ func (c *conn) runRoutedBatch(first [][]byte) bool {
 		// Every worker has joined, so all of this batch's commit records
 		// are appended; mark before rendering the write's reply so the
 		// gate barriers ahead of any flush carrying the ack.
-		if sl.kind == kSet || sl.kind == kMSet || sl.kind == kDel {
+		if sl.kind == kSet || sl.kind == kMSet || sl.kind == kDel || sl.kind == kExec {
 			c.markDirty()
 		}
 		if !c.renderSlot(sl) {
@@ -263,6 +292,9 @@ func (c *conn) planSlot(args [][]byte, queues [][]shardOp) *slot {
 	add := func(shard int, op shardOp) {
 		op.sl = sl
 		queues[shard] = append(queues[shard], op)
+	}
+	if c.txn.active {
+		return c.planTxnSlot(sl, args, queues)
 	}
 	switch sl.kind = kErr; sl.name {
 	case "PING":
@@ -363,6 +395,33 @@ func (c *conn) planSlot(args [][]byte, queues [][]shardOp) *slot {
 			add(shard, shardOp{kind: opScan, shard: shard, key: prefix})
 		}
 
+	case "RANGE":
+		lo, hi, limit, rev, errmsg := parseRange(args)
+		if errmsg != "" {
+			sl.errmsg = errmsg
+			return sl
+		}
+		if !c.srv.ordered {
+			sl.errmsg = msgNotOrdered
+			return sl
+		}
+		sl.kind = kRange
+		sl.limit, sl.rev = limit, rev
+		sl.scan = make([][]scanKV, len(c.srv.shards))
+		for shard := range c.srv.shards {
+			add(shard, shardOp{kind: opRange, shard: shard, key: lo, val: hi})
+		}
+
+	case "MULTI":
+		c.txn.active = true
+		sl.kind = kOK
+
+	case "EXEC":
+		sl.errmsg = msgExecNoMulti
+
+	case "DISCARD":
+		sl.errmsg = msgDiscardNoMulti
+
 	case "INFO":
 		sl.kind = kInfo
 		sl.full = len(args) > 1 && strings.EqualFold(string(args[1]), "ALL")
@@ -378,6 +437,66 @@ func (c *conn) planSlot(args [][]byte, queues [][]shardOp) *slot {
 
 	default:
 		sl.errmsg = fmt.Sprintf("ERR unknown command '%s'", strings.ToLower(sl.name))
+	}
+	return sl
+}
+
+// planTxnSlot plans one command while the connection has an open MULTI
+// body. Queueing mutates conn-local state at plan time — safe, because
+// plan runs on the connection goroutine in submission order — and EXEC
+// compiles the whole body into ONE shard op, so the transaction executes
+// on a single session inside a single engine commit. A body whose keys
+// hash to different shards is rejected here, at plan time, with the
+// store untouched: single-shard MULTI is the documented contract
+// (DESIGN.md §12).
+func (c *conn) planTxnSlot(sl *slot, args [][]byte, queues [][]shardOp) *slot {
+	sl.kind = kErr
+	switch sl.name {
+	case "MULTI":
+		sl.errmsg = msgNestedMulti
+
+	case "DISCARD":
+		c.txn.reset()
+		sl.kind = kOK
+
+	case "EXEC":
+		cmds, aborted := c.txn.cmds, c.txn.aborted
+		c.txn.reset()
+		if aborted {
+			sl.errmsg = msgExecAbort
+			return sl
+		}
+		if !c.srv.ordered {
+			sl.errmsg = msgNotOrdered
+			return sl
+		}
+		if len(cmds) == 0 {
+			sl.kind = kExec
+			return sl
+		}
+		if msg := c.walRefusal(); msg != "" {
+			sl.errmsg = msg
+			return sl
+		}
+		ops := flattenTxn(cmds)
+		shard := c.srv.shardFor(ops[0].Key)
+		for _, op := range ops[1:] {
+			if c.srv.shardFor(op.Key) != shard {
+				sl.errmsg = msgCrossShard
+				return sl
+			}
+		}
+		sl.kind = kExec
+		sl.txnCmds = cmds
+		queues[shard] = append(queues[shard], shardOp{sl: sl, kind: opTxn, ops: ops})
+
+	default:
+		reply, isErr := c.txn.queue(sl.name, args)
+		if isErr {
+			sl.errmsg = reply
+			return sl
+		}
+		sl.kind = kQueued
 	}
 	return sl
 }
@@ -482,6 +601,38 @@ func (c *conn) renderSlot(sl *slot) bool {
 			merged = append(merged, part...)
 		}
 		return renderScan(c.bw, merged, sl.limit)
+
+	case kRange:
+		// Concatenate per-shard walks and sort globally: each shard's walk
+		// is ascending but the shards partition by hash, so only the merged
+		// sort restores key order. REV and LIMIT apply after, identically
+		// to the single-domain path — byte-identical replies at any shard
+		// count.
+		total := 0
+		for _, part := range sl.scan {
+			total += len(part)
+		}
+		merged := make([]scanKV, 0, total)
+		for _, part := range sl.scan {
+			merged = append(merged, part...)
+		}
+		sort.Slice(merged, func(i, j int) bool { return merged[i].k < merged[j].k })
+		return renderRange(c.bw, merged, sl.limit, sl.rev)
+
+	case kExec:
+		if sl.txnErr != "" {
+			return writeErrorReply(c.bw, sl.txnErr) == nil
+		}
+		if len(sl.txnCmds) == 0 {
+			return writeArrayHeader(c.bw, 0) == nil
+		}
+		return renderExec(c.bw, sl.txnCmds, sl.removed)
+
+	case kOK:
+		return writeSimple(c.bw, "OK") == nil
+
+	case kQueued:
+		return writeSimple(c.bw, "QUEUED") == nil
 
 	case kInfo:
 		// held=0: workers have joined and every session is back in its

@@ -101,8 +101,13 @@ type Server struct {
 	shards   []kvstore.Store
 	pools    []*sessionPool
 	shardFor func(string) int
-	ln       net.Listener
-	sem      chan struct{} // MaxConns slots, acquired before Accept
+	// ordered reports whether the build's sessions carry the
+	// ordered-index capability (RANGE, MULTI/EXEC) — probed once at
+	// startup from a pooled session, so the routed planner can reject
+	// range/txn commands before queueing shard work.
+	ordered bool
+	ln      net.Listener
+	sem     chan struct{} // MaxConns slots, acquired before Accept
 
 	mu    sync.Mutex
 	conns map[*conn]struct{}
@@ -179,6 +184,9 @@ func New(store kvstore.Store, cfg Config) *Server {
 		s.pools = []*sessionPool{newSessionPool(store, cfg.Handles)}
 	}
 	s.shardCmds = make([]shardCounter, len(s.shards))
+	if len(s.pools[0].all) > 0 {
+		_, s.ordered = s.pools[0].all[0].sess.(kvstore.OrderedSession)
+	}
 	s.registerMetrics()
 	return s
 }

@@ -1,0 +1,204 @@
+package server
+
+import (
+	"bufio"
+	"strconv"
+	"strings"
+
+	"mvrlu/internal/kvstore"
+)
+
+// This file is the wire surface over the ordered-index capability
+// (kvstore.OrderedSession): the RANGE command and the MULTI/EXEC/DISCARD
+// transaction state machine, shared by the single-domain dispatch path
+// (conn.go) and the sharded batch router (router.go).
+//
+// The transaction contract mirrors the store's: every queued mutation of
+// one MULTI body executes inside ONE engine commit — one Execute body,
+// one commit timestamp, one WAL record group — so a reader either sees
+// all of the transaction or none of it, and recovery can never replay it
+// torn. Over a sharded store that contract is only affordable when the
+// body stays on one shard (a cross-shard transaction would need a
+// distributed commit protocol the engines do not have), so EXEC rejects
+// bodies whose keys hash to different shards; see DESIGN.md §12.
+
+// Transaction error-reply texts. msgExecAbort deliberately carries
+// Redis's EXECABORT prefix so existing clients classify it correctly.
+const (
+	msgNestedMulti    = "ERR MULTI calls can not be nested"
+	msgExecNoMulti    = "ERR EXEC without MULTI"
+	msgDiscardNoMulti = "ERR DISCARD without MULTI"
+	msgExecAbort      = "EXECABORT Transaction discarded because of previous errors."
+	msgNotOrdered     = "ERR this store build has no ordered index; run an -idx build (mvrlu-idx, rlu-idx, vanilla-idx)"
+	msgCrossShard     = "ERR CROSSSHARD keys of a MULTI body must hash to one shard"
+)
+
+// notQueueableMsg rejects a command inside MULTI: only SET and DEL queue
+// (reads inside a transaction would need the queued writes applied to
+// answer, which the one-commit model deliberately does not do).
+func notQueueableMsg(name string) string {
+	return "ERR '" + strings.ToLower(name) + "' is not allowed inside MULTI (only SET and DEL queue)"
+}
+
+// txnCmd is one queued command of an open MULTI body: a SET (key, val)
+// or a DEL (keys). Kept per command, not per engine op, because EXEC's
+// reply array has one element per queued command.
+type txnCmd struct {
+	del  bool
+	keys []string // DEL keys
+	key  string   // SET key
+	val  string   // SET value
+}
+
+// txnState is a connection's open transaction. Only the connection
+// goroutine touches it (both dispatch paths plan commands there), so it
+// needs no synchronization. aborted latches a queue-time error; EXEC
+// then refuses with EXECABORT instead of executing half a body.
+type txnState struct {
+	active  bool
+	aborted bool
+	cmds    []txnCmd
+}
+
+func (ts *txnState) reset() { *ts = txnState{} }
+
+// queue validates one SET/DEL inside MULTI and appends it, returning the
+// reply text: "QUEUED", or an error reply (which also latches aborted).
+func (ts *txnState) queue(name string, args [][]byte) (reply string, isErr bool) {
+	switch name {
+	case "SET":
+		if len(args) != 3 {
+			ts.aborted = true
+			return arityMsg(name), true
+		}
+		ts.cmds = append(ts.cmds, txnCmd{key: string(args[1]), val: string(args[2])})
+	case "DEL":
+		if len(args) < 2 {
+			ts.aborted = true
+			return arityMsg(name), true
+		}
+		keys := make([]string, len(args)-1)
+		for i, a := range args[1:] {
+			keys[i] = string(a)
+		}
+		ts.cmds = append(ts.cmds, txnCmd{del: true, keys: keys})
+	default:
+		ts.aborted = true
+		return notQueueableMsg(name), true
+	}
+	return "QUEUED", false
+}
+
+// flattenTxn compiles queued commands into the engine's op list, in
+// queue order (a DEL of n keys contributes n ops).
+func flattenTxn(cmds []txnCmd) []kvstore.TxnOp {
+	var ops []kvstore.TxnOp
+	for _, cmd := range cmds {
+		if cmd.del {
+			for _, k := range cmd.keys {
+				ops = append(ops, kvstore.TxnOp{Del: true, Key: k})
+			}
+		} else {
+			ops = append(ops, kvstore.TxnOp{Key: cmd.key, Value: cmd.val})
+		}
+	}
+	return ops
+}
+
+// renderExec writes EXEC's reply: one element per queued command — +OK
+// for a SET, the removed count for a DEL — from the engine's per-op
+// removed flags (indexed in flattenTxn's op order).
+func renderExec(w *bufio.Writer, cmds []txnCmd, removed []bool) bool {
+	if writeArrayHeader(w, len(cmds)) != nil {
+		return false
+	}
+	i := 0
+	for _, cmd := range cmds {
+		if cmd.del {
+			n := int64(0)
+			for range cmd.keys {
+				if i < len(removed) && removed[i] {
+					n++
+				}
+				i++
+			}
+			if writeInt(w, n) != nil {
+				return false
+			}
+			continue
+		}
+		if writeSimple(w, "OK") != nil {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// parseRange validates RANGE <start> <stop> [LIMIT n] [REV]; errmsg is
+// "" on success. Bounds are inclusive; LIMIT and REV compose in either
+// order. A start above stop is legal and yields an empty array.
+func parseRange(args [][]byte) (lo, hi string, limit int, rev bool, errmsg string) {
+	if len(args) < 3 {
+		return "", "", 0, false, arityMsg("RANGE")
+	}
+	lo, hi = string(args[1]), string(args[2])
+	limit = -1
+	for i := 3; i < len(args); {
+		switch strings.ToUpper(string(args[i])) {
+		case "LIMIT":
+			if i+1 >= len(args) {
+				return "", "", 0, false, "ERR syntax error"
+			}
+			n, err := strconv.Atoi(string(args[i+1]))
+			if err != nil || n < 0 {
+				return "", "", 0, false, "ERR invalid LIMIT"
+			}
+			limit = n
+			i += 2
+		case "REV":
+			rev = true
+			i++
+		default:
+			return "", "", 0, false, "ERR syntax error"
+		}
+	}
+	return lo, hi, limit, rev, ""
+}
+
+// collectRange walks [lo, hi] ascending inside one snapshot critical
+// section, unbounded — like collectScan, the LIMIT cut happens at render
+// after the (sharded) merge, so a truncating LIMIT selects the same keys
+// at any shard count.
+func collectRange(sess kvstore.OrderedSession, lo, hi string) []scanKV {
+	var out []scanKV
+	sess.RangeAscend(lo, hi, func(k, v string) bool {
+		out = append(out, scanKV{k, v})
+		return true
+	})
+	return out
+}
+
+// renderRange writes the flat key,value,... array from an
+// ascending-sorted collection: reverse for REV first, then cut LIMIT, so
+// LIMIT n REV means "the n largest keys, descending" on every build and
+// shard count.
+func renderRange(w *bufio.Writer, out []scanKV, limit int, rev bool) bool {
+	if rev {
+		for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+			out[i], out[j] = out[j], out[i]
+		}
+	}
+	if limit >= 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	if writeArrayHeader(w, 2*len(out)) != nil {
+		return false
+	}
+	for _, p := range out {
+		if writeBulkString(w, p.k) != nil || writeBulkString(w, p.v) != nil {
+			return false
+		}
+	}
+	return true
+}

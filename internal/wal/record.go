@@ -59,6 +59,13 @@ type Record struct {
 	// Epoch is stamped from the segment header at recovery; zero on
 	// records being appended (the live segment's epoch applies).
 	Epoch uint64
+	// TxnCont marks a record whose transaction group continues with the
+	// NEXT record: AppendGroup sets it on every record of a multi-key
+	// commit except the last. Recovery treats a log whose final records
+	// form an unterminated group as a torn transaction and truncates
+	// them all — the group's fsync never returned, so none of it was
+	// acknowledged (see scanSegment).
+	TxnCont bool
 }
 
 const (
@@ -72,7 +79,8 @@ const (
 	// corrupt length field cannot demand an absurd allocation.
 	maxFrame = 1 << 30
 
-	flagDel = 1 << 0
+	flagDel     = 1 << 0
+	flagTxnCont = 1 << 1
 )
 
 // castagnoli is the CRC32-C table (the polynomial with hardware support
@@ -97,6 +105,9 @@ func (r *Record) appendFrame(buf []byte) []byte {
 	var flags byte
 	if r.Del {
 		flags |= flagDel
+	}
+	if r.TxnCont {
+		flags |= flagTxnCont
 	}
 	buf = append(buf, flags)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Key)))
@@ -157,6 +168,7 @@ func decodeRecord(payload []byte) (Record, error) {
 			klen, vlen, len(payload))
 	}
 	r.Del = flags&flagDel != 0
+	r.TxnCont = flags&flagTxnCont != 0
 	r.Key = string(payload[recFixed : recFixed+klen])
 	r.Value = string(payload[recFixed+klen:])
 	return r, nil

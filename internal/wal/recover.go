@@ -241,19 +241,43 @@ func scanSegment(path string, last bool, rec *Recovery, maxSeq *uint64) (epoch u
 	}
 	epoch = binary.LittleEndian.Uint64(data[12:])
 
+	// Transaction groups (AppendGroup) must recover all-or-nothing: a
+	// group is a run of TxnCont records closed by one without the flag.
+	// An unterminated group at the tail of the LAST segment is the same
+	// crash artifact as a torn frame — its batch's fsync never returned,
+	// so nothing in it was acknowledged — and the whole group is
+	// truncated back to its first record. Anywhere else it is corruption:
+	// groups are enqueued contiguously and rotation happens only at batch
+	// boundaries, so a non-final segment cannot legally end mid-group.
 	off := segHeaderLen
+	inGroup := false
+	groupOff := 0  // file offset of the open group's first frame
+	groupRecs := 0 // len(rec.recs) before the open group
+	groupSeq := uint64(0)
+	cutTail := func(at int, recsMark int, seqMark uint64, unterminated bool) (uint64, int64, error) {
+		if !last {
+			what := "truncated frame"
+			if unterminated {
+				what = "unterminated transaction group"
+			}
+			return 0, 0, fmt.Errorf("wal: %s: %s at offset %d in a non-final segment", path, what, at)
+		}
+		rec.recs = rec.recs[:recsMark]
+		*maxSeq = seqMark
+		t := int64(len(data) - at)
+		if err := truncateFile(path, int64(at)); err != nil {
+			return 0, 0, fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
+		}
+		return epoch, t, nil
+	}
 	for off < len(data) {
 		payload, next, res := readFrame(data, off)
 		switch res {
 		case frameTorn:
-			if !last {
-				return 0, 0, fmt.Errorf("wal: %s: truncated frame at offset %d in a non-final segment", path, off)
+			if inGroup {
+				return cutTail(groupOff, groupRecs, groupSeq, false)
 			}
-			torn = int64(len(data) - off)
-			if err := truncateFile(path, int64(off)); err != nil {
-				return 0, 0, fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
-			}
-			return epoch, torn, nil
+			return cutTail(off, len(rec.recs), *maxSeq, false)
 		case frameCorrupt:
 			return 0, 0, fmt.Errorf("wal: %s: CRC mismatch at offset %d — refusing to start (the log may hold acknowledged writes past this point; repair or remove the file to discard them)", path, off)
 		}
@@ -269,10 +293,18 @@ func scanSegment(path string, last bool, rec *Recovery, maxSeq *uint64) (epoch u
 			return 0, 0, fmt.Errorf("wal: %s: sequence %d at offset %d not above %d",
 				path, r.Seq, off, *maxSeq)
 		}
+		if !inGroup && r.TxnCont {
+			inGroup, groupOff, groupRecs, groupSeq = true, off, len(rec.recs), *maxSeq
+		} else if inGroup && !r.TxnCont {
+			inGroup = false
+		}
 		r.Epoch = epoch
 		rec.recs = append(rec.recs, r)
 		*maxSeq = r.Seq
 		off = next
+	}
+	if inGroup {
+		return cutTail(groupOff, groupRecs, groupSeq, true)
 	}
 	return epoch, 0, nil
 }

@@ -6,6 +6,8 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"mvrlu/internal/failpoint"
 )
 
 // segFiles lists the directory's segment files in base order.
@@ -221,6 +223,208 @@ func TestEpochOrdersAcrossRestarts(t *testing.T) {
 	rec3.Apply(a)
 	if a.m["k"] != "new-lifetime" {
 		t.Fatalf("k = %q: later epoch lost to a higher raw timestamp", a.m["k"])
+	}
+}
+
+// frameStarts walks a segment's frames and returns the file offset of
+// each frame start, plus the clean end offset as the final element.
+func frameStarts(t *testing.T, path string) []int {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offs := []int{}
+	off := segHeaderLen
+	for off < len(data) {
+		offs = append(offs, off)
+		_, next, res := readFrame(data, off)
+		if res != frameOK {
+			t.Fatalf("frame at %d: result %d", off, res)
+		}
+		off = next
+	}
+	return append(offs, off)
+}
+
+func appendGroupT(t *testing.T, l *Log, ts uint64, keys ...string) {
+	t.Helper()
+	recs := make([]Record, len(keys))
+	for i, k := range keys {
+		recs[i] = Record{TS: ts, Key: k, Value: "g" + k}
+	}
+	if err := l.AppendGroup(recs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir)
+	appendT(t, l, 1, "a", "1")
+	appendGroupT(t, l, 2, "b", "c", "d")
+	appendT(t, l, 3, "e", "5")
+	if err := l.SyncBarrier(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec := openT(t, dir)
+	defer l2.Close()
+	if rec.Records != 5 || rec.TornBytes != 0 {
+		t.Fatalf("group round-trip recovery: %+v", rec)
+	}
+	a := newMapApplier()
+	rec.Apply(a)
+	want := map[string]string{"a": "1", "b": "gb", "c": "gc", "d": "gd", "e": "5"}
+	if !reflect.DeepEqual(a.m, want) {
+		t.Fatalf("recovered %v, want %v", a.m, want)
+	}
+}
+
+func TestGroupTornTailDropsWholeGroup(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir)
+	appendT(t, l, 1, "a", "1")
+	appendGroupT(t, l, 2, "b", "c", "d")
+	if err := l.SyncBarrier(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the LAST frame of the group mid-write. The group's fsync never
+	// returned, so nothing in it was acknowledged — recovery must drop
+	// ALL THREE records back to the group's first frame, not just the
+	// torn one: replaying b and c without d would be a torn transaction.
+	seg := segFiles(t, dir)[0]
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec := openT(t, dir)
+	if rec.Records != 1 || rec.TornBytes == 0 {
+		t.Fatalf("torn-group recovery: %+v", rec)
+	}
+	a := newMapApplier()
+	rec.Apply(a)
+	if !reflect.DeepEqual(a.m, map[string]string{"a": "1"}) {
+		t.Fatalf("recovered %v, want only a", a.m)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The truncation is physical and the next lifetime sees a clean tail.
+	l3, rec3 := openT(t, dir)
+	defer l3.Close()
+	if rec3.Records != 1 || rec3.TornBytes != 0 {
+		t.Fatalf("second recovery after torn group: %+v", rec3)
+	}
+}
+
+func TestGroupUnterminatedAtCleanEOF(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir)
+	appendT(t, l, 1, "a", "1")
+	appendGroupT(t, l, 2, "b", "c", "d")
+	if err := l.SyncBarrier(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Remove exactly the group's closing frame: the segment now ends
+	// cleanly on a frame whose TxnCont flag is set. That is the same
+	// crash artifact as a torn frame (the batch tore at a frame
+	// boundary) and the whole group must go.
+	seg := segFiles(t, dir)[0]
+	offs := frameStarts(t, seg)
+	if err := os.Truncate(seg, int64(offs[len(offs)-2])); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec := openT(t, dir)
+	if rec.Records != 1 || rec.TornBytes == 0 {
+		t.Fatalf("unterminated-group recovery: %+v", rec)
+	}
+	a := newMapApplier()
+	rec.Apply(a)
+	if !reflect.DeepEqual(a.m, map[string]string{"a": "1"}) {
+		t.Fatalf("recovered %v, want only a", a.m)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupNeverAckedWhenTorn(t *testing.T) {
+	defer failpoint.Reset()
+	dir := t.TempDir()
+	l, _ := openT(t, dir)
+	appendT(t, l, 1, "a", "1")
+	if err := l.SyncBarrier(); err != nil {
+		t.Fatal(err)
+	}
+	// Arm the torn-write failpoint: the logger's next batch write loses
+	// its last bytes and the "process" dies. The barrier covering the
+	// group must report the failure — never an ack — and recovery must
+	// replay none of the group.
+	if err := failpoint.Enable(failpoint.WALTornWrite.Name()+"=panic", 0); err != nil {
+		t.Fatal(err)
+	}
+	appendGroupT(t, l, 2, "b", "c", "d")
+	if err := l.SyncBarrier(); err == nil {
+		t.Fatal("barrier over a torn group batch must fail, not ack")
+	}
+	failpoint.Reset()
+
+	l2, rec := openT(t, dir)
+	defer l2.Close()
+	a := newMapApplier()
+	rec.Apply(a)
+	if !reflect.DeepEqual(a.m, map[string]string{"a": "1"}) {
+		t.Fatalf("recovered %v: torn group partially replayed", a.m)
+	}
+}
+
+func TestGroupRefusesMidLogUnterminated(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir)
+	appendGroupT(t, l, 1, "b", "c", "d")
+	if err := l.SyncBarrier(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Leave segment 1 ending mid-group, then fabricate a later segment so
+	// the unterminated group sits in a NON-final segment. Groups are
+	// enqueued contiguously and rotation happens only at batch
+	// boundaries, so this cannot be a crash artifact — recovery must
+	// refuse rather than silently truncate records mid-log.
+	seg := segFiles(t, dir)[0]
+	offs := frameStarts(t, seg)
+	if err := os.Truncate(seg, int64(offs[len(offs)-2])); err != nil {
+		t.Fatal(err)
+	}
+	f, err := createSegment(dir, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	_, _, err = Open(Options{Dir: dir})
+	if err == nil || !strings.Contains(err.Error(), "unterminated transaction group") {
+		t.Fatalf("Open on mid-log unterminated group: %v, want refusal", err)
 	}
 }
 

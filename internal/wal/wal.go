@@ -236,6 +236,62 @@ func (l *Log) Append(rec Record) error {
 	return nil
 }
 
+// AppendGroup enqueues one multi-key transaction as an atomic record
+// group: every record goes into the queue under ONE lock hold, in
+// order, with TxnCont chaining all but the last. Because the logger
+// drains the entire queue per batch and rotates only at batch
+// boundaries with the queue empty, a group can never split across
+// fsync batches or segment files — so after a crash either the whole
+// group is on disk or recovery truncates the unterminated remainder
+// (scanSegment), and replay can never apply a torn transaction.
+func (l *Log) AppendGroup(recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	hardLive := 4 * l.opt.MaxLiveBytes
+	for l.err == nil && !l.closed &&
+		(int64(len(l.buf)) >= l.opt.MaxQueueBytes ||
+			(l.installerStop != nil && l.liveBytes >= hardLive)) {
+		l.pokeInstallerLocked()
+		l.condSpace.Wait()
+	}
+	if l.err != nil {
+		return l.err
+	}
+	if l.closed {
+		return ErrClosed
+	}
+	n := len(l.buf)
+	if l.lastTS == nil {
+		l.lastTS = make(map[uint32]uint64)
+	}
+	for i := range recs {
+		rec := recs[i]
+		rec.TxnCont = i < len(recs)-1
+		l.appendSeq++
+		rec.Seq = l.appendSeq
+		l.buf = rec.appendFrame(l.buf)
+		l.bufRecs++
+		l.appends++
+		if rec.TS > l.lastTS[rec.Shard] {
+			l.lastTS[rec.Shard] = rec.TS
+		}
+	}
+	grew := int64(len(l.buf) - n)
+	l.liveBytes += grew
+	l.records.Add(uint64(len(recs)))
+	l.bytes.Add(uint64(grew))
+	l.queueBytes.Store(int64(len(l.buf)))
+	l.liveGauge.Store(l.liveBytes)
+	if l.liveBytes >= l.opt.MaxLiveBytes {
+		l.pokeInstallerLocked()
+	}
+	l.condWork.Signal()
+	return nil
+}
+
 // SyncBarrier blocks until every record appended before the call is
 // durable (per the sync mode), or returns the sticky error. The server
 // runs it between executing a batch's writes and letting their acks
@@ -405,6 +461,14 @@ func (l *Log) rotateLocked() {
 	l.syncedOff = segHeaderLen
 	l.liveBytes = 0
 	l.liveGauge.Store(0)
+	// The rotation is the dirty-tracking watershed: everything enqueued
+	// before it lands in the pruned segments the upcoming snapshot covers,
+	// everything after is new work for the NEXT pass. Zeroing here (not in
+	// Checkpoint, which reacquires mu later) keeps the count in lockstep
+	// with liveBytes — an appender that refills the log between this
+	// rotation and Checkpoint's reacquisition must not have its appends
+	// erased, or the installer would skip the pass that unblocks it.
+	l.appends = 0
 	l.rotating = false
 	l.rotateGen++
 	l.condSync.Broadcast()
@@ -453,7 +517,6 @@ func (l *Log) Checkpoint(dump DumpFunc) error {
 		return err
 	}
 	snapBase := l.segBase
-	l.appends = 0
 	l.mu.Unlock()
 
 	if err := writeSnapshot(l.opt.Dir, l.dir, snapBase, epoch, minTS, dump); err != nil {
@@ -498,7 +561,11 @@ func (l *Log) StartInstaller(interval time.Duration, dump DumpFunc, onErr func(e
 			case <-l.snapReq:
 			}
 			l.mu.Lock()
-			dirty := l.appends > 0
+			// liveBytes is checked as well as appends so a log reopened
+			// over a large recovered tail (bytes but no appends yet) still
+			// gets compacted — and can never strand an appender parked on
+			// the hard-live backpressure gate.
+			dirty := l.appends > 0 || l.liveBytes >= l.opt.MaxLiveBytes
 			l.mu.Unlock()
 			if !dirty {
 				continue

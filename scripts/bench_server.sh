@@ -16,6 +16,11 @@
 # wal_group_records histograms scraped from the daemon, so the JSON
 # shows both the throughput delta and why (fsync latency amortized over
 # the commit group size).
+#
+# A fourth cell is the range workload: the mvrlu-idx ordered-index build
+# serving a YCSB-E-style mix (20% of the read share as RANGE LIMIT 16
+# scans), unsharded and behind the router, so the JSON carries the cost
+# of ordered snapshot scans next to the point-read cells.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -36,14 +41,18 @@ else
 fi
 
 # one_run <conns> <extra mvkvd flags...>: start the daemon, drive it,
-# drain it, and append the run's JSON to $runs.
+# drain it, and append the run's JSON to $runs. RANGEPCT (default 0)
+# carves that share of the reads into RANGE scans of RANGELEN keys.
+RANGEPCT=0
+RANGELEN=16
 one_run() {
     conns=$1; shift
     "$TMP/mvkvd" -addr "$ADDR" "$@" &
     pid=$!
     sleep 0.3
     "$TMP/mvkvload" -addr "$ADDR" -conns "$conns" -pipeline 16 \
-        -readpct 90 -duration "$DUR" -json "$TMP/run.json"
+        -readpct 90 -range "$RANGEPCT" -rangelen "$RANGELEN" \
+        -duration "$DUR" -json "$TMP/run.json"
     "$TMP/mvkvload" -addr "$ADDR" -conns 1 -duration 0s -preload=false \
         -shutdown >/dev/null
     wait "$pid"
@@ -68,10 +77,21 @@ for conns in 1 8 64; do
     rm -rf "$TMP/wal"
     one_run "$conns" -store mvrlu-kv -shards 1 -wal "$TMP/wal"
 done
+# Range cell: the ordered-index build under the YCSB-E-style mix,
+# unsharded and routed. Runs are distinguished in the JSON by
+# build=mvrlu-idx and rangepct>0.
+RANGEPCT=20
+for conns in 1 8 64; do
+    one_run "$conns" -store mvrlu-idx -shards 1
+done
+for conns in 1 8 64; do
+    one_run "$conns" -store mvrlu-idx -shards "$SHARDS"
+done
+RANGEPCT=0
 
 {
     printf '{\n  "host_note": "measured on %s CPU core(s); the paper'"'"'s multi-core scaling claims need >=4 cores. shards=GOMAXPROCS on a 1-core host is 1, which takes the identical single-domain fast path (no routed gap by construction); the forced %s-shard cell instead measures pure batch-router overhead with no parallelism available to repay it — expect the routed cell to trail single-domain by the cost of per-batch planning plus N pool handoffs per core-starved batch. The wal cell (runs carrying wal_fsync_ns) pays one fsync per commit group on this host'"'"'s filesystem — on a container/CI overlay fs an fsync can be anywhere from tens of microseconds to milliseconds and dominates write latency at low concurrency; group commit amortizes it across concurrent writers (see wal_group_records), so the throughput gap narrows as conns grow. Reads are unaffected.",\n' "$NPROC" "$SHARDS"
-    printf '  "config": {"pipeline": 16, "readpct": 90, "duration": "%s", "sharded_cell": {"store": "mvrlu-kv", "shards": %s}, "wal_cell": {"store": "mvrlu-kv", "shards": 1, "wal": "on, fsync per group-committed batch"}},\n' "$DUR" "$SHARDS"
+    printf '  "config": {"pipeline": 16, "readpct": 90, "duration": "%s", "sharded_cell": {"store": "mvrlu-kv", "shards": %s}, "wal_cell": {"store": "mvrlu-kv", "shards": 1, "wal": "on, fsync per group-committed batch"}, "range_cell": {"store": "mvrlu-idx", "rangepct": 20, "rangelen": 16, "shards": [1, %s]}},\n' "$DUR" "$SHARDS" "$SHARDS"
     printf '  "runs": [%s]\n}\n' "${runs%,}"
 } >"$OUT"
 echo "wrote $OUT"

@@ -78,4 +78,45 @@ for shards in 1 4; do
     daemon=""
 done
 
-echo "PASS: zero acknowledged writes lost across kill -9 (shards=1 and shards=4)"
+# Second phase: multi-key transactions on the ordered-index build. Each
+# connection bursts MULTI/EXEC bodies writing a same-shard key group to
+# one sequence value; the WAL logs each body as an atomic record group,
+# so after the kill the restarted store must show every group uniform —
+# a group with mixed values is a transaction torn by recovery.
+for shards in 1 4; do
+    echo "=== crash check (MULTI): shards=$shards ==="
+    WALDIR="$TMP/wal-txn-$shards"
+    ACKED="$TMP/acked-txn-$shards.json"
+
+    GORACE=halt_on_error=1 "$TMP/mvkvd" -addr "$ADDR" -store mvrlu-idx -shards "$shards" \
+        -wal "$WALDIR" -snapshot-interval 2s >"$TMP/d1-txn-$shards.log" 2>&1 &
+    daemon=$!
+    wait_ready "$ADDR"
+
+    "$TMP/mvkvload" -addr "$ADDR" -durability-check "$ACKED" -multi -txn-keys 4 \
+        -conns 8 -pipeline 8 -duration "$BURST" >"$TMP/burst-txn-$shards.log" 2>&1 &
+    load=$!
+    sleep "$KILL_AFTER"
+
+    echo "SIGKILL daemon (pid $daemon) mid-burst"
+    kill -9 "$daemon" 2>/dev/null || true
+    wait "$daemon" 2>/dev/null || true
+    daemon=""
+    wait "$load" || fail "MULTI durability-check burst failed (not a conn drop)"
+    cat "$TMP/burst-txn-$shards.log"
+
+    GORACE=halt_on_error=1 "$TMP/mvkvd" -addr "$ADDR" -store mvrlu-idx -shards "$shards" \
+        -wal "$WALDIR" -snapshot-interval 2s >"$TMP/d2-txn-$shards.log" 2>&1 &
+    daemon=$!
+    wait_ready "$ADDR"
+    grep "wal recovery" "$TMP/d2-txn-$shards.log" || true
+
+    "$TMP/mvkvload" -addr "$ADDR" -durability-verify "$ACKED" -multi ||
+        fail "MULTI transaction torn or lost after kill -9 (shards=$shards)"
+
+    "$TMP/mvkvload" -addr "$ADDR" -cmd shutdown >/dev/null 2>&1 || true
+    wait "$daemon" 2>/dev/null || true
+    daemon=""
+done
+
+echo "PASS: zero acknowledged writes lost and zero torn transactions across kill -9 (shards=1 and shards=4)"
