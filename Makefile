@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-range bench-hotpath figures examples torture torture-wal crash-check loc serve loadtest bench-server bench-server-sharded metrics-smoke check-si
+.PHONY: all build vet test race bench bench-range bench-hotpath figures examples torture torture-wal crash-check loc serve loadtest bench-server bench-server-sharded metrics-smoke trace-smoke check-si
 
 all: build vet test
 
@@ -100,6 +100,14 @@ bench-server-sharded:
 # a non-monotonic counter).
 metrics-smoke:
 	./scripts/metrics_smoke.sh
+
+# Tracing smoke: race-built daemon with -trace and a failpoint that
+# sleeps 8ms between WAL write and fsync; asserts the flight recorder's
+# slowest trace is dominated by the group-fsync barrier, the event
+# timeline saw the fsyncs, /debug/traces parses as JSON, and the scrape
+# carries exemplars.
+trace-smoke:
+	./scripts/trace_smoke.sh
 
 # Snapshot-isolation checker gate: race-built replay runs on all three
 # engines (with and without injected clock skew), a checker-attached

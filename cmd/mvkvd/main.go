@@ -34,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"mvrlu/internal/failpoint"
 	"mvrlu/internal/kvstore"
 	"mvrlu/internal/obs"
 	"mvrlu/internal/server"
@@ -63,7 +64,16 @@ func main() {
 			"HTTP observability listen address (/metrics, /debug/pprof/, /debug/vars); empty = disabled")
 		telemetry = flag.Bool("telemetry", true,
 			"record latency histograms on the engine and server hot paths")
-		walDir = flag.String("wal", "",
+		trace = flag.Bool("trace", false,
+			"record per-request stage traces into the flight recorder (TRACELOG, /debug/traces) and the engine GC/watermark timeline (TRACELOG GC)")
+		traceSlowest = flag.Int("trace-slowest", 0,
+			"slowest traces the flight recorder retains (0 = default)")
+		traceRecent = flag.Int("trace-recent", 0,
+			"recent traces the flight recorder retains (0 = default)")
+		failpoints = flag.String("failpoints", "",
+			"failpoint spec, e.g. 'wal-before-fsync=sleep(8ms)' (fault-injection harness; empty = disabled)")
+		failpointSeed = flag.Int64("failpoint-seed", 1, "failpoint phase seed")
+		walDir        = flag.String("wal", "",
 			"write-ahead log directory: writes are acknowledged only once durable, and the store is recovered from this directory at startup; empty = no WAL (acknowledged implies committed only)")
 		walSync = flag.String("wal-sync", "always",
 			"WAL durability policy: always (fsync per group-committed batch) or none (page cache only; benchmarking)")
@@ -74,6 +84,14 @@ func main() {
 	)
 	flag.Parse()
 	obs.SetEnabled(*telemetry)
+	obs.SetTraceEnabled(*trace)
+	if *failpoints != "" {
+		if err := failpoint.Enable(*failpoints, *failpointSeed); err != nil {
+			fmt.Fprintln(os.Stderr, "mvkvd: failpoints:", err)
+			os.Exit(1)
+		}
+		log.Printf("mvkvd: failpoints armed: %s (seed %d)", *failpoints, *failpointSeed)
+	}
 
 	if *shards <= 0 {
 		*shards = runtime.GOMAXPROCS(0)
@@ -159,6 +177,8 @@ func main() {
 		WriteTimeout: *writeTO,
 		IdleTimeout:  *idleTO,
 		DrainTimeout: *drainTO,
+		TraceSlowest: *traceSlowest,
+		TraceRecent:  *traceRecent,
 		// With a WAL the daemon sequences the teardown itself after the
 		// drain: installer stopped and log closed BEFORE the store, so a
 		// late snapshot tick can never dump a closed store.
@@ -240,6 +260,7 @@ func storeDump(st kvstore.Store) wal.DumpFunc {
 func metricsServer(srv *server.Server) *http.Server {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", srv.Metrics().Handler())
+	mux.Handle("/debug/traces", srv.TraceHandler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -68,6 +68,23 @@ type result struct {
 	// how many commits each one amortized over.
 	WalFsync *histJSON `json:"wal_fsync_ns,omitempty"`
 	WalGroup *histJSON `json:"wal_group_records,omitempty"`
+	// SlowTraces is the server's top-K slowest request traces with their
+	// per-stage breakdowns (fetched via TRACELOG when -slowlog is set and
+	// the server runs with -trace): the latency-attribution artifact — a
+	// high batch p99 here resolves to "the WAL barrier" or "pool wait",
+	// not just a number.
+	SlowTraces []slowTrace `json:"slow_traces,omitempty"`
+}
+
+// slowTrace is one parsed TRACELOG line.
+type slowTrace struct {
+	ID       uint64           `json:"id"`
+	Cmd      string           `json:"cmd"`
+	Cmds     uint64           `json:"cmds"`
+	Shards   uint64           `json:"shards"`
+	TotalNs  uint64           `json:"total_ns"`
+	Stages   map[string]int64 `json:"stages"`
+	Dominant string           `json:"dominant"`
 }
 
 // histJSON is the JSON rendering of an obs.Snapshot: cumulative counts
@@ -130,6 +147,8 @@ func main() {
 		valsize  = flag.Int("valsize", 64, "value payload bytes")
 		preload  = flag.Bool("preload", true, "MSET the keyspace before measuring")
 		jsonOut  = flag.String("json", "", "write the result as JSON to this file")
+		slowlog  = flag.Int("slowlog", 0,
+			"fetch the server's K slowest request traces after the run (TRACELOG K; needs mvkvd -trace) and fold their stage breakdowns into the output; 0 = off")
 		shutdown = flag.Bool("shutdown", false, "send SHUTDOWN to the server when done")
 		oneShot  = flag.String("cmd", "",
 			"send one command (space-separated args), print the reply, exit; skips probe/preload/load")
@@ -277,28 +296,36 @@ func main() {
 	if h, ok := scrapeHist(*addr, "wal_group_records"); ok {
 		walGroup = &h
 	}
+	var slowTraces []slowTrace
+	if *slowlog > 0 {
+		slowTraces, err = scrapeSlowTraces(*addr, *slowlog)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mvkvload: slowlog: %v\n", err)
+		}
+	}
 	res := result{
-		Addr:      *addr,
-		Build:     build,
-		Shards:    shards,
-		Conns:     *conns,
-		Pipeline:  *pipeline,
-		ReadPct:   *readpct,
-		RangePct:  *rangepct,
-		Keys:      *keys,
-		ValueSize: *valsize,
-		DurationS: elapsed.Seconds(),
-		Ops:       totalOps.Load(),
-		OpsPerSec: float64(totalOps.Load()) / elapsed.Seconds(),
-		Batches:   len(all),
-		P50us:     pctile(all, 0.50),
-		P95us:     pctile(all, 0.95),
-		P99us:     pctile(all, 0.99),
-		Errors:    totalErrs.Load(),
-		BatchHist: histFromLatencies(lats),
-		ShardOps:  shardOps,
-		WalFsync:  walFsync,
-		WalGroup:  walGroup,
+		Addr:       *addr,
+		Build:      build,
+		Shards:     shards,
+		Conns:      *conns,
+		Pipeline:   *pipeline,
+		ReadPct:    *readpct,
+		RangePct:   *rangepct,
+		Keys:       *keys,
+		ValueSize:  *valsize,
+		DurationS:  elapsed.Seconds(),
+		Ops:        totalOps.Load(),
+		OpsPerSec:  float64(totalOps.Load()) / elapsed.Seconds(),
+		Batches:    len(all),
+		P50us:      pctile(all, 0.50),
+		P95us:      pctile(all, 0.95),
+		P99us:      pctile(all, 0.99),
+		Errors:     totalErrs.Load(),
+		BatchHist:  histFromLatencies(lats),
+		ShardOps:   shardOps,
+		WalFsync:   walFsync,
+		WalGroup:   walGroup,
+		SlowTraces: slowTraces,
 	}
 	if *rangepct > 0 {
 		res.RangeLen = *rangelen
@@ -316,6 +343,15 @@ func main() {
 		}
 		fmt.Printf("  wal: %d fsyncs, mean %.0fµs, mean group %.1f records\n",
 			walFsync.Count, walFsync.MeanUs, groups)
+	}
+	if len(slowTraces) > 0 {
+		byDominant := map[string]int{}
+		for _, st := range slowTraces {
+			byDominant[st.Dominant]++
+		}
+		top := slowTraces[0]
+		fmt.Printf("  slow traces: %d retained, slowest id=%d cmd=%s %.0fµs dominant=%s; dominants %v\n",
+			len(slowTraces), top.ID, top.Cmd, float64(top.TotalNs)/1e3, top.Dominant, byDominant)
 	}
 	if *jsonOut != "" {
 		data, _ := json.MarshalIndent(res, "", "  ")
@@ -872,6 +908,65 @@ func runDurVerify(addr, file string) error {
 	}
 	fmt.Printf("durability-verify: all %d acked keys present with current values\n", len(keys))
 	return nil
+}
+
+// scrapeSlowTraces fetches TRACELOG k and parses the key=value trace
+// lines into structured entries, slowest first. Stage fields — any
+// key that is not one of the identity fields — land in Stages keyed by
+// stage name, so the artifact needs no client-side stage enum.
+func scrapeSlowTraces(addr string, k int) ([]slowTrace, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer nc.Close()
+	br, bw := bufio.NewReaderSize(nc, 1<<20), bufio.NewWriter(nc)
+	server.WriteCommandStrings(bw, "TRACELOG", strconv.Itoa(k))
+	if err := bw.Flush(); err != nil {
+		return nil, err
+	}
+	rep, err := server.ReadReply(br)
+	if err != nil {
+		return nil, err
+	}
+	if rep.IsError() {
+		return nil, fmt.Errorf("%s", rep.Str)
+	}
+	var out []slowTrace
+	for _, line := range strings.Split(rep.Str, "\n") {
+		if !strings.HasPrefix(line, "id=") {
+			continue // header, blanks
+		}
+		st := slowTrace{Stages: map[string]int64{}}
+		for _, field := range strings.Fields(line) {
+			key, val, ok := strings.Cut(field, "=")
+			if !ok {
+				continue
+			}
+			switch key {
+			case "id":
+				st.ID, _ = strconv.ParseUint(val, 10, 64)
+			case "cmd":
+				st.Cmd = val
+			case "cmds":
+				st.Cmds, _ = strconv.ParseUint(val, 10, 64)
+			case "shards":
+				st.Shards, _ = strconv.ParseUint(val, 10, 64)
+			case "total_ns":
+				st.TotalNs, _ = strconv.ParseUint(val, 10, 64)
+			case "dominant":
+				st.Dominant = val
+			case "dropped_spans":
+				// span overflow marker; totals above are still exact
+			default:
+				if ns, err := strconv.ParseInt(val, 10, 64); err == nil {
+					st.Stages[key] = ns
+				}
+			}
+		}
+		out = append(out, st)
+	}
+	return out, nil
 }
 
 // scrapeHist reads one histogram family from the METRICS exposition

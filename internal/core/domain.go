@@ -83,6 +83,14 @@ type Domain[T any] struct {
 	gpAge         obs.Histogram
 	stallHist     obs.Histogram
 
+	// evTag labels this domain's entries in the obs event timeline —
+	// the shard index for sharded stores (see kvstore.NewSharded), 0
+	// otherwise. chainHigh is the longest version chain any deref on
+	// this domain has walked; derefs ratchet it up and emit an
+	// EvChainHigh timeline event on each new high-water mark.
+	evTag     atomic.Uint32
+	chainHigh atomic.Uint64
+
 	// watermark is the broadcast reclamation timestamp: every thread
 	// currently inside a critical section entered at or after it, so
 	// events older than it have no live observers. wmScanAt is the
@@ -337,9 +345,11 @@ func (d *Domain[T]) refreshWatermark() uint64 {
 		d.chk.Watermark(raw, minTS, d.boundary)
 	}
 	w := d.watermark.Load()
+	advanced := false
 	for minTS > w {
 		if d.watermark.CompareAndSwap(w, minTS) {
 			w = minTS
+			advanced = true
 			break
 		}
 		w = d.watermark.Load()
@@ -348,7 +358,32 @@ func (d *Domain[T]) refreshWatermark() uint64 {
 	// coalescing fast path never reads a fresh epoch with a stale value.
 	d.wmScanAt.Store(now)
 	d.wmInFlight.Store(false)
+	if advanced && obs.TraceEnabled() {
+		obs.RecordEvent(obs.EvWatermark, d.evTag.Load(), w, 0)
+	}
 	return w
+}
+
+// SetEventTag labels this domain's entries in the obs event timeline
+// (kvstore.NewSharded tags each shard's domain with its index so a
+// timeline dump attributes GC/watermark events to the right shard).
+func (d *Domain[T]) SetEventTag(tag uint32) { d.evTag.Store(tag) }
+
+// noteChainLen ratchets the domain's chain-length high-water mark and
+// emits an EvChainHigh timeline event when steps sets a new record.
+// Called from the deref telemetry path only, so the untraced fast path
+// pays nothing.
+func (d *Domain[T]) noteChainLen(steps uint64) {
+	hw := d.chainHigh.Load()
+	for steps > hw {
+		if d.chainHigh.CompareAndSwap(hw, steps) {
+			if obs.TraceEnabled() {
+				obs.RecordEvent(obs.EvChainHigh, d.evTag.Load(), steps, 0)
+			}
+			return
+		}
+		hw = d.chainHigh.Load()
+	}
 }
 
 // Watermark returns the last broadcast reclamation watermark.

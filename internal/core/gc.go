@@ -204,7 +204,7 @@ func (t *Thread[T]) refreshWatermark(window uint64) uint64 {
 // tail-blocking version would drain the log one slot per pass and starve
 // writers under workloads with many cold, singly-written objects.
 func (t *Thread[T]) collect() {
-	if !obs.Enabled() && !trace.IsEnabled() {
+	if !obs.Enabled() && !trace.IsEnabled() && !obs.TraceEnabled() {
 		t.collectPass()
 		return
 	}
@@ -214,9 +214,13 @@ func (t *Thread[T]) collect() {
 	}
 	start := obs.Now()
 	n := t.collectPass()
+	dur := obs.Now() - start
 	if obs.Enabled() {
-		t.hists[HistGCPass].Observe(uint64(obs.Now() - start))
+		t.hists[HistGCPass].Observe(uint64(dur))
 		t.hists[HistGCReclaimed].Observe(n)
+	}
+	if obs.TraceEnabled() {
+		obs.RecordEvent(obs.EvGCPass, t.d.evTag.Load(), n, uint64(dur))
 	}
 	if reg != nil {
 		reg.End()

@@ -125,6 +125,13 @@ func (g *gpDetector[T]) tick() {
 			g.d.gpAge.Observe(now - w)
 		}
 	}
+	if obs.TraceEnabled() {
+		age := uint64(0)
+		if now := g.d.clk.Now(); now > w {
+			age = now - w
+		}
+		obs.RecordEvent(obs.EvGPBroadcast, g.d.evTag.Load(), w, age)
+	}
 	g.checkStall(w)
 	if g.d.opts.GCMode == GCSingleCollector {
 		for _, e := range *g.d.threads.Load() {
@@ -163,12 +170,16 @@ func (g *gpDetector[T]) checkStall(w uint64) {
 			// episodes. Unconditional — once per episode is free, and
 			// a stall that ends while telemetry is toggled off should
 			// not vanish from history.
+			var dur int64
 			if since := d.stallSince.Load(); since != 0 {
-				if dur := time.Now().UnixNano() - since; dur > 0 {
+				if dur = time.Now().UnixNano() - since; dur > 0 {
 					d.stallHist.Observe(uint64(dur))
 				}
 			}
 			d.stallSince.Store(0)
+			if obs.TraceEnabled() {
+				obs.RecordEvent(obs.EvStallClose, d.evTag.Load(), w, uint64(max(dur, 0)))
+			}
 		}
 		return
 	}
@@ -210,6 +221,9 @@ func (g *gpDetector[T]) checkStall(w uint64) {
 	// stallSince is stored last: it is the flag that makes the episode
 	// observable, so the identity fields above must already be in place.
 	d.stallSince.Store(info.Since.UnixNano())
+	if obs.TraceEnabled() {
+		obs.RecordEvent(obs.EvStallOpen, d.evTag.Load(), w, uint64(pinID))
+	}
 	if cb := d.opts.OnStall; cb != nil {
 		cb(info)
 	}

@@ -367,7 +367,7 @@ func (t *Thread[T]) Deref(o *Object[T]) *T {
 	if t.crec != nil && check.Enabled() {
 		return t.derefChecked(o)
 	}
-	if obs.Enabled() {
+	if obs.Enabled() || obs.TraceEnabled() {
 		return t.derefObserved(o)
 	}
 	return t.derefWalk(o)
@@ -376,13 +376,19 @@ func (t *Thread[T]) Deref(o *Object[T]) *T {
 // derefObserved is Deref with telemetry: latency into HistDeref and the
 // chain length into HistDerefSteps. The step count is recovered from the
 // owner-written chainSteps counter rather than re-counting, so the walk
-// itself stays identical to the untimed path.
+// itself stays identical to the untimed path. It also ratchets the
+// domain's chain-length high-water mark for the trace event timeline
+// (the histograms stay gated on the metrics switch alone).
 func (t *Thread[T]) derefObserved(o *Object[T]) *T {
 	steps := t.stats.chainSteps
 	start := obs.Now()
 	p := t.derefWalk(o)
-	t.hists[HistDeref].Observe(uint64(obs.Now() - start))
-	t.hists[HistDerefSteps].Observe(t.stats.chainSteps - steps)
+	walked := t.stats.chainSteps - steps
+	if obs.Enabled() {
+		t.hists[HistDeref].Observe(uint64(obs.Now() - start))
+		t.hists[HistDerefSteps].Observe(walked)
+	}
+	t.d.noteChainLen(walked)
 	return p
 }
 

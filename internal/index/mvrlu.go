@@ -119,6 +119,10 @@ func (s *MVIndex) SetCommitHook(h kvstore.CommitHook) { s.hook = h }
 // delivered here as one call (and not to the per-op hook) when set.
 func (s *MVIndex) SetTxnCommitHook(h kvstore.TxnHook) { s.txnHook = h }
 
+// SetEventTag labels the domain's GC/watermark timeline events (the
+// shard index under NewSharded).
+func (s *MVIndex) SetEventTag(tag uint32) { s.d.SetEventTag(tag) }
+
 // AttachKVHistory makes every session created afterwards record
 // KV-level events (writes, range walks) into h for CheckKV. Attach
 // before creating sessions.
@@ -128,6 +132,46 @@ type mvIdxSession struct {
 	s    *MVIndex
 	h    *core.Thread[mvNode]
 	crec *check.ThreadRec
+	// tr is the active request trace (kvstore.TraceCarrier); nil costs
+	// writers one pointer test per operation.
+	tr *obs.Trace
+}
+
+// SetTrace implements kvstore.TraceCarrier: write paths stamp lock-wait
+// (the index-wide writer mutex) and commit spans into tr until cleared.
+func (k *mvIdxSession) SetTrace(tr *obs.Trace) { k.tr = tr }
+
+// beginLocked takes the index-wide writer lock, attributing the wait to
+// the lock-wait stage, and returns the timestamp the commit span should
+// start from.
+func (k *mvIdxSession) beginLocked() int64 {
+	tr := k.tr
+	if tr == nil {
+		k.s.mu.Lock()
+		return 0
+	}
+	t0 := obs.Now()
+	k.s.mu.Lock()
+	tr.EndStage(obs.StageLockWait, t0)
+	return obs.Now()
+}
+
+// endCommit closes the commit span opened by beginLocked and returns the
+// start for a WAL-append span around the hook delivery.
+func (k *mvIdxSession) endCommit(t0 int64) int64 {
+	if k.tr == nil {
+		return 0
+	}
+	k.tr.EndStage(obs.StageCommit, t0)
+	return obs.Now()
+}
+
+// endWALAppend closes the WAL-append span when a hook was installed to
+// deliver to (no hook, no span — the time is a few ns of no-op calls).
+func (k *mvIdxSession) endWALAppend(t0 int64) {
+	if k.tr != nil && (k.s.hook != nil || k.s.txnHook != nil) {
+		k.tr.EndStage(obs.StageWALAppend, t0)
+	}
 }
 
 // Close implements Session.
@@ -252,19 +296,21 @@ func (k *mvIdxSession) fireHooks(eff []kvstore.CommitOp, txn bool) {
 }
 
 func (k *mvIdxSession) Set(key, value string) {
-	k.s.mu.Lock()
+	t0 := k.beginLocked()
 	defer k.s.mu.Unlock()
 	hgt := randHeight(k.s.rng)
 	k.h.Execute(func(h *core.Thread[mvNode]) bool {
 		return k.applySet(h, key, value, hgt)
 	})
+	t0 = k.endCommit(t0)
 	eff := []kvstore.CommitOp{{TS: k.h.LastCommitTS(), Key: key, Value: value}}
 	k.recordWrites(eff, 0)
 	k.fireHooks(eff, false)
+	k.endWALAppend(t0)
 }
 
 func (k *mvIdxSession) Remove(key string) bool {
-	k.s.mu.Lock()
+	t0 := k.beginLocked()
 	defer k.s.mu.Unlock()
 	var removed bool
 	k.h.Execute(func(h *core.Thread[mvNode]) bool {
@@ -272,12 +318,14 @@ func (k *mvIdxSession) Remove(key string) bool {
 		removed, ok = k.applyDel(h, key)
 		return ok
 	})
+	t0 = k.endCommit(t0)
 	if !removed {
 		return false
 	}
 	eff := []kvstore.CommitOp{{TS: k.h.LastCommitTS(), Del: true, Key: key}}
 	k.recordWrites(eff, 0)
 	k.fireHooks(eff, false)
+	k.endWALAppend(t0)
 	return true
 }
 
@@ -292,7 +340,7 @@ func (k *mvIdxSession) ApplyTxn(ops []kvstore.TxnOp) ([]bool, error) {
 		return removed, nil
 	}
 	keep := compressTxn(ops)
-	k.s.mu.Lock()
+	t0 := k.beginLocked()
 	defer k.s.mu.Unlock()
 	hgts := make([]int, len(keep))
 	for j, i := range keep {
@@ -316,6 +364,7 @@ func (k *mvIdxSession) ApplyTxn(ops []kvstore.TxnOp) ([]bool, error) {
 		return true
 	})
 	cts := k.h.LastCommitTS()
+	t0 = k.endCommit(t0)
 	eff := make([]kvstore.CommitOp, 0, len(keep))
 	for _, i := range keep {
 		op := ops[i]
@@ -334,6 +383,7 @@ func (k *mvIdxSession) ApplyTxn(ops []kvstore.TxnOp) ([]bool, error) {
 	}
 	k.recordWrites(eff, txn)
 	k.fireHooks(eff, true)
+	k.endWALAppend(t0)
 	return removed, nil
 }
 

@@ -107,6 +107,10 @@ func (s *MVRLUStore) Now() uint64 { return s.d.Now() }
 // order, and the WAL's per-key log order needs no correction.
 func (s *MVRLUStore) SetCommitHook(h CommitHook) { s.hook = h }
 
+// SetEventTag implements eventTagger: the domain's GC/watermark timeline
+// events carry this tag (the shard index under NewSharded).
+func (s *MVRLUStore) SetEventTag(tag uint32) { s.d.SetEventTag(tag) }
+
 // ChainMetrics walks every tree at quiescence (no concurrent writers, no
 // single-collector detector) and reports the number of records, the total
 // committed versions chained on them above the reclamation watermark, and
@@ -151,7 +155,15 @@ func collectObjs(h *core.Thread[kvNode], o *core.Object[kvNode], out []*core.Obj
 type mvrluKVSession struct {
 	s *MVRLUStore
 	h *core.Thread[kvNode]
+	// tr is the active request trace, set per batch through the
+	// TraceCarrier capability; nil (the common case) costs writers one
+	// pointer test per operation.
+	tr *obs.Trace
 }
+
+// SetTrace implements TraceCarrier: write paths stamp lock-wait and
+// engine-commit spans into tr until it is cleared.
+func (k *mvrluKVSession) SetTrace(tr *obs.Trace) { k.tr = tr }
 
 // Close implements Session: the engine thread is unregistered, removing
 // it from the watermark scan so a retired pool handle cannot hold
@@ -209,8 +221,16 @@ func (k *mvrluKVSession) locateRoot(key string) *core.Object[kvNode] {
 
 func (k *mvrluKVSession) Set(key, value string) {
 	sl, root := k.locate(key)
+	tr, t0 := k.tr, int64(0)
+	if tr != nil {
+		t0 = obs.Now()
+	}
 	sl.mu.Lock()
 	defer sl.mu.Unlock()
+	if tr != nil {
+		tr.EndStage(obs.StageLockWait, t0)
+		t0 = obs.Now()
+	}
 	k.h.Execute(func(h *core.Thread[kvNode]) bool {
 		parent, node, left := findKV(h, root, key)
 		if node != nil {
@@ -233,15 +253,30 @@ func (k *mvrluKVSession) Set(key, value string) {
 		}
 		return true
 	})
+	if tr != nil {
+		tr.EndStage(obs.StageCommit, t0)
+		t0 = obs.Now()
+	}
 	if h := k.s.hook; h != nil {
 		h(CommitOp{TS: k.h.LastCommitTS(), Key: key, Value: value})
+		if tr != nil {
+			tr.EndStage(obs.StageWALAppend, t0)
+		}
 	}
 }
 
 func (k *mvrluKVSession) Remove(key string) (removed bool) {
 	sl, root := k.locate(key)
+	tr, t0 := k.tr, int64(0)
+	if tr != nil {
+		t0 = obs.Now()
+	}
 	sl.mu.Lock()
 	defer sl.mu.Unlock()
+	if tr != nil {
+		tr.EndStage(obs.StageLockWait, t0)
+		t0 = obs.Now()
+	}
 	k.h.Execute(func(h *core.Thread[kvNode]) bool {
 		parent, node, left := findKV(h, root, key)
 		if node == nil {
@@ -300,9 +335,16 @@ func (k *mvrluKVSession) Remove(key string) (removed bool) {
 		removed = true
 		return true
 	})
+	if tr != nil {
+		tr.EndStage(obs.StageCommit, t0)
+		t0 = obs.Now()
+	}
 	if removed {
 		if h := k.s.hook; h != nil {
 			h(CommitOp{TS: k.h.LastCommitTS(), Del: true, Key: key})
+			if tr != nil {
+				tr.EndStage(obs.StageWALAppend, t0)
+			}
 		}
 	}
 	return removed

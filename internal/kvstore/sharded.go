@@ -36,6 +36,13 @@ func NewShardedStore(stores []Store) *Sharded {
 	if len(stores) == 0 {
 		panic("kvstore: NewShardedStore with no shards")
 	}
+	// Tag each shard's engine domain with its index so GC/watermark
+	// timeline events (TRACELOG GC) attribute to the right shard.
+	for i, st := range stores {
+		if tg, ok := st.(eventTagger); ok {
+			tg.SetEventTag(uint32(i))
+		}
+	}
 	return &Sharded{name: stores[0].Name(), shards: stores}
 }
 
@@ -165,6 +172,17 @@ func (k *shardedSession) ForEachPrefix(prefix string, fn func(key, value string)
 		})
 		if stopped {
 			return
+		}
+	}
+}
+
+// SetTrace implements TraceCarrier by forwarding to every sub-session
+// that carries traces — the embedder convenience path; the server sets
+// traces on the per-shard pool sessions it checks out directly.
+func (k *shardedSession) SetTrace(tr *obs.Trace) {
+	for _, sub := range k.subs {
+		if tc, ok := sub.(TraceCarrier); ok {
+			tc.SetTrace(tr)
 		}
 	}
 }

@@ -12,6 +12,8 @@
 //   - mvrlu: the same port over MV-RLU, a drop-in replacement for RLU.
 package kvstore
 
+import "mvrlu/internal/obs"
+
 // Session is a handle to the store.
 //
 // Concurrency contract: a Session may be used by at most one goroutine
@@ -54,6 +56,26 @@ type Session interface {
 	// by the engine's leak guard (Stats.HandleLeaks) instead of
 	// corrupting reclamation.
 	Close()
+}
+
+// TraceCarrier is the optional session capability behind request
+// tracing: the server sets the active batch's trace before running
+// operations on a checked-out session and clears it (SetTrace(nil))
+// when the batch ends. Sessions that implement it stamp engine-side
+// spans — lock wait, commit critical section, WAL append — into the
+// trace; sessions that don't simply leave those stages empty. The same
+// single-goroutine contract as Session applies: SetTrace is called by
+// whichever goroutine currently owns the session.
+type TraceCarrier interface {
+	SetTrace(tr *obs.Trace)
+}
+
+// eventTagger is the optional store capability for labeling engine
+// timeline events: NewSharded tags each shard's domain with its index so
+// GC/watermark events attribute to the right shard in a TRACELOG GC
+// dump.
+type eventTagger interface {
+	SetEventTag(tag uint32)
 }
 
 // Store is a cache database build.

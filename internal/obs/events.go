@@ -1,0 +1,122 @@
+package obs
+
+// events.go — the GC/watermark event timeline: a package-level ring of
+// engine lifecycle events (grace-period broadcast, watermark publish, GC
+// pass, stall episode open/close, chain-length high-water, WAL fsync),
+// timestamped on the same obs.Now() clock as request spans so a dump
+// correlates "this batch stalled" with "that scanner pinned the
+// watermark". Emission sites gate on TraceEnabled, so the ring costs
+// nothing when tracing is off; events are orders of magnitude rarer than
+// requests, so one mutex around the ring is plenty.
+
+import "sync"
+
+// EventKind enumerates the timeline event types.
+type EventKind uint8
+
+const (
+	// EvWatermark: the domain watermark advanced (Value = new watermark).
+	EvWatermark EventKind = iota
+	// EvGPBroadcast: the grace-period detector completed a scan
+	// (Value = watermark, Aux = watermark age in ns).
+	EvGPBroadcast
+	// EvGCPass: one autonomous GC pass finished (Value = versions
+	// reclaimed, Aux = pass duration ns).
+	EvGCPass
+	// EvStallOpen: a watermark stall episode opened (Value = stuck
+	// watermark, Aux = culprit thread ID).
+	EvStallOpen
+	// EvStallClose: a stall episode closed (Value = new watermark,
+	// Aux = episode duration ns).
+	EvStallClose
+	// EvChainHigh: a deref walked a version chain longer than any seen
+	// before on this domain (Value = new high-water chain length).
+	EvChainHigh
+	// EvWALFsync: the WAL logger completed one group fsync (Value =
+	// fsync duration ns, Aux = records in the group).
+	EvWALFsync
+	// NumEventKinds is the number of event kinds.
+	NumEventKinds
+)
+
+var eventNames = [NumEventKinds]string{
+	"watermark_publish", "gp_broadcast", "gc_pass",
+	"stall_open", "stall_close", "chain_high", "wal_fsync",
+}
+
+func (k EventKind) String() string {
+	if int(k) < len(eventNames) {
+		return eventNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one timeline entry. Tag identifies the emitting component —
+// the shard index for engine domains (see SetEventTag wiring), 0 for
+// unsharded or component-global events.
+type Event struct {
+	TS    int64 // obs.Now() timestamp
+	Kind  EventKind
+	Tag   uint32
+	Value uint64
+	Aux   uint64
+}
+
+// eventRingSize bounds the timeline; older events are overwritten.
+const eventRingSize = 4096
+
+var events struct {
+	mu    sync.Mutex
+	buf   [eventRingSize]Event
+	total uint64
+	// totalAtReset marks total at the last ResetEvents; snapshots never
+	// read behind it, so a reset hides pre-reset entries without
+	// disturbing the monotone total.
+	totalAtReset uint64
+}
+
+// RecordEvent appends one event to the timeline. Emission sites wrap the
+// call in a TraceEnabled check so the disabled path stays one atomic
+// load; RecordEvent itself does not re-check.
+func RecordEvent(kind EventKind, tag uint32, value, aux uint64) {
+	e := Event{TS: Now(), Kind: kind, Tag: tag, Value: value, Aux: aux}
+	events.mu.Lock()
+	events.buf[events.total%eventRingSize] = e
+	events.total++
+	events.mu.Unlock()
+}
+
+// EventsTotal returns the number of events ever recorded (monotone).
+func EventsTotal() uint64 {
+	events.mu.Lock()
+	defer events.mu.Unlock()
+	return events.total
+}
+
+// EventsSnapshot returns up to max of the most recent events in
+// chronological order (oldest first). max <= 0 means the full ring.
+func EventsSnapshot(max int) []Event {
+	events.mu.Lock()
+	defer events.mu.Unlock()
+	n := events.total
+	have := n - events.totalAtReset
+	if have > eventRingSize {
+		have = eventRingSize
+	}
+	if max > 0 && uint64(max) < have {
+		have = uint64(max)
+	}
+	out := make([]Event, 0, have)
+	for i := n - have; i < n; i++ {
+		out = append(out, events.buf[i%eventRingSize])
+	}
+	return out
+}
+
+// ResetEvents clears the timeline (the total keeps counting — it is
+// exported as a monotone counter).
+func ResetEvents() {
+	events.mu.Lock()
+	defer events.mu.Unlock()
+	events.totalAtReset = events.total
+}

@@ -1,0 +1,159 @@
+package obs
+
+// recorder.go — the bounded in-memory flight recorder: the N slowest
+// traces plus a sliding window of the most recent ones. Admission runs
+// once per batch (not per stage), so a short critical section under one
+// mutex is cheap next to the batch it describes; the hot-path guarantees
+// live in Trace, not here. Snapshot copies out plain TraceData values,
+// so scrapes never hold the lock while rendering.
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Default flight-recorder bounds.
+const (
+	DefaultSlowTraces   = 32
+	DefaultRecentTraces = 128
+)
+
+// Recorder keeps a bounded sample of completed traces.
+type Recorder struct {
+	recorded atomic.Uint64
+
+	mu        sync.Mutex
+	slowCap   int
+	recentCap int
+	slow      []TraceData // sorted descending by TotalNs
+	recent    []TraceData // ring, next is the write cursor
+	next      int
+	filled    bool
+}
+
+// NewRecorder returns a recorder keeping the slowN slowest traces and a
+// window of the recentN most recent ones (defaults applied for values
+// <= 0).
+func NewRecorder(slowN, recentN int) *Recorder {
+	if slowN <= 0 {
+		slowN = DefaultSlowTraces
+	}
+	if recentN <= 0 {
+		recentN = DefaultRecentTraces
+	}
+	return &Recorder{
+		slowCap:   slowN,
+		recentCap: recentN,
+		slow:      make([]TraceData, 0, slowN),
+		recent:    make([]TraceData, recentN),
+	}
+}
+
+// Record admits one completed trace.
+func (r *Recorder) Record(d TraceData) {
+	r.recorded.Add(1)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.recent[r.next] = d
+	r.next++
+	if r.next == r.recentCap {
+		r.next = 0
+		r.filled = true
+	}
+	if len(r.slow) == r.slowCap && d.TotalNs <= r.slow[len(r.slow)-1].TotalNs {
+		return
+	}
+	i := sort.Search(len(r.slow), func(i int) bool { return r.slow[i].TotalNs < d.TotalNs })
+	if len(r.slow) < r.slowCap {
+		r.slow = append(r.slow, TraceData{})
+	}
+	copy(r.slow[i+1:], r.slow[i:])
+	r.slow[i] = d
+}
+
+// Recorded returns the number of traces ever recorded (monotone; not
+// reset by Reset so scrape monotonicity holds).
+func (r *Recorder) Recorded() uint64 { return r.recorded.Load() }
+
+// Slowest returns up to n of the slowest traces, slowest first. n <= 0
+// means all retained.
+func (r *Recorder) Slowest(n int) []TraceData {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n <= 0 || n > len(r.slow) {
+		n = len(r.slow)
+	}
+	out := make([]TraceData, n)
+	copy(out, r.slow[:n])
+	return out
+}
+
+// Recent returns up to n of the most recent traces, newest first. n <= 0
+// means the full window.
+func (r *Recorder) Recent(n int) []TraceData {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	have := r.recentCap
+	if !r.filled {
+		have = r.next
+	}
+	if n <= 0 || n > have {
+		n = have
+	}
+	out := make([]TraceData, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, r.recent[(r.next-i+r.recentCap)%r.recentCap])
+	}
+	return out
+}
+
+// Reset discards every retained trace (the recorded counter keeps
+// counting — it is exported as a monotone metric).
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.slow = r.slow[:0]
+	for i := range r.recent {
+		r.recent[i] = TraceData{}
+	}
+	r.next = 0
+	r.filled = false
+}
+
+// Exemplar links one histogram bucket to a concrete retained trace: the
+// scrape renders it as a comment line after the bucket samples, so a p99
+// bucket resolves to a trace ID TRACELOG can dump.
+type Exemplar struct {
+	Bucket  int // power-of-two bucket index; le = BucketUpper(Bucket)
+	TraceID uint64
+	Value   uint64 // the observed value (ns) that landed in Bucket
+}
+
+// Exemplars derives, from the retained slowest traces, the single
+// largest exemplar per occupied bucket, ordered by bucket. The bucket
+// index matches Histogram.Observe's placement (bits.Len64), so an
+// exemplar attaches to exactly the bucket its batch's TotalNs
+// observation incremented.
+func (r *Recorder) Exemplars() []Exemplar {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var best [NumBuckets]Exemplar
+	var used [NumBuckets]bool
+	for _, d := range r.slow {
+		v := uint64(d.TotalNs)
+		b := bits.Len64(v)
+		if !used[b] || v > best[b].Value {
+			best[b] = Exemplar{Bucket: b, TraceID: d.ID, Value: v}
+			used[b] = true
+		}
+	}
+	out := make([]Exemplar, 0, len(r.slow))
+	for b := range best {
+		if used[b] {
+			out = append(out, best[b])
+		}
+	}
+	return out
+}

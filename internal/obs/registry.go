@@ -41,6 +41,11 @@ type metric struct {
 	counter func() uint64
 	gauge   func() float64
 	hist    func() Snapshot
+	// exemplars, when set on a histogram, supplies trace exemplars
+	// rendered as comment lines after the family's samples — linking
+	// slow buckets to concrete flight-recorder trace IDs without
+	// disturbing text-format parsers.
+	exemplars func() []Exemplar
 }
 
 // NewRegistry returns an empty registry.
@@ -94,6 +99,27 @@ func (r *Registry) add(m metric) {
 		}
 	}
 	r.metrics = append(r.metrics, m)
+}
+
+// AttachExemplars wires an exemplar source to the named histogram (the
+// unlabeled series). Each scrape renders the source's exemplars as
+// `# EXEMPLAR name_bucket{le="..."} trace_id=... value=...` comment
+// lines — invisible to exposition parsers, enough for a human (or
+// TRACELOG) to chase a p99 bucket to one concrete trace. Panics if the
+// metric is missing or not a histogram, same contract as registration.
+func (r *Registry) AttachExemplars(name string, f func() []Exemplar) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.metrics {
+		if r.metrics[i].name == name && r.metrics[i].labels == "" {
+			if r.metrics[i].kind != histogramKind {
+				panic("obs: exemplars on non-histogram " + name)
+			}
+			r.metrics[i].exemplars = f
+			return
+		}
+	}
+	panic("obs: exemplars on unregistered metric " + name)
 }
 
 // WriteText renders every metric in Prometheus text format. Families
@@ -176,6 +202,12 @@ func (m *metric) renderSamples(b *bytes.Buffer) {
 		fmt.Fprintf(b, "%s_bucket{%s\"+Inf\"} %d\n", m.name, lePrefix, cum)
 		fmt.Fprintf(b, "%s_sum%s %d\n", m.name, m.braced(), s.Sum)
 		fmt.Fprintf(b, "%s_count%s %d\n", m.name, m.braced(), cum)
+		if m.exemplars != nil {
+			for _, ex := range m.exemplars() {
+				fmt.Fprintf(b, "# EXEMPLAR %s_bucket{%s\"%d\"} trace_id=%d value=%d\n",
+					m.name, lePrefix, BucketUpper(ex.Bucket), ex.TraceID, ex.Value)
+			}
+		}
 	}
 }
 

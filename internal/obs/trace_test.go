@@ -1,0 +1,419 @@
+package obs
+
+import (
+	"math/bits"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestDisabledTraceSiteCost asserts the tracing acceptance bound: a
+// disabled trace site (TraceEnabled check guarding a Begin/EndStage
+// pair) costs ≤ 5 ns and 0 allocs — same contract, same method, as the
+// metrics gate in TestDisabledRecordSiteCost. Skipped timing under
+// -race, where instrumented atomics are slower by design.
+func TestDisabledTraceSiteCost(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	SetTraceEnabled(false)
+	var tr Trace
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if TraceEnabled() {
+				tr.Begin()
+				tr.EndStage(StageEngine, Now())
+			}
+		}
+	})
+	if res.AllocsPerOp() != 0 {
+		t.Fatalf("disabled trace site allocates: %d allocs/op", res.AllocsPerOp())
+	}
+	if RaceEnabled {
+		t.Logf("disabled trace site: %v/op (race build, bound not enforced)", res.NsPerOp())
+		return
+	}
+	if ns := res.NsPerOp(); ns > 5 {
+		t.Fatalf("disabled trace site costs %d ns/op, want <= 5", ns)
+	}
+	if tr.nspans.Load() != 0 {
+		t.Fatal("disabled site recorded a span")
+	}
+}
+
+func TestTraceLifecycle(t *testing.T) {
+	var tr Trace
+	if tr.Active() {
+		t.Fatal("zero trace active")
+	}
+	var nilTr *Trace
+	if nilTr.Active() {
+		t.Fatal("nil trace active")
+	}
+	tr.Begin()
+	if !tr.Active() || tr.ID() == 0 {
+		t.Fatal("Begin did not arm")
+	}
+	first := tr.ID()
+	tr.SetCmd("SET")
+	tr.SetCmd("GET") // later calls keep the first
+	tr.AddCommands(3)
+	tr.AddShard()
+	tr.AddShard()
+	t0 := Now()
+	tr.EndStage(StageEngine, t0)
+	tr.EndStage(StageFlush, t0)
+	tr.AddStage(StageWALBarrier, 42)
+	d := tr.Finish()
+	if tr.Active() {
+		t.Fatal("Finish did not disarm")
+	}
+	if d.ID != first || d.Cmd != "SET" || d.Cmds != 3 || d.Shards != 2 {
+		t.Fatalf("snapshot %+v", d)
+	}
+	if d.NSpans != 2 || d.DroppedSpans != 0 {
+		t.Fatalf("spans %d dropped %d", d.NSpans, d.DroppedSpans)
+	}
+	if d.Stages[StageWALBarrier] != 42 {
+		t.Fatalf("AddStage lost: %d", d.Stages[StageWALBarrier])
+	}
+	if d.Spans[0].Stage != StageEngine || d.Spans[1].Stage != StageFlush {
+		t.Fatalf("span order %v %v", d.Spans[0].Stage, d.Spans[1].Stage)
+	}
+	tr.Begin()
+	if tr.ID() == first {
+		t.Fatal("trace IDs not unique across batches")
+	}
+	if tr.cmd != "" || tr.cmds != 0 || tr.nspans.Load() != 0 {
+		t.Fatal("Begin did not reset")
+	}
+}
+
+// TestSpanRingWraparound: a batch stamping more than MaxSpans spans
+// keeps exact per-stage totals and counts the overflow in DroppedSpans.
+func TestSpanRingWraparound(t *testing.T) {
+	var tr Trace
+	tr.Begin()
+	const n = MaxSpans + 7
+	for i := 0; i < n; i++ {
+		tr.AddStage(StageCommit, 1) // no slot: totals only
+		tr.EndStage(StageParse, Now())
+	}
+	d := tr.Finish()
+	if d.NSpans != MaxSpans {
+		t.Fatalf("NSpans = %d, want %d", d.NSpans, MaxSpans)
+	}
+	if d.DroppedSpans != n-MaxSpans {
+		t.Fatalf("DroppedSpans = %d, want %d", d.DroppedSpans, n-MaxSpans)
+	}
+	if d.Stages[StageCommit] != n {
+		t.Fatalf("stage total %d, want %d (accumulation must survive the ring)", d.Stages[StageCommit], n)
+	}
+	for _, sp := range d.Spans[:d.NSpans] {
+		if sp.Stage != StageParse {
+			t.Fatalf("slot holds stage %v", sp.Stage)
+		}
+	}
+}
+
+// TestTraceConcurrentStamping mirrors the routed batch: shard workers
+// stamp stages into one trace concurrently; the joined snapshot must
+// account for every stamp exactly once.
+func TestTraceConcurrentStamping(t *testing.T) {
+	var tr Trace
+	tr.Begin()
+	const workers, stamps = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < stamps; i++ {
+				tr.AddStage(StageEngine, 3)
+				tr.EndStage(StageSessionWait, Now())
+			}
+		}()
+	}
+	wg.Wait()
+	d := tr.Finish()
+	if d.Stages[StageEngine] != workers*stamps*3 {
+		t.Fatalf("engine total %d, want %d", d.Stages[StageEngine], workers*stamps*3)
+	}
+	total := d.NSpans + d.DroppedSpans
+	if total != workers*stamps {
+		t.Fatalf("span accounting %d, want %d", total, workers*stamps)
+	}
+}
+
+func TestAdjustedStagesAndDominant(t *testing.T) {
+	d := TraceData{TotalNs: 1000}
+	d.Stages[StageEngine] = 500
+	d.Stages[StageLockWait] = 100
+	d.Stages[StageCommit] = 150
+	d.Stages[StageWALAppend] = 50
+	d.Stages[StageWALBarrier] = 300
+	d.Stages[StageFlush] = 320
+	adj := d.AdjustedStages()
+	if adj[StageFlush] != 20 {
+		t.Fatalf("flush adj %d, want 20", adj[StageFlush])
+	}
+	if adj[StageEngine] != 200 {
+		t.Fatalf("engine adj %d, want 200", adj[StageEngine])
+	}
+	if got := d.Dominant(); got != StageWALBarrier {
+		t.Fatalf("dominant %v, want wal_barrier", got)
+	}
+
+	// Barrier larger than flush: a mid-dispatch overflow flushed from
+	// inside the engine span; the excess comes out of engine.
+	var e TraceData
+	e.Stages[StageEngine] = 900
+	e.Stages[StageWALBarrier] = 500
+	e.Stages[StageFlush] = 100
+	adj = e.AdjustedStages()
+	if adj[StageFlush] != 0 || adj[StageEngine] != 500 {
+		t.Fatalf("overflow case: flush %d engine %d", adj[StageFlush], adj[StageEngine])
+	}
+
+	// Engine can never go negative.
+	var n TraceData
+	n.Stages[StageEngine] = 10
+	n.Stages[StageCommit] = 50
+	if adj := n.AdjustedStages(); adj[StageEngine] != 0 {
+		t.Fatalf("engine adj %d, want clamp to 0", adj[StageEngine])
+	}
+}
+
+func TestStageNames(t *testing.T) {
+	seen := map[string]bool{}
+	for s := Stage(0); s < NumStages; s++ {
+		name := s.String()
+		if name == "" || name == "unknown" || seen[name] {
+			t.Fatalf("stage %d name %q", s, name)
+		}
+		seen[name] = true
+	}
+	if Stage(200).String() != "unknown" {
+		t.Fatal("out-of-range stage name")
+	}
+}
+
+func TestRecorderAdmission(t *testing.T) {
+	r := NewRecorder(4, 3)
+	for i := 1; i <= 10; i++ {
+		r.Record(TraceData{ID: uint64(i), TotalNs: int64(i * 100)})
+	}
+	if r.Recorded() != 10 {
+		t.Fatalf("recorded %d", r.Recorded())
+	}
+	slow := r.Slowest(0)
+	if len(slow) != 4 {
+		t.Fatalf("slow len %d", len(slow))
+	}
+	for i, want := range []uint64{10, 9, 8, 7} {
+		if slow[i].ID != want {
+			t.Fatalf("slow[%d] = id %d, want %d", i, slow[i].ID, want)
+		}
+	}
+	recent := r.Recent(0)
+	if len(recent) != 3 {
+		t.Fatalf("recent len %d", len(recent))
+	}
+	for i, want := range []uint64{10, 9, 8} {
+		if recent[i].ID != want {
+			t.Fatalf("recent[%d] = id %d, want %d (newest first)", i, recent[i].ID, want)
+		}
+	}
+	// A fast trace must not evict a retained slow one.
+	r.Record(TraceData{ID: 11, TotalNs: 1})
+	if s := r.Slowest(1); s[0].ID != 10 {
+		t.Fatalf("fast trace evicted slowest: %d", s[0].ID)
+	}
+	r.Reset()
+	if len(r.Slowest(0)) != 0 || len(r.Recent(0)) != 0 {
+		t.Fatal("Reset left traces")
+	}
+	if r.Recorded() != 11 {
+		t.Fatalf("Reset disturbed the monotone counter: %d", r.Recorded())
+	}
+}
+
+// TestRecorderConcurrentRecordScrape: scrapes under concurrent
+// recording must stay well-formed — slowest sorted descending, the
+// recorded counter monotone across reads.
+func TestRecorderConcurrentRecordScrape(t *testing.T) {
+	r := NewRecorder(8, 16)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				r.Record(TraceData{ID: uint64(w*1_000_000 + i), TotalNs: int64(i%997) * 10})
+			}
+		}(w)
+	}
+	var last uint64
+	for i := 0; i < 200; i++ {
+		n := r.Recorded()
+		if n < last {
+			t.Fatalf("recorded went backwards: %d < %d", n, last)
+		}
+		last = n
+		slow := r.Slowest(0)
+		for j := 1; j < len(slow); j++ {
+			if slow[j].TotalNs > slow[j-1].TotalNs {
+				t.Fatalf("slowest not sorted at %d: %d > %d", j, slow[j].TotalNs, slow[j-1].TotalNs)
+			}
+		}
+		r.Recent(5)
+		r.Exemplars()
+	}
+	close(done)
+	wg.Wait()
+}
+
+func TestExemplars(t *testing.T) {
+	r := NewRecorder(8, 8)
+	r.Record(TraceData{ID: 1, TotalNs: 100})
+	r.Record(TraceData{ID: 2, TotalNs: 120}) // same bucket as 100, larger
+	r.Record(TraceData{ID: 3, TotalNs: 5000})
+	exs := r.Exemplars()
+	if len(exs) != 2 {
+		t.Fatalf("exemplar count %d: %+v", len(exs), exs)
+	}
+	byBucket := map[int]Exemplar{}
+	for _, ex := range exs {
+		byBucket[ex.Bucket] = ex
+	}
+	b := bits.Len64(120)
+	if ex := byBucket[b]; ex.TraceID != 2 || ex.Value != 120 {
+		t.Fatalf("bucket %d exemplar %+v, want trace 2", b, ex)
+	}
+	if ex := byBucket[bits.Len64(5000)]; ex.TraceID != 3 {
+		t.Fatalf("bucket exemplar %+v, want trace 3", ex)
+	}
+}
+
+// TestExemplarRendering: an attached histogram renders "# EXEMPLAR"
+// comment lines after its samples — comments, so every Prometheus
+// text-format parser skips them untouched.
+func TestExemplarRendering(t *testing.T) {
+	reg := NewRegistry()
+	var h Histogram
+	h.Observe(120)
+	h.Observe(5000)
+	reg.Histogram("demo_ns", "demo", h.Snapshot)
+	r := NewRecorder(8, 8)
+	r.Record(TraceData{ID: 7, TotalNs: 120})
+	r.Record(TraceData{ID: 9, TotalNs: 5000})
+	reg.AttachExemplars("demo_ns", r.Exemplars)
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	if !strings.Contains(text, "# EXEMPLAR demo_ns_bucket") {
+		t.Fatalf("no exemplar lines in:\n%s", text)
+	}
+	if !strings.Contains(text, "trace_id=7") || !strings.Contains(text, "trace_id=9") {
+		t.Fatalf("exemplar trace ids missing in:\n%s", text)
+	}
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, "EXEMPLAR") && !strings.HasPrefix(line, "#") {
+			t.Fatalf("exemplar line not a comment: %q", line)
+		}
+	}
+}
+
+func TestAttachExemplarsUnknownPanics(t *testing.T) {
+	reg := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for unknown metric")
+		}
+	}()
+	reg.AttachExemplars("nope", func() []Exemplar { return nil })
+}
+
+func TestEventTimeline(t *testing.T) {
+	ResetEvents()
+	base := EventsTotal()
+	RecordEvent(EvWatermark, 2, 77, 0)
+	RecordEvent(EvGCPass, 1, 10, 2000)
+	if EventsTotal() != base+2 {
+		t.Fatalf("total %d, want %d", EventsTotal(), base+2)
+	}
+	evs := EventsSnapshot(0)
+	if len(evs) != 2 {
+		t.Fatalf("snapshot len %d", len(evs))
+	}
+	if evs[0].Kind != EvWatermark || evs[0].Tag != 2 || evs[0].Value != 77 {
+		t.Fatalf("event[0] %+v", evs[0])
+	}
+	if evs[1].Kind != EvGCPass || evs[1].Aux != 2000 {
+		t.Fatalf("event[1] %+v", evs[1])
+	}
+	if evs[0].TS > evs[1].TS {
+		t.Fatal("snapshot not chronological")
+	}
+	if got := EventsSnapshot(1); len(got) != 1 || got[0].Kind != EvGCPass {
+		t.Fatalf("bounded snapshot kept oldest, want newest: %+v", got)
+	}
+	ResetEvents()
+	if len(EventsSnapshot(0)) != 0 {
+		t.Fatal("reset left events visible")
+	}
+	if EventsTotal() != base+2 {
+		t.Fatal("reset disturbed the monotone total")
+	}
+}
+
+// TestEventRingWraparound overflows the ring and checks the snapshot
+// window holds exactly the newest eventRingSize entries, in order.
+func TestEventRingWraparound(t *testing.T) {
+	ResetEvents()
+	const n = eventRingSize + 100
+	for i := 0; i < n; i++ {
+		RecordEvent(EvChainHigh, 0, uint64(i), 0)
+	}
+	evs := EventsSnapshot(0)
+	if len(evs) != eventRingSize {
+		t.Fatalf("snapshot len %d, want %d", len(evs), eventRingSize)
+	}
+	for i, e := range evs {
+		if want := uint64(n - eventRingSize + i); e.Value != want {
+			t.Fatalf("evs[%d].Value = %d, want %d", i, e.Value, want)
+		}
+	}
+	ResetEvents()
+}
+
+func TestEventKindNames(t *testing.T) {
+	seen := map[string]bool{}
+	for k := EventKind(0); k < NumEventKinds; k++ {
+		name := k.String()
+		if name == "" || name == "unknown" || seen[name] {
+			t.Fatalf("kind %d name %q", k, name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestTraceEnabledToggle(t *testing.T) {
+	SetTraceEnabled(true)
+	if !TraceEnabled() {
+		t.Fatal("enable lost")
+	}
+	SetTraceEnabled(false)
+	if TraceEnabled() {
+		t.Fatal("disable lost")
+	}
+}

@@ -25,6 +25,11 @@ type conn struct {
 	br   *bufio.Reader
 	bw   *bufio.Writer
 	gate *walGate // nil when the server runs without a WAL
+	// tr is the connection's reusable request trace: armed per batch
+	// when tracing is enabled (serve), stamped by the dispatch path and
+	// shard workers, snapshotted into the flight recorder after the
+	// reply flush. One allocation per connection, zero per batch.
+	tr *obs.Trace
 	// txn is the connection's open MULTI body (txn.go). It survives
 	// across batches — MULTI and EXEC may arrive in separate bursts —
 	// and dies with the connection.
@@ -47,11 +52,23 @@ type walGate struct {
 	nc    net.Conn
 	wal   *wal.Log
 	dirty bool
+	// tr is the connection's trace; the barrier stamps its duration as
+	// the wal_barrier stage when the trace is armed. AddStage (no span
+	// slot) because the gate cannot see batch boundaries — a mid-dispatch
+	// bufio overflow flushes, and barriers, from inside the engine span.
+	tr *obs.Trace
 }
 
 func (g *walGate) Write(p []byte) (int, error) {
 	if g.dirty {
-		if err := g.wal.SyncBarrier(); err != nil {
+		if g.tr.Active() {
+			t0 := obs.Now()
+			err := g.wal.SyncBarrier()
+			g.tr.AddStage(obs.StageWALBarrier, obs.Now()-t0)
+			if err != nil {
+				return 0, err
+			}
+		} else if err := g.wal.SyncBarrier(); err != nil {
 			return 0, err
 		}
 		g.dirty = false
@@ -60,10 +77,10 @@ func (g *walGate) Write(p []byte) (int, error) {
 }
 
 func newConn(s *Server, nc net.Conn) *conn {
-	c := &conn{srv: s, nc: nc, br: bufio.NewReaderSize(nc, 16<<10)}
+	c := &conn{srv: s, nc: nc, br: bufio.NewReaderSize(nc, 16<<10), tr: &obs.Trace{}}
 	var w io.Writer = nc
 	if s.cfg.WAL != nil {
-		c.gate = &walGate{nc: nc, wal: s.cfg.WAL}
+		c.gate = &walGate{nc: nc, wal: s.cfg.WAL, tr: c.tr}
 		w = c.gate
 	}
 	c.bw = bufio.NewWriterSize(w, 16<<10)
@@ -128,10 +145,24 @@ func (c *conn) serve() {
 		if len(args) == 0 {
 			continue // blank inline line
 		}
+		// Arm the trace per batch: the gate is read once here, so a
+		// toggle mid-batch cannot leave half-stamped traces. The first
+		// command's read time is idle wait, not attributed.
+		if obs.TraceEnabled() {
+			c.tr.Begin()
+		}
 		if !c.runBatch(args) {
 			return
 		}
-		if !c.flush() {
+		if c.tr.Active() {
+			t0 := obs.Now()
+			ok := c.flush()
+			c.tr.EndStage(obs.StageFlush, t0)
+			c.srv.flight.Record(c.tr.Finish())
+			if !ok {
+				return
+			}
+		} else if !c.flush() {
 			return
 		}
 	}
@@ -150,8 +181,24 @@ func (c *conn) runBatch(first [][]byte) (keep bool) {
 	if c.srv.routed() {
 		return c.runRoutedBatch(first)
 	}
+	var tr *obs.Trace
+	if c.tr.Active() {
+		tr = c.tr
+	}
+	var t0 int64
+	if tr != nil {
+		t0 = obs.Now()
+	}
 	ps := c.srv.pools[0].get()
 	defer c.srv.pools[0].put(ps)
+	if tr != nil {
+		tr.EndStage(obs.StageSessionWait, t0)
+		tr.AddShard()
+		if tc, ok := ps.sess.(kvstore.TraceCarrier); ok {
+			tc.SetTrace(tr)
+			defer tc.SetTrace(nil)
+		}
+	}
 	if obs.Enabled() {
 		// Batch service time = how long the session is held; observed
 		// before the pool return (LIFO defers) so the histogram matches
@@ -159,10 +206,16 @@ func (c *conn) runBatch(first [][]byte) (keep bool) {
 		start := obs.Now()
 		defer func() { c.srv.batchHist.Observe(uint64(obs.Now() - start)) }()
 	}
-	keep = c.dispatch(ps, first)
+	keep = c.dispatchTraced(tr, ps, first)
 	for keep && c.br.Buffered() > 0 && !c.srv.shutting.Load() {
 		c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.ReadTimeout))
+		if tr != nil {
+			t0 = obs.Now()
+		}
 		args, err := ReadCommand(c.br)
+		if tr != nil {
+			tr.EndStage(obs.StageParse, t0)
+		}
 		if err != nil {
 			c.reportReadError(err)
 			return false
@@ -170,8 +223,24 @@ func (c *conn) runBatch(first [][]byte) (keep bool) {
 		if len(args) == 0 {
 			continue
 		}
-		keep = c.dispatch(ps, args)
+		keep = c.dispatchTraced(tr, ps, args)
 	}
+	return keep
+}
+
+// dispatchTraced is dispatch under an engine-stage span; with no active
+// trace it is dispatch itself. The engine span covers the whole store
+// call including the reply write (a mid-dispatch buffer overflow can
+// flush and barrier here — AdjustedStages reassigns that excess).
+func (c *conn) dispatchTraced(tr *obs.Trace, ps *pooledSession, args [][]byte) bool {
+	if tr == nil {
+		return c.dispatch(ps, args)
+	}
+	tr.SetCmd(strings.ToUpper(string(args[0])))
+	tr.AddCommands(1)
+	t0 := obs.Now()
+	keep := c.dispatch(ps, args)
+	tr.EndStage(obs.StageEngine, t0)
 	return keep
 }
 
@@ -323,6 +392,15 @@ func (c *conn) dispatch(ps *pooledSession, args [][]byte) bool {
 			return writeErrorReply(c.bw, "ERR metrics: "+err.Error()) == nil
 		}
 		return writeBulkString(c.bw, buf.String()) == nil
+
+	case "TRACELOG":
+		// The flight recorder over RESP: slowest/recent traces, the
+		// GC/watermark timeline (TRACELOG GC), RESET. See trace.go.
+		req, errmsg := parseTracelog(args)
+		if errmsg != "" {
+			return writeErrorReply(c.bw, errmsg) == nil
+		}
+		return writeBulkString(c.bw, c.srv.tracelogText(req)) == nil
 
 	case "QUIT":
 		writeSimple(c.bw, "OK")

@@ -40,6 +40,16 @@ func (s *Server) registerMetrics() {
 	s.reg.Histogram("server_batch_ns",
 		"per-batch service time (session checkout to return) in nanoseconds",
 		s.batchHist.Snapshot)
+	// The flight recorder's slowest traces annotate the batch histogram
+	// at scrape: each occupied bucket gets a "# EXEMPLAR" comment line
+	// carrying a trace ID that TRACELOG resolves to a full breakdown.
+	s.reg.AttachExemplars("server_batch_ns", s.flight.Exemplars)
+	s.reg.Counter("server_traces_recorded_total",
+		"request traces admitted to the flight recorder",
+		s.flight.Recorded)
+	s.reg.Counter("server_trace_events_total",
+		"engine timeline events recorded (GC, watermark, stall, fsync)",
+		obs.EventsTotal)
 	s.reg.Gauge("server_shards",
 		"independent store shards behind the router (1 = unsharded)",
 		func() float64 { return float64(len(s.shards)) })

@@ -219,6 +219,10 @@ func FuzzRESPDecode(f *testing.F) {
 	f.Add([]byte("*-1\r\n"))
 	f.Add([]byte("$-1\r\n"))
 	f.Add([]byte(strings.Repeat("a", maxInline) + "\r\n"))
+	f.Add([]byte("*2\r\n$8\r\nTRACELOG\r\n$2\r\n10\r\n"))
+	f.Add([]byte("*2\r\n$8\r\nTRACELOG\r\n$5\r\nRESET\r\n"))
+	f.Add([]byte("*3\r\n$8\r\nTRACELOG\r\n$2\r\nGC\r\n$3\r\n100\r\n"))
+	f.Add([]byte("TRACELOG RECENT 5\r\n"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		args, err := ReadCommand(bufio.NewReader(bytes.NewReader(data)))
 		if err != nil {

@@ -53,6 +53,7 @@ const (
 	kPing
 	kInfo
 	kMetrics
+	kTracelog
 	kQuit
 	kShutdown
 	kOK     // inline +OK (MULTI, DISCARD)
@@ -74,11 +75,12 @@ type slot struct {
 	name string
 	kind int
 
-	ping   []byte // PING payload (nil → PONG)
-	errmsg string // kErr reply text
-	full   bool   // INFO ALL
-	limit  int    // SCAN / RANGE limit (-1 unbounded)
-	rev    bool   // RANGE REV
+	ping   []byte      // PING payload (nil → PONG)
+	errmsg string      // kErr reply text
+	full   bool        // INFO ALL
+	limit  int         // SCAN / RANGE limit (-1 unbounded)
+	rev    bool        // RANGE REV
+	tlog   tracelogReq // kTracelog parsed request
 
 	got  bool         // GET
 	val  string       // GET
@@ -190,7 +192,11 @@ func (op *shardOp) run(sess kvstore.Session) {
 // runRoutedBatch executes one pipelined batch over a sharded store.
 // Reports false when the connection must close.
 func (c *conn) runRoutedBatch(first [][]byte) bool {
-	slots, queues, readErr := c.collectBatch(first)
+	var tr *obs.Trace
+	if c.tr.Active() {
+		tr = c.tr
+	}
+	slots, queues, readErr := c.collectBatch(tr, first)
 
 	var start int64
 	if obs.Enabled() {
@@ -214,21 +220,26 @@ func (c *conn) runRoutedBatch(first [][]byte) bool {
 		if len(ops) == 0 {
 			continue
 		}
+		// Shard count is stamped here, on the connection goroutine (the
+		// trace's plain counters are owner-only), before workers spawn.
+		if tr != nil {
+			tr.AddShard()
+		}
 		if seq {
 			wg.Add(1)
-			c.srv.runShardOps(shard, ops, &wg)
+			c.srv.runShardOps(shard, ops, &wg, tr)
 			continue
 		}
 		if inline >= 0 {
 			wg.Add(1)
-			go c.srv.runShardOps(shard, ops, &wg)
+			go c.srv.runShardOps(shard, ops, &wg, tr)
 			continue
 		}
 		inline = shard
 	}
 	if inline >= 0 {
 		wg.Add(1)
-		c.srv.runShardOps(inline, queues[inline], &wg)
+		c.srv.runShardOps(inline, queues[inline], &wg, tr)
 	}
 	wg.Wait()
 	if obs.Enabled() {
@@ -262,23 +273,42 @@ func (c *conn) runRoutedBatch(first [][]byte) bool {
 // per-shard op queues. Collection stops at QUIT/SHUTDOWN — the
 // connection closes after them, so later bytes are the next life's
 // problem — or at a read error, returned for reporting after render.
-func (c *conn) collectBatch(first [][]byte) (slots []*slot, queues [][]shardOp, readErr error) {
+func (c *conn) collectBatch(tr *obs.Trace, first [][]byte) (slots []*slot, queues [][]shardOp, readErr error) {
 	queues = make([][]shardOp, len(c.srv.shards))
-	slots = append(slots, c.planSlot(first, queues))
+	var t0 int64
+	plan := func(args [][]byte) {
+		if tr == nil {
+			slots = append(slots, c.planSlot(args, queues))
+			return
+		}
+		t0 = obs.Now()
+		sl := c.planSlot(args, queues)
+		tr.EndStage(obs.StagePlan, t0)
+		tr.SetCmd(sl.name)
+		tr.AddCommands(1)
+		slots = append(slots, sl)
+	}
+	plan(first)
 	for c.br.Buffered() > 0 && !c.srv.shutting.Load() {
 		last := slots[len(slots)-1]
 		if last.kind == kQuit || last.kind == kShutdown {
 			break
 		}
 		c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.ReadTimeout))
+		if tr != nil {
+			t0 = obs.Now()
+		}
 		args, err := ReadCommand(c.br)
+		if tr != nil {
+			tr.EndStage(obs.StageParse, t0)
+		}
 		if err != nil {
 			return slots, queues, err
 		}
 		if len(args) == 0 {
 			continue
 		}
-		slots = append(slots, c.planSlot(args, queues))
+		plan(args)
 	}
 	return slots, queues, nil
 }
@@ -429,6 +459,15 @@ func (c *conn) planSlot(args [][]byte, queues [][]shardOp) *slot {
 	case "METRICS":
 		sl.kind = kMetrics
 
+	case "TRACELOG":
+		req, errmsg := parseTracelog(args)
+		if errmsg != "" {
+			sl.errmsg = errmsg
+			return sl
+		}
+		sl.kind = kTracelog
+		sl.tlog = req
+
 	case "QUIT":
 		sl.kind = kQuit
 
@@ -520,10 +559,28 @@ func keysByShard(shardFor func(string) int, raw [][]byte) map[int][]string {
 // its slot (the engine has already rolled the write set back and the
 // session stays usable); the connection still closes at render, but the
 // session returns to the pool healthy either way.
-func (s *Server) runShardOps(shard int, ops []shardOp, wg *sync.WaitGroup) {
+func (s *Server) runShardOps(shard int, ops []shardOp, wg *sync.WaitGroup, tr *obs.Trace) {
 	defer wg.Done()
+	var t0 int64
+	if tr != nil {
+		t0 = obs.Now()
+	}
 	ps := s.pools[shard].get()
 	defer s.pools[shard].put(ps)
+	if tr != nil {
+		// Concurrent workers stamp the same trace: the stage cells and
+		// span slots are built for that (atomics). Defers run LIFO, so
+		// the engine span closes and the session's trace clears before
+		// the session returns to the pool, and wg.Done — the edge
+		// Finish synchronizes on — runs last of all.
+		tr.EndStage(obs.StageSessionWait, t0)
+		if tc, ok := ps.sess.(kvstore.TraceCarrier); ok {
+			tc.SetTrace(tr)
+			defer tc.SetTrace(nil)
+		}
+		t0 = obs.Now()
+		defer func() { tr.EndStage(obs.StageEngine, t0) }()
+	}
 	s.shardCmds[shard].n.Add(uint64(len(ops)))
 	ps.commands.Add(uint64(len(ops)))
 	for i := range ops {
@@ -645,6 +702,9 @@ func (c *conn) renderSlot(sl *slot) bool {
 			return writeErrorReply(c.bw, "ERR metrics: "+err.Error()) == nil
 		}
 		return writeBulkString(c.bw, buf.String()) == nil
+
+	case kTracelog:
+		return writeBulkString(c.bw, c.srv.tracelogText(sl.tlog)) == nil
 
 	case kQuit:
 		writeSimple(c.bw, "OK")

@@ -50,6 +50,13 @@ type Config struct {
 	// Embedders that inspect the store after a drain leave it false and
 	// close the store themselves.
 	OwnsStore bool
+	// TraceSlowest and TraceRecent bound the request-trace flight
+	// recorder: how many slowest traces and how many recent traces it
+	// retains (defaults obs.DefaultSlowTraces / obs.DefaultRecentTraces).
+	// The recorder always exists; it only fills while tracing is enabled
+	// (obs.SetTraceEnabled, mvkvd -trace).
+	TraceSlowest int
+	TraceRecent  int
 	// WAL, when non-nil, upgrades the ack contract to "acknowledged
 	// implies durable": the owner (the daemon) has installed a store
 	// commit hook that appends every committed write to this log, and the
@@ -132,6 +139,11 @@ type Server struct {
 	// per-batch service time behind obs.Enabled.
 	reg       *obs.Registry
 	batchHist obs.Histogram
+
+	// flight is the request-trace flight recorder: every finished trace
+	// is admitted here, TRACELOG and /debug/traces read it back, and its
+	// slowest traces become exemplars on server_batch_ns at scrape.
+	flight *obs.Recorder
 }
 
 // shardCounter is a cache-line-isolated per-shard command counter, so
@@ -165,6 +177,7 @@ func New(store kvstore.Store, cfg Config) *Server {
 		conns:   make(map[*conn]struct{}),
 		drained: make(chan struct{}),
 		start:   time.Now(),
+		flight:  obs.NewRecorder(cfg.TraceSlowest, cfg.TraceRecent),
 	}
 	if sh, ok := store.(sharder); ok && sh.NumShards() > 1 {
 		n := sh.NumShards()

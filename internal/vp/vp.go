@@ -172,13 +172,31 @@ func (s *Session[T]) Write(o *Obj[T], val T) bool {
 	}
 	for {
 		head := o.head.Load()
-		if head.tx != s.tx && head.tx.status.Load() == txActive {
-			return false // conflicting active writer
+		// Conflict checks apply to the first non-aborted version, not the
+		// literal head: aborted versions are dead weight awaiting pruning,
+		// and an aborted head would otherwise mask the committed version
+		// beneath it — passing both checks and silently overwriting state
+		// this snapshot never saw (a lost update). The CAS still targets
+		// the literal head so no concurrent append is lost.
+		v := head
+		for v != nil && v.tx.status.Load() == txAborted {
+			v = v.older.Load()
 		}
-		// Write-latest rule: a committed head newer than our
-		// snapshot means we would overwrite unseen state.
-		if head.tx.status.Load() == txCommitted && head.tx.epoch.Load() > s.snap.Load() {
-			return false
+		if v != nil && v.tx != s.tx {
+			switch v.tx.status.Load() {
+			case txActive:
+				return false // conflicting active writer
+			case txCommitted:
+				// Write-latest rule: a committed version newer than our
+				// snapshot means we would overwrite unseen state.
+				if v.tx.epoch.Load() > s.snap.Load() {
+					return false
+				}
+			default:
+				// v aborted between the walk above and this load;
+				// re-resolve so the check lands on what it now masks.
+				continue
+			}
 		}
 		n := &VNode[T]{tx: s.tx, data: val}
 		n.older.Store(head)

@@ -90,6 +90,49 @@ func TestWriteWriteConflict(t *testing.T) {
 	a.Commit()
 }
 
+// TestAbortedHeadDoesNotMaskConflict is the deterministic reproducer
+// for a lost-update window that used to surface as a rare (~1/40)
+// linearizability failure in the concurrent suites: Write's conflict
+// checks inspected only the literal chain head, so an ABORTED head —
+// which fails both the active-writer and the committed-newer checks —
+// masked the committed version beneath it. A stale-snapshot writer then
+// slipped past the write-latest rule and overwrote state it never saw.
+//
+// Sequence: C snapshots; A commits a newer version; B aborts on top of
+// it (aborted head); C writes. C's snapshot predates A's commit, so the
+// write must be refused.
+func TestAbortedHeadDoesNotMaskConflict(t *testing.T) {
+	d := NewDomain[rec]()
+	a, b, c := d.Register(), d.Register(), d.Register()
+	o := NewObj(d, rec{Val: 1})
+
+	c.Begin() // snapshot before A's commit
+
+	a.Begin()
+	if !a.Write(o, rec{Val: 2}) {
+		t.Fatal("A's write failed")
+	}
+	a.Commit()
+
+	b.Begin()
+	if !b.Write(o, rec{Val: 3}) {
+		t.Fatal("B's write failed")
+	}
+	b.Abort() // chain head is now an aborted version over A's commit
+
+	if c.Write(o, rec{Val: 99}) {
+		t.Fatal("stale-snapshot write succeeded past an aborted head (lost update)")
+	}
+	c.Abort()
+
+	s := d.Register()
+	s.Begin()
+	if got := s.Read(o).Val; got != 2 {
+		t.Fatalf("latest = %d, want A's committed 2", got)
+	}
+	s.Commit()
+}
+
 func TestPruneBoundsChains(t *testing.T) {
 	d := NewDomain[rec]()
 	s := d.Register()

@@ -136,6 +136,11 @@ type Log struct {
 	liveGauge  atomic.Int64
 	fsyncHist  obs.Histogram
 	groupHist  obs.Histogram
+	// appendWaitHist records how long appenders blocked on condSpace
+	// backpressure (logger behind on fsync, installer behind on
+	// snapshots) — the queue-wait component of a write's latency that
+	// the fsync histogram alone cannot show.
+	appendWaitHist obs.Histogram
 }
 
 // LogStats is a consistent snapshot of the log's progress counters, for
@@ -199,11 +204,18 @@ func (l *Log) Append(rec Record) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	hardLive := 4 * l.opt.MaxLiveBytes
+	var wait0 int64
 	for l.err == nil && !l.closed &&
 		(int64(len(l.buf)) >= l.opt.MaxQueueBytes ||
 			(l.installerStop != nil && l.liveBytes >= hardLive)) {
+		if wait0 == 0 && obs.Enabled() {
+			wait0 = obs.Now()
+		}
 		l.pokeInstallerLocked()
 		l.condSpace.Wait()
+	}
+	if wait0 != 0 {
+		l.appendWaitHist.Observe(uint64(obs.Now() - wait0))
 	}
 	if l.err != nil {
 		return l.err
@@ -251,11 +263,18 @@ func (l *Log) AppendGroup(recs []Record) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	hardLive := 4 * l.opt.MaxLiveBytes
+	var wait0 int64
 	for l.err == nil && !l.closed &&
 		(int64(len(l.buf)) >= l.opt.MaxQueueBytes ||
 			(l.installerStop != nil && l.liveBytes >= hardLive)) {
+		if wait0 == 0 && obs.Enabled() {
+			wait0 = obs.Now()
+		}
 		l.pokeInstallerLocked()
 		l.condSpace.Wait()
+	}
+	if wait0 != 0 {
+		l.appendWaitHist.Observe(uint64(obs.Now() - wait0))
 	}
 	if l.err != nil {
 		return l.err
@@ -394,8 +413,12 @@ func (l *Log) writeAndSync(batch []byte, nrecs int) error {
 		if err := l.f.Sync(); err != nil {
 			return fmt.Errorf("wal: fsync: %w", err)
 		}
+		dur := time.Since(start)
 		if obs.Enabled() {
-			l.fsyncHist.Observe(uint64(time.Since(start)))
+			l.fsyncHist.Observe(uint64(dur))
+		}
+		if obs.TraceEnabled() {
+			obs.RecordEvent(obs.EvWALFsync, 0, uint64(dur), uint64(nrecs))
 		}
 	}
 	l.syncs.Add(1)
@@ -636,6 +659,8 @@ func (l *Log) RegisterMetrics(reg *obs.Registry) {
 		l.fsyncHist.Snapshot)
 	reg.Histogram("wal_group_records", "records per group-committed batch",
 		l.groupHist.Snapshot)
+	reg.Histogram("wal_append_wait_ns", "appender backpressure wait in nanoseconds",
+		l.appendWaitHist.Snapshot)
 }
 
 // --- segment files ---

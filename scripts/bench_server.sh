@@ -21,6 +21,13 @@
 # serving a YCSB-E-style mix (20% of the read share as RANGE LIMIT 16
 # scans), unsharded and behind the router, so the JSON carries the cost
 # of ordered snapshot scans next to the point-read cells.
+#
+# A fifth cell re-runs single-domain mvrlu-kv with request tracing on
+# (-trace): every batch is stamped through the span recorder and fed to
+# the flight recorder. Contrast with the trace-off mvrlu-kv shards=1
+# cell above to see the tracing tax; these runs also carry slow_traces
+# (mvkvload -slowlog) so the JSON shows what the recorder attributed
+# the slowest batches to.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -45,6 +52,7 @@ fi
 # carves that share of the reads into RANGE scans of RANGELEN keys.
 RANGEPCT=0
 RANGELEN=16
+SLOWLOG=0
 one_run() {
     conns=$1; shift
     "$TMP/mvkvd" -addr "$ADDR" "$@" &
@@ -52,6 +60,7 @@ one_run() {
     sleep 0.3
     "$TMP/mvkvload" -addr "$ADDR" -conns "$conns" -pipeline 16 \
         -readpct 90 -range "$RANGEPCT" -rangelen "$RANGELEN" \
+        -slowlog "$SLOWLOG" \
         -duration "$DUR" -json "$TMP/run.json"
     "$TMP/mvkvload" -addr "$ADDR" -conns 1 -duration 0s -preload=false \
         -shutdown >/dev/null
@@ -88,10 +97,17 @@ for conns in 1 8 64; do
     one_run "$conns" -store mvrlu-idx -shards "$SHARDS"
 done
 RANGEPCT=0
+# Tracing cell: single-domain mvrlu-kv with the span recorder armed.
+# Runs are distinguished in the JSON by their slow_traces array.
+SLOWLOG=5
+for conns in 1 8 64; do
+    one_run "$conns" -store mvrlu-kv -shards 1 -trace
+done
+SLOWLOG=0
 
 {
     printf '{\n  "host_note": "measured on %s CPU core(s); the paper'"'"'s multi-core scaling claims need >=4 cores. shards=GOMAXPROCS on a 1-core host is 1, which takes the identical single-domain fast path (no routed gap by construction); the forced %s-shard cell instead measures pure batch-router overhead with no parallelism available to repay it — expect the routed cell to trail single-domain by the cost of per-batch planning plus N pool handoffs per core-starved batch. The wal cell (runs carrying wal_fsync_ns) pays one fsync per commit group on this host'"'"'s filesystem — on a container/CI overlay fs an fsync can be anywhere from tens of microseconds to milliseconds and dominates write latency at low concurrency; group commit amortizes it across concurrent writers (see wal_group_records), so the throughput gap narrows as conns grow. Reads are unaffected.",\n' "$NPROC" "$SHARDS"
-    printf '  "config": {"pipeline": 16, "readpct": 90, "duration": "%s", "sharded_cell": {"store": "mvrlu-kv", "shards": %s}, "wal_cell": {"store": "mvrlu-kv", "shards": 1, "wal": "on, fsync per group-committed batch"}, "range_cell": {"store": "mvrlu-idx", "rangepct": 20, "rangelen": 16, "shards": [1, %s]}},\n' "$DUR" "$SHARDS" "$SHARDS"
+    printf '  "config": {"pipeline": 16, "readpct": 90, "duration": "%s", "sharded_cell": {"store": "mvrlu-kv", "shards": %s}, "wal_cell": {"store": "mvrlu-kv", "shards": 1, "wal": "on, fsync per group-committed batch"}, "range_cell": {"store": "mvrlu-idx", "rangepct": 20, "rangelen": 16, "shards": [1, %s]}, "trace_cell": {"store": "mvrlu-kv", "shards": 1, "trace": "on, runs carry slow_traces from the flight recorder"}},\n' "$DUR" "$SHARDS" "$SHARDS"
     printf '  "runs": [%s]\n}\n' "${runs%,}"
 } >"$OUT"
 echo "wrote $OUT"
